@@ -1,0 +1,55 @@
+"""Ablation §VI-B3 — parity accumulator pool exhaustion.
+
+When the parity node's on-NIC accumulator pool runs dry, aggregation
+falls back to the host CPU: correctness is preserved (the final parity
+is identical) but the fallback pays PCIe crossings + host XOR, and the
+fallback counter ticks.  A *sequential* (non-interleaved) client makes
+exhaustion easy to provoke: the parity node must hold accumulators for
+every aggregation sequence of the first stream until the later streams
+arrive (§VI-B1).
+"""
+
+import numpy as np
+import pytest
+
+from repro.dfs.layout import EcSpec
+from repro.workloads import payload_bytes
+
+KiB = 1024
+SIZE = 128 * KiB
+
+
+def _run(n_accumulators: int, interleave: bool = False):
+    from repro.dfs.client import DfsClient
+    from repro.dfs.cluster import build_testbed
+    from repro.protocols import install_spin_targets
+
+    tb = build_testbed(n_storage=8)
+    install_spin_targets(tb, n_accumulators=n_accumulators)
+    client = DfsClient(tb)
+    lay = client.create("/f", size=SIZE, ec=EcSpec(k=3, m=2))
+    data = payload_bytes(SIZE)
+    out = client.write_sync("/f", data, protocol="spin", interleave=interleave)
+    assert out.ok
+    fallbacks = sum(
+        node.dfs_state.accumulators.fallbacks
+        for node in tb.storage_nodes
+        if node.dfs_state is not None
+    )
+    recovered = client.recover("/f", {lay.extents[0].node})
+    return out.latency_ns, fallbacks, np.array_equal(recovered, data)
+
+
+def test_pool_exhaustion_falls_back_to_cpu(benchmark, capsys):
+    lat_big, fb_big, ok_big = _run(n_accumulators=128)
+    lat_tiny, fb_tiny, ok_tiny = _run(n_accumulators=2)
+    with capsys.disabled():
+        print(f"\npool=128: lat={lat_big:.0f}ns fallbacks={fb_big}; "
+              f"pool=2: lat={lat_tiny:.0f}ns fallbacks={fb_tiny}")
+    assert ok_big and ok_tiny, "fallback must preserve correctness"
+    assert fb_big == 0, "ample pool never falls back"
+    assert fb_tiny > 0, "tiny pool must exhaust"
+    assert lat_tiny > lat_big, "CPU fallback costs latency"
+
+    lat = benchmark.pedantic(lambda: _run(128)[0], rounds=1, iterations=1)
+    assert lat > 0

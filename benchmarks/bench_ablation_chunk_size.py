@@ -1,0 +1,39 @@
+"""Ablation §V-B — pipelining chunk size for CPU/HyperLoop replication.
+
+The paper reports CPU and HyperLoop strategies "with optimal chunk
+size".  This bench exposes the underlying trade-off: tiny chunks pay
+per-chunk dispatch overhead, huge chunks lose pipelining overlap, so
+latency is minimized at an interior optimum.
+"""
+
+import pytest
+
+from repro.dfs.layout import ReplicationSpec
+from repro.experiments.common import KiB, MiB, measure_latency
+
+CHUNKS = [1 * KiB, 4 * KiB, 16 * KiB, 64 * KiB, 256 * KiB, 1 * MiB]
+SIZE = 1 * MiB
+
+
+def _cpu_ring(chunk: int) -> float:
+    return measure_latency(
+        "cpu", SIZE, replication=ReplicationSpec(k=4, strategy="ring"),
+        repeats=1, chunk_bytes=chunk,
+    )
+
+
+def test_chunk_size_tradeoff(benchmark, capsys):
+    lats = {c: _cpu_ring(c) for c in CHUNKS}
+    with capsys.disabled():
+        print("\nCPU-Ring 1MiB k=4 latency by chunk size:")
+        for c, l in lats.items():
+            print(f"  {c // KiB:5d}KiB  {l:10.0f} ns")
+    best = min(lats, key=lats.get)
+    # interior optimum: neither the smallest nor the single-chunk case
+    assert best != CHUNKS[0], "smallest chunk should pay per-chunk overheads"
+    assert best != CHUNKS[-1], "whole-message chunk loses pipelining"
+    # pipelining pays: optimum clearly beats store-and-forward
+    assert lats[CHUNKS[-1]] / lats[best] > 1.2
+
+    lat = benchmark.pedantic(lambda: _cpu_ring(best), rounds=1, iterations=1)
+    assert lat > 0

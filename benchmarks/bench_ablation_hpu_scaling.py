@@ -1,0 +1,46 @@
+"""Ablation §VI-C — scaling out PsPIN clusters for EC line rate.
+
+Fig. 16 right argues that the modular PsPIN architecture can scale HPU
+count (by adding clusters) to sustain data-intensive EC handlers at
+line rate.  We measure sPIN-TriEC encode bandwidth at 1x / 4x / 16x the
+default cluster count and check that throughput scales until the wire
+becomes the bottleneck.
+"""
+
+import pytest
+
+from repro.dfs.layout import EcSpec
+from repro.experiments.common import KiB, fresh_client
+from repro.params import SimParams
+from repro.workloads import measure_goodput, payload_bytes
+
+SIZE = 64 * KiB
+
+
+def _encode_goodput(n_clusters: int) -> float:
+    params = SimParams().with_pspin(n_clusters=n_clusters)
+    tb, client = fresh_client("spin", params)
+    client.create("/f", size=SIZE, ec=EcSpec(k=3, m=2))
+    data = payload_bytes(SIZE)
+    res = measure_goodput(
+        tb,
+        lambda i: client.write("/f", data, protocol="spin"),
+        n_ops=24,
+        op_bytes=SIZE,
+        window=16,
+    )
+    return res.goodput_gbps
+
+
+def test_hpu_scaling_lifts_ec_throughput(benchmark, capsys):
+    g4 = _encode_goodput(4)     # paper default: 32 HPUs
+    g16 = _encode_goodput(16)   # 128 HPUs
+    g64 = _encode_goodput(64)   # 512 HPUs — the Fig. 16 RS(6,3) target
+    with capsys.disabled():
+        print(f"\nEC RS(3,2) encode goodput: 32 HPUs={g4:.0f}  128 HPUs={g16:.0f}  "
+              f"512 HPUs={g64:.0f} Gbit/s")
+    assert g16 > 1.5 * g4, "4x HPUs should clearly lift handler-bound throughput"
+    assert g64 >= g16, "scaling further must not regress"
+
+    g = benchmark.pedantic(lambda: _encode_goodput(8), rounds=1, iterations=1)
+    assert g > 0

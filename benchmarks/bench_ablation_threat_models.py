@@ -1,0 +1,79 @@
+"""Ablation §IV — the threat-model spectrum.
+
+Trusting more costs less: a plain-text ticket check (trusted clients +
+network, the sRDMA/Orion setting) is cheaper than the HMAC capability
+check (paper default), and both are far cheaper than per-packet MACs
+for an untrusted network, which add per-byte authentication work to
+every payload handler.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dfs.client import DfsClient
+from repro.dfs.cluster import build_testbed
+from repro.protocols.base import WriteContext
+from repro.protocols.threat import install_threat_targets, threat_write
+
+KiB = 1024
+
+
+def _latency(mode: str, size: int) -> float:
+    tb = build_testbed(n_storage=4)
+    install_threat_targets(tb, mode)
+    c = DfsClient(tb)
+    lay = c.create("/f", size=size * 2)
+    ctx = WriteContext(c.node, c.client_id, c.ticket("/f"))
+    data = np.random.default_rng(0).integers(0, 256, size, dtype=np.uint8)
+    res = tb.run_until(threat_write(ctx, lay, data, mode))
+    assert res.ok
+    assert np.array_equal(tb.node(lay.primary.node).memory.view(lay.primary.addr, size), data)
+    return res.latency_ns
+
+
+def test_threat_model_cost_spectrum(benchmark, capsys):
+    rows = {}
+    for mode in ("trusted", "capability", "packet-mac"):
+        rows[mode] = {s: _latency(mode, s) for s in (1 * KiB, 64 * KiB)}
+    with capsys.disabled():
+        print("\nwrite latency by threat model (ns):")
+        for mode, lats in rows.items():
+            print(f"  {mode:12s} 1KiB={lats[1 * KiB]:8.0f}  64KiB={lats[64 * KiB]:8.0f}")
+    # trusting less costs more, at every size
+    for s in (1 * KiB, 64 * KiB):
+        assert rows["trusted"][s] <= rows["capability"][s]
+        assert rows["capability"][s] < rows["packet-mac"][s]
+    # per-packet MACs dominate large writes (per-byte work on every PH)
+    assert rows["packet-mac"][64 * KiB] > 2 * rows["capability"][64 * KiB]
+    # header-only checks are amortized for large writes
+    assert rows["capability"][64 * KiB] < 1.1 * rows["trusted"][64 * KiB]
+
+    lat = benchmark.pedantic(lambda: _latency("capability", 16 * KiB), rounds=1, iterations=1)
+    assert lat > 0
+
+
+def test_tampering_detected_end_to_end(benchmark, capsys):
+    tb = build_testbed(n_storage=4)
+    install_threat_targets(tb, "packet-mac")
+    c = DfsClient(tb)
+    lay = c.create("/f", size=128 * KiB)
+    ctx = WriteContext(c.node, c.client_id, c.ticket("/f"))
+    data = np.random.default_rng(1).integers(0, 256, 64 * KiB, dtype=np.uint8)
+    res = tb.run_until(threat_write(ctx, lay, data, "packet-mac", tamper_packet=7))
+    with capsys.disabled():
+        print(f"\ntampered packet 7: ok={res.ok} nack={res.nacks[0]['reason']}")
+    assert not res.ok and res.nacks[0]["reason"] == "integrity"
+    node = tb.node(lay.primary.node)
+    events = node.dfs_state.drain_host_events()
+    assert any(e["type"] == "packet_mac_failure" for e in events)
+
+    def clean():
+        tb2 = build_testbed(n_storage=4)
+        install_threat_targets(tb2, "packet-mac")
+        c2 = DfsClient(tb2)
+        lay2 = c2.create("/f", size=8 * KiB)
+        ctx2 = WriteContext(c2.node, c2.client_id, c2.ticket("/f"))
+        return tb2.run_until(threat_write(ctx2, lay2, data[: 4 * KiB], "packet-mac")).latency_ns
+
+    lat = benchmark.pedantic(clean, rounds=1, iterations=1)
+    assert lat > 0

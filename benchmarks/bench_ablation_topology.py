@@ -1,0 +1,84 @@
+"""Ablation — fabric topology and uplink oversubscription.
+
+The paper simulates a flat 400 Gbit/s network (§III-D).  Deployments
+put clients and storage on separate leaves of a leaf-spine fabric; an
+oversubscribed spine then caps the storage ingress below NIC line rate,
+shifting the bottleneck off the accelerator entirely.  sPIN results are
+insensitive to *where* the bandwidth limit sits — which this ablation
+verifies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dfs.client import DfsClient
+from repro.dfs.cluster import build_testbed
+from repro.protocols import install_spin_targets
+from repro.workloads import measure_goodput, payload_bytes
+
+KiB = 1024
+SIZE = 64 * KiB
+
+
+def _latency(topology, uplink=None):
+    tb = build_testbed(n_storage=4, topology=topology, uplink_gbps=uplink)
+    install_spin_targets(tb)
+    c = DfsClient(tb)
+    c.create("/f", size=SIZE)
+    out = c.write_sync("/f", payload_bytes(SIZE), protocol="spin")
+    assert out.ok
+    return out.latency_ns
+
+
+def _goodput(topology, uplink=None):
+    tb = build_testbed(n_storage=4, topology=topology, uplink_gbps=uplink)
+    install_spin_targets(tb)
+    c = DfsClient(tb)
+    c.create("/f", size=SIZE)
+    data = payload_bytes(SIZE)
+    res = measure_goodput(
+        tb, lambda i: c.write("/f", data, protocol="spin"),
+        n_ops=24, op_bytes=SIZE, window=12,
+    )
+    return res.goodput_gbps
+
+
+def test_topology_and_oversubscription(benchmark, capsys):
+    lat_star = _latency("star")
+    lat_ls = _latency("leafspine")
+    g_star = _goodput("star")
+    g_full = _goodput("leafspine", uplink=400.0)
+    g_quarter = _goodput("leafspine", uplink=100.0)
+    with capsys.disabled():
+        print(f"\nstar:              lat={lat_star:7.0f} ns  goodput={g_star:6.1f} Gbit/s")
+        print(f"leaf-spine 1:1:    lat={lat_ls:7.0f} ns  goodput={g_full:6.1f} Gbit/s")
+        print(f"leaf-spine 4:1:    goodput={g_quarter:6.1f} Gbit/s")
+    # two extra switch hops cost latency but not bandwidth
+    assert lat_ls > lat_star
+    assert lat_ls < lat_star + 3000
+    assert g_full > 0.85 * g_star
+    # 4:1 oversubscription pins goodput at the uplink, not the NIC
+    assert g_quarter < 110.0
+    assert g_quarter > 60.0
+
+    lat = benchmark.pedantic(lambda: _latency("leafspine"), rounds=1, iterations=1)
+    assert lat > 0
+
+
+def test_correctness_unaffected_by_topology(benchmark):
+    def run():
+        tb = build_testbed(n_storage=4, topology="leafspine", uplink_gbps=100.0)
+        install_spin_targets(tb)
+        c = DfsClient(tb)
+        from repro.dfs.layout import ReplicationSpec
+
+        lay = c.create("/f", size=128 * KiB, replication=ReplicationSpec(k=3))
+        data = payload_bytes(100 * KiB)
+        out = c.write_sync("/f", data, protocol="spin")
+        assert out.ok
+        for e in lay.extents:
+            assert np.array_equal(tb.node(e.node).memory.view(e.addr, data.nbytes), data)
+        return out.latency_ns
+
+    lat = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert lat > 0

@@ -1,0 +1,18 @@
+"""Fig. 4 — worst-case NIC memory vs concurrent writes (Little's law)."""
+
+from repro.experiments import fig04_nic_memory as exp
+from repro.analysis import littles_law
+from repro.params import SimParams
+
+
+def test_fig04_nic_memory(benchmark, experiment_runner):
+    rows = experiment_runner(exp)
+    assert rows
+
+    params = SimParams()
+
+    def point():
+        return littles_law.concurrent_writes(2048, params)
+
+    result = benchmark(point)
+    assert result > 0

@@ -1,0 +1,16 @@
+"""Fig. 6 — write latency with request authentication, all protocols."""
+
+from repro.experiments import fig06_auth_latency as exp
+from repro.experiments.common import KiB, measure_latency
+
+
+def test_fig06_auth_latency(benchmark, experiment_runner):
+    rows = experiment_runner(exp)
+    assert len(rows) >= 4
+
+    # representative point: a 16 KiB sPIN-validated write simulation
+    def point():
+        return measure_latency("spin", 16 * KiB, repeats=1)
+
+    lat = benchmark(point)
+    assert lat > 0

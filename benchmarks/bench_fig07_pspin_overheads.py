@@ -1,0 +1,14 @@
+"""Fig. 7 — PsPIN per-packet processing overhead breakdown."""
+
+from repro.experiments import fig07_pspin_overheads as exp
+
+
+def test_fig07_pspin_overheads(benchmark, experiment_runner):
+    rows = experiment_runner(exp)
+    by = {r["stage"]: r["ns"] for r in rows}
+    assert by["pkt-buffer-copy"] == 32.0  # Fig. 7 exact values
+    assert by["scheduler"] == 2.0
+    assert by["l1-copy"] == 43.0
+
+    lat = benchmark(exp._measure_pipeline, exp.SimParams())
+    assert lat > 0

@@ -1,0 +1,15 @@
+"""Fig. 9 right — single-node goodput per write size and strategy."""
+
+from repro.experiments import fig09_goodput as exp
+
+
+def test_fig09_goodput(benchmark, experiment_runner):
+    rows = experiment_runner(exp)
+    ring = {r["size"]: r["spin-ring"] for r in rows}
+    assert max(ring.values()) > 300  # near line rate at large writes
+
+    def point():
+        return exp._goodput("ring", 64 * 1024, None, n_ops=12, window=8)
+
+    g = benchmark(point)
+    assert g > 0

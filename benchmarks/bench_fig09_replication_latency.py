@@ -1,0 +1,19 @@
+"""Fig. 9 left/center — replicated-write latency, six strategies, k=2/4."""
+
+from repro.dfs.layout import ReplicationSpec
+from repro.experiments import fig09_replication_latency as exp
+from repro.experiments.common import KiB, measure_latency
+
+
+def test_fig09_replication_latency(benchmark, experiment_runner):
+    rows = experiment_runner(exp)
+    assert {r["k"] for r in rows} == {2, 4}
+
+    def point():
+        return measure_latency(
+            "spin", 64 * KiB,
+            replication=ReplicationSpec(k=4, strategy="ring"), repeats=1,
+        )
+
+    lat = benchmark(point)
+    assert lat > 0

@@ -1,0 +1,18 @@
+"""Fig. 10 — write latency vs replication factor (4 KiB / 512 KiB)."""
+
+from repro.dfs.layout import ReplicationSpec
+from repro.experiments import fig10_replication_factor as exp
+from repro.experiments.common import KiB, measure_latency
+
+
+def test_fig10_replication_factor(benchmark, experiment_runner):
+    rows = experiment_runner(exp)
+    assert {r["size"] for r in rows} == {4 * KiB, 512 * KiB}
+
+    def point():
+        return measure_latency(
+            "rdma-flat", 4 * KiB, replication=ReplicationSpec(k=4), repeats=1
+        )
+
+    lat = benchmark(point)
+    assert lat > 0

@@ -1,0 +1,18 @@
+"""Fig. 11 / Table I — replication handler runtimes and IPC."""
+
+from repro.experiments import fig11_table1_handler_stats as exp
+
+
+def test_fig11_table1_handler_stats(benchmark, experiment_runner):
+    rows = experiment_runner(exp)
+    by = {r["type"]: r for r in rows}
+    # Table I instruction counts are exact
+    assert abs(by["k=1"]["PH_instr"] - 55) < 1
+    assert abs(by["k=4,Ring"]["PH_instr"] - 105) < 1
+    assert abs(by["k=4,PBT"]["PH_instr"] - 130) < 1
+
+    def point():
+        return exp.run(quick=True)[0]["HH_ns"]
+
+    hh = benchmark.pedantic(point, rounds=1, iterations=1)
+    assert hh > 0

@@ -1,0 +1,18 @@
+"""Fig. 15 right — encoding bandwidth: sPIN-TriEC vs INEC-TriEC."""
+
+from repro.experiments import fig15_ec_bandwidth as exp
+from repro.params import SimParams
+
+
+def test_fig15_ec_bandwidth(benchmark, experiment_runner):
+    rows = experiment_runner(exp)
+    small = [r for r in rows if r["size"] == 1024]
+    assert all(r["ratio"] > 4.0 for r in small)
+
+    p100 = SimParams().scaled_network(100.0)
+
+    def point():
+        return exp._bandwidth("spin", 8 * 1024, 3, 2, p100, n_ops=8, window=8)
+
+    bw = benchmark.pedantic(point, rounds=1, iterations=1)
+    assert bw > 0

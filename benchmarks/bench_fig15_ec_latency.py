@@ -1,0 +1,20 @@
+"""Fig. 15 left — encoding latency: sPIN-TriEC vs INEC-TriEC (100 Gbit/s)."""
+
+from repro.dfs.layout import EcSpec
+from repro.experiments import fig15_ec_latency as exp
+from repro.experiments.common import KiB, measure_latency
+from repro.params import SimParams
+
+
+def test_fig15_ec_latency(benchmark, experiment_runner):
+    rows = experiment_runner(exp)
+    # the streaming advantage peaks at large blocks (paper: up to 2x)
+    assert max(r["speedup"] for r in rows) > 1.6
+
+    p100 = SimParams().scaled_network(100.0)
+
+    def point():
+        return measure_latency("spin", 64 * KiB, params=p100, ec=EcSpec(3, 2), repeats=1)
+
+    lat = benchmark(point)
+    assert lat > 0

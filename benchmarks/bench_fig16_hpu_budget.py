@@ -1,0 +1,16 @@
+"""Fig. 16 right — HPUs needed vs handler duration (analytic)."""
+
+from repro.analysis import budget
+from repro.experiments import fig16_hpu_budget as exp
+
+
+def test_fig16_hpu_budget(benchmark, experiment_runner):
+    rows = experiment_runner(exp)
+    rs63 = next(r for r in rows if r["handler_ns"] == 23018)
+    assert 450 <= rs63["hpus_400g"] <= 640  # paper reads off ~512
+
+    def point():
+        return budget.hpus_needed(400.0, 2048, 23018)
+
+    n = benchmark(point)
+    assert n == rs63["hpus_400g"]

@@ -1,0 +1,17 @@
+"""Fig. 16 left / Table II — EC handler runtimes, instructions, IPC."""
+
+from repro.experiments import fig16_table2_ec_handlers as exp
+
+
+def test_fig16_table2_ec_handlers(benchmark, experiment_runner):
+    rows = experiment_runner(exp)
+    by = {r["scheme"]: r for r in rows}
+    # 5 instr/byte (RS(3,2)) and 7 instr/byte (RS(6,3)) on 2 KiB payloads
+    assert 11300 <= by["RS(3,2)"]["PH_instr"] <= 12050
+    assert 15550 <= by["RS(6,3)"]["PH_instr"] <= 16500
+
+    def point():
+        return exp.run(quick=True)[0]["PH_ns"]
+
+    ph = benchmark.pedantic(point, rounds=1, iterations=1)
+    assert ph > 0

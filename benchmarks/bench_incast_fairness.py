@@ -1,0 +1,78 @@
+"""Incast: many clients hammering one network-accelerated storage node.
+
+The paper's scalability story (§III-B2) is about state, not bandwidth:
+handlers are persistent and per-request state is 77 B, so a storage node
+can absorb many concurrent writers.  This bench drives N clients at one
+sPIN-enabled node and checks that (1) aggregate goodput stays pinned at
+the achievable line rate — the accelerator never becomes the bottleneck
+— and (2) the switch's output queueing shares that rate fairly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dfs.client import DfsClient
+from repro.dfs.cluster import build_testbed
+from repro.protocols import install_spin_targets
+from repro.workloads import measure_goodput, payload_bytes
+
+KiB = 1024
+SIZE = 64 * KiB
+OPS_PER_CLIENT = 12
+
+
+def _run(n_clients: int):
+    tb = build_testbed(n_storage=2, n_clients=n_clients)
+    install_spin_targets(tb)
+    clients = [DfsClient(tb, i, f"c{i}") for i in range(n_clients)]
+    # all objects on the same primary: sn0 takes all the ingress
+    paths = []
+    attempt = 0
+    for i, c in enumerate(clients):
+        while True:
+            path = f"/f{i}-{attempt}"
+            attempt += 1
+            lay = c.create(path, size=SIZE)
+            if lay.primary.node == "sn0":
+                paths.append((c, path))
+                break
+    data = payload_bytes(SIZE)
+    sim = tb.sim
+    t0 = sim.now
+    per_client_done = []
+    events = []
+    for c, path in paths:
+        evs = [c.write(path, data, protocol="spin") for _ in range(OPS_PER_CLIENT)]
+        events.append(evs)
+    finish_times = []
+    for evs in events:
+        for ev in evs:
+            out = sim.run_until_event(ev)
+            assert out.ok
+        finish_times.append(sim.now)
+    elapsed = sim.now - t0
+    total_bytes = n_clients * OPS_PER_CLIENT * SIZE
+    agg_gbps = total_bytes * 8.0 / elapsed
+    return agg_gbps, finish_times
+
+
+def test_incast_aggregate_and_fairness(benchmark, capsys):
+    results = {n: _run(n) for n in (1, 2, 4)}
+    with capsys.disabled():
+        print("\nincast at one sPIN storage node (64 KiB writes):")
+        for n, (gbps, _) in results.items():
+            print(f"  {n} client(s): aggregate {gbps:6.1f} Gbit/s")
+    g1 = results[1][0]
+    g4 = results[4][0]
+    # more clients raise utilisation until the wire saturates
+    assert g4 > g1
+    line = 400.0 * 2048 / 2112
+    assert g4 <= line * 1.02, "aggregate cannot exceed the achievable line rate"
+    assert g4 > 0.6 * line, "4 concurrent clients should approach line rate"
+    # fairness: with 4 clients the finishing times bunch together
+    _, times4 = results[4]
+    spread = (max(times4) - min(times4)) / max(times4)
+    assert spread < 0.5, f"one client starved (finish-time spread {spread:.2f})"
+
+    g = benchmark.pedantic(lambda: _run(2)[0], rounds=1, iterations=1)
+    assert g > 0

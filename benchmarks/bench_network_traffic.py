@@ -1,0 +1,59 @@
+"""Network-traffic accounting: who injects the bytes per strategy?
+
+The replication section's core economics (§V-B): with RDMA-Flat the
+*client* injects k copies (its NIC is the bottleneck and latency grows
+linearly in k); with sPIN the client injects once and the storage-node
+NICs fan the data out.  Total fabric traffic is ~k·S either way — the
+strategies differ in *where* it originates.  This bench measures
+per-port TX bytes and checks that split.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dfs.client import DfsClient
+from repro.dfs.cluster import build_testbed
+from repro.dfs.layout import ReplicationSpec
+from repro.protocols import install_spin_targets
+from repro.workloads import payload_bytes
+
+KiB = 1024
+SIZE = 256 * KiB
+K = 4
+
+
+def _traffic(protocol: str):
+    tb = build_testbed(n_storage=8)
+    if protocol == "spin":
+        install_spin_targets(tb)  # rdma-flat bypasses policies (§V-B)
+    c = DfsClient(tb)
+    lay = c.create("/f", size=SIZE, replication=ReplicationSpec(k=K, strategy="ring"))
+    out = c.write_sync("/f", payload_bytes(SIZE), protocol=protocol)
+    assert out.ok
+    tb.run(until=tb.sim.now + 300_000)
+    client_tx = c.node.nic.port.tx_bytes
+    storage_tx = sum(n.nic.port.tx_bytes for n in tb.storage_nodes)
+    return client_tx, storage_tx, out.latency_ns
+
+
+def test_traffic_split_by_strategy(benchmark, capsys):
+    flat_c, flat_s, flat_lat = _traffic("rdma-flat")
+    spin_c, spin_s, spin_lat = _traffic("spin")
+    with capsys.disabled():
+        print(f"\n{SIZE // KiB} KiB write, k={K} (bytes on the wire):")
+        print(f"  rdma-flat: client tx {flat_c:9d}  storage tx {flat_s:9d}  lat {flat_lat:8.0f} ns")
+        print(f"  spin-ring: client tx {spin_c:9d}  storage tx {spin_s:9d}  lat {spin_lat:8.0f} ns")
+    # the client injects ~k copies under flat, ~1 under sPIN
+    assert flat_c > (K - 0.5) * SIZE
+    assert SIZE <= spin_c < 1.2 * SIZE
+    # under sPIN the fan-out happens at the storage NICs instead
+    assert spin_s > (K - 1.5) * SIZE
+    # total fabric traffic is ~k*S either way (+acks/headers)
+    total_flat = flat_c + flat_s
+    total_spin = spin_c + spin_s
+    assert total_spin == pytest.approx(total_flat, rel=0.2)
+    # which is exactly why sPIN wins at this size
+    assert spin_lat < flat_lat
+
+    res = benchmark.pedantic(lambda: _traffic("spin")[2], rounds=1, iterations=1)
+    assert res > 0

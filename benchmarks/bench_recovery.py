@@ -1,0 +1,84 @@
+"""Recovery-path benchmarks: degraded reads and chunk rebuild.
+
+Not a paper figure (decode is explicitly off the write path, §VI-B) but
+the natural companion: how fast can a failed node's chunks be rebuilt,
+and what does a degraded read cost versus a healthy one?
+"""
+
+import numpy as np
+import pytest
+
+from repro.dfs.client import DfsClient
+from repro.dfs.cluster import build_testbed
+from repro.dfs.layout import EcSpec
+from repro.protocols import degraded_read, install_spin_targets, rebuild_object
+from repro.workloads import payload_bytes
+
+KiB = 1024
+
+
+def _setup(size, k, m):
+    tb = build_testbed(n_storage=k + m + 4)
+    install_spin_targets(tb)
+    c = DfsClient(tb)
+    lay = c.create("/obj", size=size, ec=EcSpec(k=k, m=m))
+    data = payload_bytes(size)
+    assert c.write_sync("/obj", data, protocol="spin").ok
+    tb.run(until=tb.sim.now + 300_000)
+    return tb, c, lay, data
+
+
+def test_rebuild_throughput_by_scheme(benchmark, capsys):
+    rows = {}
+    for k, m in [(3, 2), (6, 3)]:
+        tb, c, lay, data = _setup(240 * KiB, k, m)
+        failed = {lay.extents[0].node}
+        tb.node(lay.extents[0].node).fail()
+        report = tb.run_until(rebuild_object(tb, "/obj", failed))
+        tb.run(until=tb.sim.now + 300_000)
+        assert np.array_equal(c.read_back("/obj"), data)
+        rows[(k, m)] = report
+    with capsys.disabled():
+        print("\nrebuild of one lost chunk (240 KiB object):")
+        for (k, m), r in rows.items():
+            print(f"  RS({k},{m}): read {r.bytes_read}B, rebuilt {r.bytes_rebuilt}B "
+                  f"in {r.duration_ns:.0f} ns ({r.rebuild_gbps():.1f} Gbit/s)")
+    # RS(6,3) reads more (k chunks) but each is smaller; both must read
+    # exactly k x chunk and rebuild exactly one chunk
+    for (k, m), r in rows.items():
+        chunk = -(-240 * KiB // k)
+        assert r.bytes_read == k * chunk
+        assert r.bytes_rebuilt == chunk
+
+    def point():
+        tb, c, lay, data = _setup(120 * KiB, 3, 2)
+        failed = {lay.extents[0].node}
+        tb.node(lay.extents[0].node).fail()
+        return tb.run_until(rebuild_object(tb, "/obj", failed)).duration_ns
+
+    lat = benchmark.pedantic(point, rounds=1, iterations=1)
+    assert lat > 0
+
+
+def test_degraded_read_cost(benchmark, capsys):
+    tb, c, lay, data = _setup(240 * KiB, 4, 2)
+    healthy = c.read_sync("/obj", length=lay.size, protocol="raw").latency_ns
+    failed = {lay.extents[1].node}
+    tb.node(lay.extents[1].node).fail()
+    d, degraded = tb.run_until(degraded_read(tb, "/obj", failed))
+    assert np.array_equal(d, data)
+    with capsys.disabled():
+        print(f"\nhealthy read {healthy:.0f} ns vs degraded read {degraded:.0f} ns "
+              f"({degraded / healthy:.2f}x)")
+    assert degraded > healthy
+    assert degraded < 10 * healthy  # bounded penalty
+
+    def point():
+        tb2, c2, lay2, data2 = _setup(60 * KiB, 3, 2)
+        f = {lay2.extents[0].node}
+        tb2.node(lay2.extents[0].node).fail()
+        _, lat = tb2.run_until(degraded_read(tb2, "/obj", f))
+        return lat
+
+    lat = benchmark.pedantic(point, rounds=1, iterations=1)
+    assert lat > 0

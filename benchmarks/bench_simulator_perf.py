@@ -1,0 +1,72 @@
+"""Meta-benchmark: how fast is the simulator itself?
+
+These are the only benches measuring *wall-clock* of the library rather
+than simulated nanoseconds: kernel event throughput, packets simulated
+per second through the full NIC/accelerator stack, and GF(2^8) encode
+throughput of the numpy-vectorized codec.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ec import RSCode
+from repro.simnet import Simulator
+
+
+def test_kernel_event_throughput(benchmark):
+    """Timeout-schedule-dispatch cycles per second."""
+
+    def run():
+        sim = Simulator()
+
+        def ping(n):
+            for _ in range(n):
+                yield sim.timeout(1.0)
+
+        for _ in range(10):
+            sim.process(ping(200))
+        sim.run()
+        return sim.now
+
+    t = benchmark(run)
+    assert t == 200.0
+
+
+def test_packet_pipeline_throughput(benchmark):
+    """Full-stack simulated packets per wall-second (64 KiB spin write)."""
+    from repro.dfs.client import DfsClient
+    from repro.dfs.cluster import build_testbed
+    from repro.protocols import install_spin_targets
+
+    def run():
+        tb = build_testbed(n_storage=2)
+        install_spin_targets(tb)
+        c = DfsClient(tb)
+        c.create("/f", size=64 * 1024)
+        out = c.write_sync("/f", np.zeros(64 * 1024, np.uint8), protocol="spin")
+        assert out.ok
+        return out.latency_ns
+
+    lat = benchmark(run)
+    assert lat > 0
+
+
+def test_rs_encode_throughput(benchmark):
+    """Vectorized RS(6,3) encode bytes per wall-second."""
+    rs = RSCode(6, 3)
+    data = np.random.default_rng(0).integers(0, 256, 6 * 64 * 1024, dtype=np.uint8)
+    chunks = rs.split(data)
+
+    enc = benchmark(rs.encode, chunks)
+    assert len(enc) == 9
+
+
+def test_gf_matmul_throughput(benchmark):
+    from repro.ec import gf_matmul
+
+    rng = np.random.default_rng(1)
+    a = rng.integers(0, 256, (16, 16), dtype=np.uint8)
+    b = rng.integers(0, 256, (16, 4096), dtype=np.uint8)
+
+    out = benchmark(gf_matmul, a, b)
+    assert out.shape == (16, 4096)

@@ -1,0 +1,58 @@
+"""Storage efficiency: replication vs erasure coding (§VI motivation).
+
+"The main disadvantage of replication is the storage cost, which is
+linear in the replication factor."  This bench measures actual bytes
+committed to storage targets per user byte for k-way replication and
+RS(k,m), and the latency each pays for equivalent failure tolerance
+(surviving f node losses: replication needs k = f+1 copies; RS needs
+m = f parity chunks).
+"""
+
+import numpy as np
+import pytest
+
+from repro.dfs.client import DfsClient
+from repro.dfs.cluster import build_testbed
+from repro.dfs.layout import EcSpec, ReplicationSpec
+from repro.protocols import install_spin_targets
+from repro.workloads import payload_bytes
+
+KiB = 1024
+SIZE = 192 * KiB
+
+
+def _run(replication=None, ec=None):
+    tb = build_testbed(n_storage=12)
+    install_spin_targets(tb)
+    c = DfsClient(tb)
+    c.create("/f", size=SIZE, replication=replication, ec=ec)
+    out = c.write_sync("/f", payload_bytes(SIZE), protocol="spin")
+    assert out.ok
+    tb.run(until=tb.sim.now + 300_000)
+    stored = sum(n.memory.bytes_written for n in tb.storage_nodes)
+    return stored / SIZE, out.latency_ns
+
+
+def test_storage_efficiency_vs_failure_tolerance(benchmark, capsys):
+    rows = {
+        "replication k=3 (f=2)": _run(replication=ReplicationSpec(k=3)),
+        "RS(4,2)        (f=2)": _run(ec=EcSpec(k=4, m=2)),
+        "replication k=4 (f=3)": _run(replication=ReplicationSpec(k=4)),
+        "RS(6,3)        (f=3)": _run(ec=EcSpec(k=6, m=3)),
+    }
+    with capsys.disabled():
+        print(f"\nstorage amplification for {SIZE // KiB} KiB objects:")
+        for name, (amp, lat) in rows.items():
+            print(f"  {name}: {amp:.2f}x bytes stored, write latency {lat:9.0f} ns")
+    # replication amplification is exactly k; EC is (k+m)/k
+    assert rows["replication k=3 (f=2)"][0] == pytest.approx(3.0, abs=0.01)
+    assert rows["RS(4,2)        (f=2)"][0] == pytest.approx(1.5, abs=0.01)
+    assert rows["replication k=4 (f=3)"][0] == pytest.approx(4.0, abs=0.01)
+    assert rows["RS(6,3)        (f=3)"][0] == pytest.approx(1.5, abs=0.01)
+    # at equal tolerance, EC stores >= 2x less
+    assert rows["replication k=3 (f=2)"][0] / rows["RS(4,2)        (f=2)"][0] >= 2.0
+    # ...but pays more write latency (per-byte encode on the datapath)
+    assert rows["RS(4,2)        (f=2)"][1] > rows["replication k=3 (f=2)"][1]
+
+    amp = benchmark.pedantic(lambda: _run(ec=EcSpec(k=4, m=2))[0], rounds=1, iterations=1)
+    assert amp == pytest.approx(1.5, abs=0.01)

@@ -1,0 +1,12 @@
+"""Table III — DFS characteristics survey."""
+
+from repro.analysis.survey import render_table
+from repro.experiments import table3_survey as exp
+
+
+def test_table3_dfs_survey(benchmark, experiment_runner):
+    rows = experiment_runner(exp)
+    assert len(rows) == 14
+
+    table = benchmark(render_table)
+    assert "Lustre" in table and "Ceph" in table

@@ -1,0 +1,28 @@
+"""Shared benchmark fixtures.
+
+Every bench follows the same pattern: run the experiment's full sweep
+once (printing the paper-style table and running the shape checks), and
+hand pytest-benchmark a representative single point so timing is cheap
+and stable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def experiment_runner(capsys):
+    """Run an experiment module end to end, print its table, check its
+    shapes, and return the rows."""
+
+    def _run(mod, quick: bool = True, check: bool = True):
+        rows = mod.run(quick=quick)
+        with capsys.disabled():
+            print()
+            print(mod.render(rows))
+        if check:
+            mod.check(rows)
+        return rows
+
+    return _run

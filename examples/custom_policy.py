@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Writing your own NIC-offloaded policy (the user-level principle, §II-B).
+
+The paper's third design principle is that *user-level* applications can
+install custom policies without admin rights — the whole point of the
+sPIN execution-context model over eBPF/DPDK.  This example shows what a
+downstream user writes: a **T10-DIF-style integrity policy** that
+checksums every payload packet on the NIC while storing it, keeps a
+per-request digest in NIC state, and hands the final digest to the host
+event queue at completion — so the DFS can later audit stored data
+without re-reading it through the CPU.
+
+Everything here uses only public library surface:
+
+* subclass :class:`repro.core.handlers.DfsPolicy`;
+* override cost hooks (charge your handler's instructions) and the
+  ``DFS_request_*`` bodies;
+* install with ``StorageNode.install_pspin``.
+
+Run:  python examples/custom_policy.py
+"""
+
+import zlib
+
+import numpy as np
+
+from repro import DfsClient, build_testbed
+from repro.core.handlers import DfsPolicy
+from repro.pspin.isa import HandlerCost
+
+
+class ChecksumWritePolicy(DfsPolicy):
+    """Authenticated write + on-NIC rolling CRC32 per request."""
+
+    name = "auth-write-crc"
+
+    #: the CRC loop costs ~1 instruction/byte on the HPU (table-driven)
+    CRC_INSTR_PER_BYTE = 1
+
+    def payload_cost(self, task, entry, pkt) -> HandlerCost:
+        base = super().payload_cost(task, entry, pkt)
+        return HandlerCost(
+            instructions=base.instructions + self.CRC_INSTR_PER_BYTE * pkt.payload_bytes,
+            cpi=1.45,
+            mem_intensive=True,
+        )
+
+    def on_header(self, api, task, entry, pkt) -> None:
+        super().on_header(api, task, entry, pkt)
+        entry.scratch["crc"] = 0
+        entry.scratch["bytes"] = 0
+
+    def process_pkt(self, api, task, entry, pkt):
+        if pkt.payload is not None:
+            # functional effect: fold this packet into the digest.
+            # (packets of one request may be handled out of order across
+            # HPUs; CRC32 folding here is per-packet XOR of packet CRCs,
+            # which is order-independent)
+            pkt_crc = zlib.crc32(pkt.payload.tobytes())
+            entry.scratch["crc"] ^= pkt_crc
+            entry.scratch["bytes"] += pkt.payload_bytes
+        yield from super().process_pkt(api, task, entry, pkt)
+
+    def request_fini(self, api, task, entry, pkt):
+        # publish the digest to the DFS software before acking
+        task.mem.post_host_event(
+            {
+                "type": "write_digest",
+                "greq_id": entry.greq_id,
+                "crc": entry.scratch["crc"],
+                "bytes": entry.scratch["bytes"],
+                "t": api.now,
+            }
+        )
+        yield from super().request_fini(api, task, entry, pkt)
+
+
+def expected_digest(data: np.ndarray, header_bytes: int, mtu: int = 2048) -> int:
+    """What the NIC should report: XOR of per-packet CRC32s."""
+    crc = 0
+    off = 0
+    first = mtu - header_bytes
+    take = min(first, data.nbytes)
+    while off < data.nbytes:
+        crc ^= zlib.crc32(data[off : off + take].tobytes())
+        off += take
+        take = min(mtu, data.nbytes - off)
+    return crc
+
+
+def main() -> None:
+    testbed = build_testbed(n_storage=2)
+    # install the *custom* policy instead of the stock dispatch policy
+    for node in testbed.storage_nodes:
+        node.install_pspin(ChecksumWritePolicy(), authority=testbed.authority)
+
+    client = DfsClient(testbed, principal="auditor")
+    layout = client.create("/audited/object", size=256 * 1024)
+    data = np.random.default_rng(99).integers(0, 256, 200 * 1024, dtype=np.uint8)
+    outcome = client.write_sync("/audited/object", data, protocol="spin")
+    print(f"write ok={outcome.ok} latency={outcome.latency_ns:.0f} ns "
+          f"(CRC adds ~1 instr/byte on the payload handlers)")
+
+    node = testbed.node(layout.primary.node)
+    events = [e for e in node.dfs_state.drain_host_events() if e["type"] == "write_digest"]
+    (digest,) = events
+    print(f"NIC-computed digest: crc={digest['crc']:#010x} over {digest['bytes']} bytes")
+
+    # the host can audit without touching the data path
+    from repro.core.request import DfsHeader, WriteRequestHeader, request_header_bytes
+
+    hdr_bytes = request_header_bytes(
+        DfsHeader(0, "write", client.client_id, client.ticket("/audited/object")),
+        WriteRequestHeader(addr=layout.primary.addr),
+    )
+    want = expected_digest(data, hdr_bytes)
+    assert digest["crc"] == want and digest["bytes"] == data.nbytes
+    print(f"host-side audit agrees:  crc={want:#010x} — integrity verified")
+
+    stored = client.read_back("/audited/object")
+    assert np.array_equal(stored[: data.nbytes], data)
+    print("stored bytes match too; custom policy cost only handler cycles")
+
+
+if __name__ == "__main__":
+    main()

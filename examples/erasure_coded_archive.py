@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Erasure-coded cold storage with streaming on-NIC encoding (§VI).
+
+An archive tier stores objects RS(6,3): 6 data chunks + 3 parity chunks
+across 9 storage nodes — 1.5x storage overhead instead of the 4x a
+4-way-replicated tier would pay, while still surviving any 3 node
+failures.
+
+With sPIN-TriEC, data nodes encode intermediate parities *per packet*
+as the write streams through their NICs (Fig. 13 right); parity nodes
+fold the k contributions into pooled accumulators and commit the final
+parity.  The example then fails 3 nodes and decodes the object from the
+survivors.
+
+Run:  python examples/erasure_coded_archive.py
+"""
+
+import numpy as np
+
+from repro import DfsClient, EcSpec, build_testbed, install_spin_targets
+
+OBJECT_BYTES = 768 * 1024
+K, M = 6, 3
+
+
+def main() -> None:
+    testbed = build_testbed(n_storage=12)
+    install_spin_targets(testbed)
+    client = DfsClient(testbed, principal="archiver")
+
+    layout = client.create("/archive/block-0007", size=OBJECT_BYTES, ec=EcSpec(k=K, m=M))
+    print(f"RS({K},{M}): data on {[e.node for e in layout.extents]}, "
+          f"parity on {[e.node for e in layout.parity_extents]}")
+    print(f"storage overhead: {M / K:.2f}x (vs {K - 1}x for {K}-way replication)\n")
+
+    payload = np.random.default_rng(3).integers(0, 256, OBJECT_BYTES, dtype=np.uint8)
+    outcome = client.write_sync("/archive/block-0007", payload, protocol="spin")
+    print(f"encoded write: ok={outcome.ok} latency={outcome.latency_ns:.0f} ns "
+          f"({outcome.goodput_gbps():.1f} Gbit/s of user data)")
+
+    # --- disaster strikes: m = 3 storage nodes burn down -------------
+    casualties = {
+        layout.extents[1].node,       # a data node
+        layout.extents[4].node,       # another data node
+        layout.parity_extents[0].node,  # and a parity node
+    }
+    for name in casualties:
+        testbed.node(name).fail()
+    print(f"\nfailed nodes: {sorted(casualties)}")
+
+    # --- degraded read: serve the object while nodes are down --------
+    from repro.protocols import degraded_read, rebuild_object
+
+    data, lat = testbed.run_until(degraded_read(testbed, "/archive/block-0007", casualties))
+    assert np.array_equal(data, payload)
+    print(f"degraded read served in {lat:.0f} ns (k surviving chunks + decode)")
+
+    # one more failure would exceed m = 3: decode must refuse
+    from repro.ec import DecodeError
+
+    try:
+        degraded_read(testbed, "/archive/block-0007",
+                      casualties | {layout.extents[0].node})
+    except DecodeError as e:
+        print(f"a 4th failure would be unrecoverable: {e}")
+
+    # --- offline recovery (§VI-B: decode off the write path): a healthy
+    # storage node reads k chunks, decodes, and re-places the lost ones
+    report = testbed.run_until(rebuild_object(testbed, "/archive/block-0007", casualties))
+    testbed.run(until=testbed.sim.now + 200_000)
+    print(f"rebuilt {report.bytes_rebuilt} B onto "
+          f"{[e.node for e in report.rebuilt_extents]} in {report.duration_ns:.0f} ns "
+          f"({report.rebuild_gbps():.1f} Gbit/s)")
+    recovered = client.read_back("/archive/block-0007")
+    assert np.array_equal(recovered, payload)
+    print("object decoded bit-exactly; placement fully healthy again")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Failure handling: client death mid-write and the cleanup handler (§VII).
+
+A client starts a large write and crashes after injecting only part of
+it.  The storage node's NIC now holds dangling state: a request-table
+entry (77 B) and an open message run waiting for packets that will never
+come.  PsPIN's cleanup-handler extension fires after the inactivity
+timeout, frees the NIC state, and posts a ``write_interrupted`` event to
+the DFS software on the host, which can then involve the management
+service.
+
+Run:  python examples/failure_cleanup.py
+"""
+
+import numpy as np
+
+from repro import build_testbed, install_spin_targets, DfsClient
+from repro.core.request import WriteRequestHeader, request_header_bytes
+from repro.rdma.nic import fresh_greq_id
+from repro.simnet.packet import Message, segment_message
+
+
+def main() -> None:
+    testbed = build_testbed(n_storage=2)
+    install_spin_targets(testbed)
+    client = DfsClient(testbed, principal="flaky-app")
+    layout = client.create("/scratch/tmp.bin", size=1 << 20)
+    node = testbed.node(layout.primary.node)
+
+    # Hand-craft a partial write: send only the first 3 of 32 packets,
+    # then "crash" (stop transmitting).
+    data = np.zeros(64 * 1024, dtype=np.uint8)
+    greq = fresh_greq_id()
+    wrh = WriteRequestHeader(addr=layout.primary.addr)
+    from repro.protocols.base import WriteContext
+
+    ctx = WriteContext(client.node, client.client_id, client.ticket("/scratch/tmp.bin"))
+    dfs = ctx.dfs_header(greq)
+    msg = Message(
+        src=client.node.name,
+        dst=layout.primary.node,
+        op="write",
+        data=data,
+        headers={"dfs": dfs, "wrh": wrh, "write_len": data.nbytes},
+        header_bytes=request_header_bytes(dfs, wrh),
+    )
+    packets = segment_message(msg, testbed.params.net.mtu)
+    for pkt in packets[:3]:
+        client.node.nic.port.send(pkt)
+    print(f"client injected {3}/{len(packets)} packets, then crashed")
+
+    # Let the simulation idle past the cleanup timeout (1 ms default).
+    testbed.run(until=testbed.sim.now + 3 * testbed.params.pspin.cleanup_timeout_ns)
+
+    state = node.dfs_state
+    print(f"requests started:   {state.requests_started}")
+    print(f"requests cleaned:   {state.requests_cleaned}")
+    print(f"req_table entries:  {len(state.req_table)} (dangling state reclaimed)")
+    events = state.drain_host_events()
+    interrupted = [e for e in events if e["type"] == "write_interrupted"]
+    print(f"host events:        {interrupted}")
+    assert state.requests_cleaned == 1 and not state.req_table and interrupted
+
+    # The NIC is immediately ready for healthy traffic again.
+    out = client.write_sync("/scratch/tmp.bin", data, protocol="spin")
+    print(f"\nsubsequent healthy write: ok={out.ok} latency={out.latency_ns:.0f} ns")
+
+
+if __name__ == "__main__":
+    main()

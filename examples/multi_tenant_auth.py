@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Tenant isolation through on-NIC request authentication (§IV).
+
+Two tenants share the storage cluster.  Capabilities are HMAC-signed by
+the DFS services; the storage NIC's header handler verifies every write
+request before any payload reaches the target.  A misbehaving client —
+forged signature, stolen ticket for the wrong range, or no ticket at
+all — is NACK'd on the first packet and its payload packets are dropped
+on the NIC (Listing 1's accept bit), never touching host memory.
+
+Run:  python examples/multi_tenant_auth.py
+"""
+
+import numpy as np
+
+from repro import DfsClient, build_testbed, install_spin_targets
+
+
+def main() -> None:
+    testbed = build_testbed(n_storage=4, n_clients=2)
+    install_spin_targets(testbed)
+
+    alice = DfsClient(testbed, client_index=0, principal="alice")
+    eve = DfsClient(testbed, client_index=1, principal="eve")
+
+    layout = alice.create("/tenants/alice/db.bin", size=1 << 20)
+    secret = np.full(32 * 1024, 0xAA, dtype=np.uint8)
+    ok = alice.write_sync("/tenants/alice/db.bin", secret, protocol="spin")
+    print(f"alice writes her object:        ok={ok.ok}")
+
+    # --- eve tries to overwrite alice's object ------------------------
+    eve_layout = eve.open("/tenants/alice/db.bin")  # layouts are public metadata
+    evil = np.full(32 * 1024, 0xEE, dtype=np.uint8)
+
+    # 1. with a forged capability (bit-flipped signature)
+    forged = eve.forge_ticket("/tenants/alice/db.bin")
+    res = eve.write_sync("/tenants/alice/db.bin", evil, protocol="spin", capability=forged)
+    print(f"eve with forged signature:      ok={res.ok}  nack={res.nacks[0]['reason']}")
+
+    # 2. with no capability at all
+    res2 = eve.write_sync(
+        "/tenants/alice/db.bin", evil, protocol="spin",
+        capability=None if eve._tickets.pop("/tenants/alice/db.bin", None) else None,
+    )
+    print(f"eve with no ticket:             ok={res2.ok}  nack={res2.nacks[0]['reason']}")
+
+    # --- the data plane enforced isolation ----------------------------
+    stored = testbed.node(layout.primary.node).memory.view(layout.primary.addr, secret.nbytes)
+    assert np.array_equal(stored, secret), "tenant data was corrupted!"
+    print("\nalice's bytes are intact: the NIC dropped every rejected payload")
+
+    node = testbed.node(layout.primary.node)
+    print(f"storage node {node.name}: "
+          f"{node.dfs_state.requests_rejected_auth} request(s) rejected on the NIC, "
+          f"{node.accelerator.nacks_sent} NACK(s) sent")
+    events = [e for e in node.dfs_state.drain_host_events() if e["type"] == "auth_reject"]
+    print(f"host event queue delivered {len(events)} auth-reject event(s) to the DFS software")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: an authenticated write through a SmartNIC-offloaded DFS.
+
+Builds a small simulated cluster (one switch, four storage nodes with
+PsPIN-enabled NICs, one client), creates an object, and issues a single
+RDMA write whose request is validated *on the NIC* (§IV of the paper) —
+no storage-node CPU involvement, no extra validation round trip.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import DfsClient, ReplicationSpec, build_testbed, install_spin_targets
+
+
+def main() -> None:
+    # 1. Build the testbed: 400 Gbit/s network, MTU 2048 B (§III-D).
+    testbed = build_testbed(n_storage=4)
+    install_spin_targets(testbed)  # DFS execution contexts on every NIC
+
+    # 2. A client authenticates, creates an object, gets a capability.
+    client = DfsClient(testbed, principal="alice")
+    layout = client.create("/data/results.bin", size=1 << 20)
+    print(f"object placed on {layout.primary.node} @ {layout.primary.addr:#x}")
+
+    # 3. Write 64 KiB.  The capability rides in the request header; the
+    #    storage NIC's header handler validates it on the fly.
+    data = np.random.default_rng(7).integers(0, 256, 64 * 1024, dtype=np.uint8)
+    outcome = client.write_sync("/data/results.bin", data, protocol="spin")
+    print(f"write ok={outcome.ok}  latency={outcome.latency_ns:.0f} ns  "
+          f"goodput={outcome.goodput_gbps():.1f} Gbit/s")
+
+    # 4. The bytes really are on the storage target.
+    stored = client.read_back("/data/results.bin")
+    assert np.array_equal(stored[: data.nbytes], data)
+    print("read-back verified: storage target holds the written bytes")
+
+    # 5. Compare against the raw (no-policy) and CPU (RPC) paths.
+    from repro import install_rpc_targets
+
+    tb_raw = build_testbed(n_storage=4)
+    c_raw = DfsClient(tb_raw)
+    c_raw.create("/f", size=1 << 20)
+    raw = c_raw.write_sync("/f", data, protocol="raw")
+
+    tb_rpc = build_testbed(n_storage=4)
+    install_rpc_targets(tb_rpc)
+    c_rpc = DfsClient(tb_rpc)
+    c_rpc.create("/f", size=1 << 20)
+    rpc = c_rpc.write_sync("/f", data, protocol="rpc")
+
+    print(f"\nlatency comparison (64 KiB write):")
+    print(f"  raw RDMA (no policy)   {raw.latency_ns:9.0f} ns")
+    print(f"  sPIN (on-NIC auth)     {outcome.latency_ns:9.0f} ns")
+    print(f"  RPC (CPU auth+copy)    {rpc.latency_ns:9.0f} ns")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The environment has no network and no ``wheel`` package, so PEP-517
+editable installs (which build a wheel) fail.  This shim lets
+``pip install -e . --no-use-pep517`` (and plain ``pip install -e .`` on
+older pips) fall back to the classic ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

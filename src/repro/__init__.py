@@ -1,0 +1,71 @@
+"""repro — Building Blocks for Network-Accelerated Distributed File Systems.
+
+A full-system reproduction of Di Girolamo et al., SC 2022: sPIN/PsPIN
+SmartNIC-offloaded DFS policies (client authentication, replication,
+erasure coding) evaluated on a packet-level discrete-event simulation,
+with all CPU- and RDMA-based baselines.
+
+Quickstart::
+
+    from repro import build_testbed, install_spin_targets, DfsClient, ReplicationSpec
+
+    tb = build_testbed(n_storage=4)
+    install_spin_targets(tb)
+    client = DfsClient(tb)
+    client.create("/data/ckpt", size=1 << 20, replication=ReplicationSpec(k=3, strategy="ring"))
+    outcome = client.write_sync("/data/ckpt", b"x" * 65536, protocol="spin")
+    print(outcome.latency_ns, "ns")
+"""
+
+from .dfs import (
+    Capability,
+    CapabilityAuthority,
+    DfsClient,
+    EcSpec,
+    FileLayout,
+    ReplicationSpec,
+    Rights,
+    Testbed,
+    build_testbed,
+)
+from .params import HostParams, InecParams, PsPinParams, SimParams
+from .protocols import (
+    WriteContext,
+    WriteOutcome,
+    install_cpu_replication_targets,
+    install_hyperloop_targets,
+    install_inec_targets,
+    install_rpc_rdma_targets,
+    install_rpc_targets,
+    install_spin_targets,
+)
+from .simnet import NetConfig, Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Capability",
+    "CapabilityAuthority",
+    "DfsClient",
+    "EcSpec",
+    "FileLayout",
+    "HostParams",
+    "InecParams",
+    "NetConfig",
+    "PsPinParams",
+    "ReplicationSpec",
+    "Rights",
+    "SimParams",
+    "Simulator",
+    "Testbed",
+    "WriteContext",
+    "WriteOutcome",
+    "__version__",
+    "build_testbed",
+    "install_cpu_replication_targets",
+    "install_hyperloop_targets",
+    "install_inec_targets",
+    "install_rpc_rdma_targets",
+    "install_rpc_targets",
+    "install_spin_targets",
+]

@@ -1,0 +1,102 @@
+"""Top-level CLI: ``python -m repro``.
+
+Subcommands:
+
+* ``info``   — print the library version and the calibrated defaults;
+* ``demo``   — run a 30-second end-to-end self-test (one write per
+  protocol, with functional verification);
+* ``bench``  — alias pointing at the experiment runner.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _info() -> int:
+    import repro
+    from repro.params import SimParams
+
+    p = SimParams()
+    print(f"repro {repro.__version__} — SmartNIC-offloaded DFS building blocks (SC'22)")
+    print()
+    print("calibrated defaults (DESIGN.md §5):")
+    print(f"  network    : {p.net.bandwidth_gbps:.0f} Gbit/s, MTU {p.net.mtu} B, "
+          f"{p.net.link_latency_ns:.0f} ns links, {p.net.switch_latency_ns:.0f} ns switch")
+    print(f"  PsPIN      : {p.pspin.n_clusters} clusters x {p.pspin.hpus_per_cluster} HPUs "
+          f"@ {p.pspin.freq_ghz:.0f} GHz, "
+          f"{p.pspin.l1_bytes_per_cluster >> 20} MiB L1/cluster + {p.pspin.l2_bytes >> 20} MiB L2")
+    print(f"  descriptors: {p.pspin.request_descriptor_bytes} B/request, "
+          f"~{(4 * p.pspin.l1_bytes_per_cluster + p.pspin.l2_bytes - p.pspin.dfs_wide_state_bytes) // p.pspin.request_descriptor_bytes} concurrent writes")
+    print(f"  host       : PCIe {p.host.pcie_latency_ns:.0f} ns/way, "
+          f"memcpy {p.host.memcpy_gbps / 8:.0f} GB/s, {p.host.cpu_cores} cores @ {p.host.cpu_freq_ghz:.0f} GHz")
+    print()
+    print("experiments: python -m repro.experiments list")
+    return 0
+
+
+def _demo() -> int:
+    import numpy as np
+
+    from repro import DfsClient, EcSpec, ReplicationSpec, build_testbed
+    from repro.protocols import (
+        install_cpu_replication_targets,
+        install_rpc_targets,
+        install_spin_targets,
+    )
+
+    print("running the protocol demo (one verified write per protocol)...\n")
+    data = np.random.default_rng(0).integers(0, 256, 64 * 1024, dtype=np.uint8)
+    rows = []
+
+    def run(protocol, installer, **create_kw):
+        tb = build_testbed(n_storage=8)
+        if installer:
+            installer(tb)
+        c = DfsClient(tb)
+        lay = c.create("/demo", size=data.nbytes, **create_kw)
+        kw = {"chunk_bytes": 32 * 1024} if protocol == "cpu" else {}
+        out = c.write_sync("/demo", data, protocol=protocol, **kw)
+        assert out.ok, out.nacks
+        tb.run(until=tb.sim.now + 200_000)
+        got = c.read_back("/demo")
+        assert np.array_equal(got[: data.nbytes], data)
+        label = protocol
+        if create_kw.get("replication"):
+            label += f" k={create_kw['replication'].k}"
+        if create_kw.get("ec"):
+            label += f" RS({create_kw['ec'].k},{create_kw['ec'].m})"
+        rows.append((label, out.latency_ns))
+
+    run("raw", None)
+    run("spin", install_spin_targets)
+    run("rpc", install_rpc_targets)
+    run("spin", install_spin_targets, replication=ReplicationSpec(k=3))
+    run("rdma-flat", None, replication=ReplicationSpec(k=3))
+    run("cpu", install_cpu_replication_targets, replication=ReplicationSpec(k=3))
+    run("spin", install_spin_targets, ec=EcSpec(k=3, m=2))
+
+    width = max(len(p) for p, _ in rows)
+    for proto, lat in rows:
+        print(f"  {proto:<{width}}  {lat:10.0f} ns")
+    print("\nall writes verified byte-identical on the storage targets")
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(prog="repro")
+    ap.add_argument("command", choices=["info", "demo", "bench"], nargs="?",
+                    default="info")
+    args, rest = ap.parse_known_args(argv)
+    if args.command == "info":
+        return _info()
+    if args.command == "demo":
+        return _demo()
+    from repro.experiments.__main__ import main as exp_main
+
+    return exp_main(rest or ["list"])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

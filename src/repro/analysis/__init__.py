@@ -1,0 +1,43 @@
+"""Analytic models and result checking: Little's-law NIC memory (Fig. 4),
+HPU budgets (Fig. 16), the Table III survey, and shape assertions."""
+
+from .budget import handler_budget_ns, hpus_needed, packet_interarrival_ns
+from .littles_law import (
+    Fig4Point,
+    concurrent_writes,
+    max_concurrent_writes,
+    required_memory_bytes,
+)
+from .shapes import (
+    ShapeError,
+    assert_crossover_within,
+    assert_faster,
+    assert_monotonic,
+    assert_ratio_between,
+    check,
+    crossover_point,
+    relative_gap,
+)
+from .survey import DFS_SURVEY, DfsSurveyEntry, Support, render_table
+
+__all__ = [
+    "DFS_SURVEY",
+    "DfsSurveyEntry",
+    "Fig4Point",
+    "ShapeError",
+    "Support",
+    "assert_crossover_within",
+    "assert_faster",
+    "assert_monotonic",
+    "assert_ratio_between",
+    "check",
+    "concurrent_writes",
+    "crossover_point",
+    "handler_budget_ns",
+    "hpus_needed",
+    "max_concurrent_writes",
+    "packet_interarrival_ns",
+    "relative_gap",
+    "render_table",
+    "required_memory_bytes",
+]

@@ -1,0 +1,39 @@
+"""Handler cycle budgets and HPU provisioning (Fig. 11 lines, Fig. 16).
+
+To sustain line rate R (Gbit/s) with packets of ``pkt_bytes``, packets
+arrive every ``pkt_bytes*8/R`` ns.  With H HPUs, each handler may take up
+to ``H × inter-arrival`` ns before the HPU pool becomes the bottleneck
+(§VI-C: "with 2 KiB packets and 32 HPUs, each handler should not last
+more than ~1310 ns").  Inverting gives the HPU count needed for a given
+mean handler duration (Fig. 16 right: RS(6,3) needs ~512 HPUs at
+400 Gbit/s).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["packet_interarrival_ns", "handler_budget_ns", "hpus_needed"]
+
+
+def packet_interarrival_ns(rate_gbps: float, pkt_bytes: int) -> float:
+    """Time between packet arrivals at line rate."""
+    if rate_gbps <= 0 or pkt_bytes <= 0:
+        raise ValueError("rate and packet size must be positive")
+    return pkt_bytes * 8.0 / rate_gbps
+
+
+def handler_budget_ns(rate_gbps: float, pkt_bytes: int, n_hpus: int) -> float:
+    """Max mean handler duration sustaining ``rate_gbps``."""
+    if n_hpus <= 0:
+        raise ValueError("need at least one HPU")
+    return n_hpus * packet_interarrival_ns(rate_gbps, pkt_bytes)
+
+
+def hpus_needed(rate_gbps: float, pkt_bytes: int, handler_ns: float) -> int:
+    """HPUs required so handlers of ``handler_ns`` keep up with line rate."""
+    if handler_ns < 0:
+        raise ValueError("handler duration must be >= 0")
+    if handler_ns == 0:
+        return 1
+    return max(1, math.ceil(handler_ns / packet_interarrival_ns(rate_gbps, pkt_bytes)))

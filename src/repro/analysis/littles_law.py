@@ -1,0 +1,68 @@
+"""Fig. 4: worst-case NIC memory for concurrent write state (§III-B2).
+
+Each in-flight write holds a 77-byte descriptor in NIC memory for its
+whole duration.  The paper applies Little's law — L = λW — assuming a
+constant flow of fixed-size writes arriving at full line rate (handlers
+never the bottleneck):
+
+* arrival rate λ = bandwidth / write_size;
+* residence time W = time from header arrival to completion ack —
+  lower-bounded by the write's own serialization time plus fixed
+  processing/flush latency;
+* concurrent writes L = λ·W, NIC memory = L × 77 B.
+
+With 6 MiB available for request state, a storage node can track
+~82 K concurrent writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..params import PsPinParams, SimParams
+
+__all__ = ["required_memory_bytes", "concurrent_writes", "max_concurrent_writes", "Fig4Point"]
+
+
+@dataclass(frozen=True)
+class Fig4Point:
+    write_bytes: int
+    n_writes: int
+    required_bytes: int
+
+
+def required_memory_bytes(
+    n_writes: int, descriptor_bytes: int = 77
+) -> int:
+    """Worst-case NIC memory to serve ``n_writes`` concurrent writes."""
+    if n_writes < 0:
+        raise ValueError("n_writes must be >= 0")
+    return n_writes * descriptor_bytes
+
+
+def concurrent_writes(
+    write_bytes: int,
+    params: SimParams,
+    extra_latency_ns: float = 1000.0,
+) -> float:
+    """Little's-law estimate of writes in flight at full line rate.
+
+    ``extra_latency_ns`` models fixed per-write residence beyond the
+    transfer itself (handler chain, PCIe flush, ack turnaround).
+    """
+    if write_bytes <= 0:
+        raise ValueError("write size must be positive")
+    bw = params.net.bandwidth_gbps  # Gbit/s == bits/ns
+    arrival_rate = bw / (write_bytes * 8.0)  # writes per ns at line rate
+    residence = write_bytes * 8.0 / bw + extra_latency_ns
+    return arrival_rate * residence
+
+
+def max_concurrent_writes(pspin: PsPinParams) -> int:
+    """The ~82 K figure: usable request memory / descriptor size."""
+    usable = (
+        pspin.n_clusters * pspin.l1_bytes_per_cluster
+        + pspin.l2_bytes
+        - pspin.dfs_wide_state_bytes
+    )
+    return usable // pspin.request_descriptor_bytes

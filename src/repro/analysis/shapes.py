@@ -1,0 +1,95 @@
+"""Shape assertions for experiment results.
+
+The reproduction targets the *shape* of the paper's results — who wins,
+by roughly what factor, where the crossovers fall — not the absolute
+nanoseconds of the authors' configuration (DESIGN.md §6).  These helpers
+make those claims executable; benchmarks and tests call them, so every
+claimed shape is checked on every run.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = [
+    "ShapeError",
+    "check",
+    "assert_monotonic",
+    "assert_faster",
+    "assert_ratio_between",
+    "crossover_point",
+    "assert_crossover_within",
+    "relative_gap",
+]
+
+
+class ShapeError(AssertionError):
+    """A qualitative claim from the paper failed to reproduce."""
+
+
+def check(condition: bool, claim: str) -> None:
+    if not condition:
+        raise ShapeError(f"shape violated: {claim}")
+
+
+def assert_monotonic(values: Sequence[float], increasing: bool = True, claim: str = "") -> None:
+    ok = all(
+        (b >= a) if increasing else (b <= a)
+        for a, b in zip(values, values[1:])
+    )
+    check(ok, claim or f"expected monotonic {'increase' if increasing else 'decrease'}: {values}")
+
+
+def assert_faster(fast: float, slow: float, claim: str) -> None:
+    check(fast < slow, f"{claim} (got fast={fast:.1f} vs slow={slow:.1f})")
+
+
+def relative_gap(a: float, b: float) -> float:
+    """(a - b) / b — how much slower a is than b."""
+    return (a - b) / b
+
+
+def assert_ratio_between(
+    numerator: float, denominator: float, lo: float, hi: float, claim: str
+) -> None:
+    r = numerator / denominator
+    check(lo <= r <= hi, f"{claim} (ratio {r:.2f} outside [{lo}, {hi}])")
+
+
+def crossover_point(
+    series_a: Mapping[int, float], series_b: Mapping[int, float]
+) -> int | None:
+    """First x (sorted) where series_a stops being faster than series_b.
+
+    Returns None if a is faster everywhere (or slower everywhere from
+    the start).
+    """
+    xs = sorted(set(series_a) & set(series_b))
+    was_faster = None
+    for x in xs:
+        faster = series_a[x] < series_b[x]
+        if was_faster is True and not faster:
+            return x
+        if was_faster is None:
+            was_faster = faster
+            if not faster:
+                return xs[0]
+    return None
+
+
+def assert_crossover_within(
+    series_a: Mapping[int, float],
+    series_b: Mapping[int, float],
+    lo: int,
+    hi: int,
+    claim: str,
+) -> int:
+    """Assert a beats b for small x and loses for large x, with the
+    crossover in [lo, hi].  Returns the crossover x."""
+    xs = sorted(set(series_a) & set(series_b))
+    check(len(xs) >= 2, f"{claim}: need >= 2 common points")
+    check(series_a[xs[0]] < series_b[xs[0]], f"{claim}: a must win at x={xs[0]}")
+    check(series_a[xs[-1]] > series_b[xs[-1]], f"{claim}: b must win at x={xs[-1]}")
+    x = crossover_point(series_a, series_b)
+    check(x is not None and lo <= x <= hi, f"{claim}: crossover {x} outside [{lo}, {hi}]")
+    return x  # type: ignore[return-value]

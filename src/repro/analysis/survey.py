@@ -1,0 +1,68 @@
+"""Table III: survey of DFS characteristics (§VIII).
+
+The paper's related-work table: RDMA support and policy coverage
+(client authentication, replication, erasure coding) across 14
+production and research distributed file systems.  Kept as a structured
+dataset so the benchmark harness can regenerate the table and tests can
+check its claims (e.g. no surveyed RDMA-native DFS offloads all three
+policies — the gap this paper fills).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+__all__ = ["Support", "DfsSurveyEntry", "DFS_SURVEY", "render_table"]
+
+
+class Support(Enum):
+    YES = "provided"
+    PARTIAL = "partially provided"
+    NO = "not provided"
+
+    @property
+    def symbol(self) -> str:
+        return {"provided": "Y", "partially provided": "~", "not provided": "x"}[self.value]
+
+
+@dataclass(frozen=True)
+class DfsSurveyEntry:
+    name: str
+    rdma: Support
+    auth: Support
+    replication: Support
+    erasure_coding: Support
+    notes: str = ""
+
+
+# Table III of the paper (Y = provided, ~ = partial, x = not provided).
+DFS_SURVEY: tuple[DfsSurveyEntry, ...] = (
+    DfsSurveyEntry("Lustre", Support.YES, Support.YES, Support.NO, Support.NO, "RPC+RDMA"),
+    DfsSurveyEntry("IBM Spectrum Scale", Support.NO, Support.PARTIAL, Support.PARTIAL, Support.YES, ""),
+    DfsSurveyEntry("BeeGFS", Support.YES, Support.YES, Support.PARTIAL, Support.NO, "RDMA compatible"),
+    DfsSurveyEntry("Ceph", Support.NO, Support.YES, Support.PARTIAL, Support.YES, ""),
+    DfsSurveyEntry("HDFS", Support.PARTIAL, Support.YES, Support.YES, Support.YES, "RPC+RDMA [50]"),
+    DfsSurveyEntry("Intel DAOS", Support.PARTIAL, Support.PARTIAL, Support.YES, Support.YES, "RPC+RDMA"),
+    DfsSurveyEntry("MadFS", Support.PARTIAL, Support.YES, Support.NO, Support.NO, ""),
+    DfsSurveyEntry("WekaIO Matrix", Support.YES, Support.YES, Support.NO, Support.YES, ""),
+    DfsSurveyEntry("PanFS", Support.PARTIAL, Support.PARTIAL, Support.NO, Support.YES, "RPC+RDMA"),
+    DfsSurveyEntry("OrangeFS", Support.YES, Support.YES, Support.PARTIAL, Support.NO, "RPC+RDMA [54]"),
+    DfsSurveyEntry("Gluster", Support.YES, Support.YES, Support.PARTIAL, Support.YES, ""),
+    DfsSurveyEntry("Orion", Support.PARTIAL, Support.NO, Support.YES, Support.NO, "Client-based replication."),
+    DfsSurveyEntry("Octopus", Support.PARTIAL, Support.YES, Support.NO, Support.NO, "RPC+RDMA"),
+    DfsSurveyEntry("FileMR", Support.PARTIAL, Support.YES, Support.YES, Support.NO, ""),
+)
+
+
+def render_table() -> str:
+    """Render Table III as fixed-width text."""
+    header = f"{'DFS':<22} {'RDMA':<5} {'Aut.':<5} {'Rep.':<5} {'EC':<4} Notes"
+    lines = [header, "-" * len(header)]
+    for e in DFS_SURVEY:
+        lines.append(
+            f"{e.name:<22} {e.rdma.symbol:<5} {e.auth.symbol:<5} "
+            f"{e.replication.symbol:<5} {e.erasure_coding.symbol:<4} {e.notes}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""The paper's primary contribution: sPIN execution contexts, the
+Listing-1 handler skeleton, NIC-resident DFS state, request wire
+formats, and the offloaded policies."""
+
+from .context import ExecutionContext, Handler, HandlerSet, Task
+from .handlers import DROP_COST, DfsPolicy, build_dfs_context
+from .request import (
+    DFS_HEADER_FIXED_BYTES,
+    DfsHeader,
+    EcParams,
+    ReadRequestHeader,
+    ReplicaCoord,
+    ReplicationParams,
+    WriteRequestHeader,
+    request_header_bytes,
+)
+from .state import AccumulatorPool, DfsState, RequestEntry
+
+__all__ = [
+    "AccumulatorPool",
+    "DFS_HEADER_FIXED_BYTES",
+    "DROP_COST",
+    "DfsHeader",
+    "DfsPolicy",
+    "DfsState",
+    "EcParams",
+    "ExecutionContext",
+    "Handler",
+    "HandlerSet",
+    "ReadRequestHeader",
+    "ReplicaCoord",
+    "ReplicationParams",
+    "RequestEntry",
+    "Task",
+    "WriteRequestHeader",
+    "build_dfs_context",
+    "request_header_bytes",
+]

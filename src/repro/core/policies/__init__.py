@@ -1,0 +1,7 @@
+"""NIC-offloaded DFS policies: authentication, replication, erasure coding."""
+
+from .auth import AuthWritePolicy
+from .replication import ReplicationPolicy
+from .erasure import EcDataPolicy, EcParityPolicy
+
+__all__ = ["AuthWritePolicy", "ReplicationPolicy", "EcDataPolicy", "EcParityPolicy"]

@@ -1,0 +1,23 @@
+"""Protocol policy: client request authentication (§IV).
+
+This is the *plain* offloaded write: the header handler validates the
+capability carried in the write request header on the fly, so the client
+issues a single RDMA write with no extra validation round trip (Fig. 5
+right); payload handlers stream data to the storage target; the
+completion handler acks after the data is durable.
+
+The behaviour is exactly the :class:`~repro.core.handlers.DfsPolicy`
+default — this subclass only pins the name used in handler statistics.
+"""
+
+from __future__ import annotations
+
+from ..handlers import DfsPolicy
+
+__all__ = ["AuthWritePolicy"]
+
+
+class AuthWritePolicy(DfsPolicy):
+    """Authenticated plain write (k=1, no resiliency)."""
+
+    name = "auth-write"

@@ -1,0 +1,69 @@
+"""Protocol policy: authenticated reads (§III-A, Fig. 3).
+
+A read request is a single packet carrying the DFS header (with the
+capability) and the read request header (RRH: address + length).  The
+header handler validates READ rights on the requested range exactly
+like the write path; the payload handler then fetches the data from the
+storage target across PCIe and streams ``read_resp`` packets back to
+the client — a one-sided read with on-the-fly policy enforcement.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ...pspin.isa import HandlerCost, completion_handler_cost, header_handler_cost
+from ...simnet.packet import Message, Packet, segment_message
+from ..handlers import DfsPolicy
+from ..state import RequestEntry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...pspin.accelerator import HandlerApi
+    from ..context import Task
+
+__all__ = ["ReadPolicy"]
+
+
+class ReadPolicy(DfsPolicy):
+    """Serve validated reads from the NIC."""
+
+    name = "read"
+
+    def __init__(self, mtu: int = 2048):
+        self.mtu = mtu
+
+    def payload_cost(self, task, entry: RequestEntry, pkt: Packet) -> HandlerCost:
+        # request parsing + DMA descriptor setup; response serialization
+        # is charged by the egress port, the PCIe fetch by dma_timing.
+        return HandlerCost(instructions=70, cpi=1.67)
+
+    def completion_cost(self, task, entry, pkt) -> HandlerCost:
+        return completion_handler_cost()
+
+    def on_header(self, api: "HandlerApi", task: "Task", entry: RequestEntry, pkt: Packet) -> None:
+        dfs = pkt.headers["dfs"]
+        rrh = pkt.headers["rrh"]
+        entry.scratch["rrh"] = rrh
+        entry.scratch["reply_to"] = dfs.reply_to or pkt.src
+        entry.scratch["greq"] = dfs.greq_id
+
+    def process_pkt(self, api: "HandlerApi", task: "Task", entry: RequestEntry, pkt: Packet):
+        rrh = entry.scratch["rrh"]
+        # fetch the data from the storage target over PCIe
+        yield api.dma_timing(rrh.length)
+        data = api.host_read(rrh.addr, rrh.length)
+        msg = Message(
+            src=api._accel.node_name,
+            dst=entry.scratch["reply_to"],
+            op="read_resp",
+            data=data,
+            headers={"greq_id": entry.scratch["greq"]},
+            header_bytes=16,
+        )
+        for resp in segment_message(msg, self.mtu):
+            yield api.send(resp)
+
+    def request_fini(self, api: "HandlerApi", task: "Task", entry: RequestEntry, pkt: Packet):
+        # the streamed data is the response; no separate ack
+        return
+        yield  # pragma: no cover

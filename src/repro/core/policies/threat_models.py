@@ -1,0 +1,111 @@
+"""The three §IV threat models as interchangeable validation policies.
+
+The paper distinguishes how much the DFS must verify per request
+depending on whom it trusts:
+
+* **trusted** — clients *and* network trusted (the sRDMA/Orion setting):
+  the ticket is a plain-text secret; the handler does a constant-time
+  compare.  Cheapest header handler.
+* **capability** — clients untrusted, network trusted (the paper's
+  default, what :class:`~repro.core.handlers.DfsPolicy` implements):
+  verify the HMAC-signed capability descriptor and the operation/range.
+* **packet-mac** — network untrusted: *every packet* carries a MAC that
+  the payload handler must verify before acting, adding per-byte
+  authentication work to the data path ("handlers need to authenticate
+  each network packet in order to exclude tampering", §IV).
+
+All three share the Listing-1 skeleton; they differ only in validation
+cost and in where it runs (header-only vs per-packet).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import TYPE_CHECKING, Literal
+
+from ...pspin.isa import HandlerCost
+from ...simnet.packet import Packet
+from ..handlers import DfsPolicy
+from ..state import DfsState, RequestEntry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...pspin.accelerator import HandlerApi
+
+__all__ = ["ThreatModelPolicy", "sign_packet", "THREAT_MODELS"]
+
+THREAT_MODELS = ("trusted", "capability", "packet-mac")
+
+#: instructions per payload byte for the per-packet MAC (a software
+#: hash round on the HPU; vendor crypto engines would lower this)
+MAC_INSTR_PER_BYTE = 2
+MAC_FIXED_INSTR = 220
+
+
+def sign_packet(key: bytes, payload) -> bytes:
+    """Per-packet MAC over the payload (client side, untrusted network)."""
+    return hmac.new(key, bytes(payload) if payload is not None else b"", hashlib.sha256).digest()[:8]
+
+
+class ThreatModelPolicy(DfsPolicy):
+    """Plain write with a selectable §IV threat model."""
+
+    def __init__(self, mode: Literal["trusted", "capability", "packet-mac"] = "capability",
+                 shared_secret: bytes = b"plain-text-ticket"):
+        if mode not in THREAT_MODELS:
+            raise ValueError(f"unknown threat model {mode!r}")
+        self.mode = mode
+        self.shared_secret = shared_secret
+        self.name = f"auth-{mode}"
+        self.mac_failures = 0
+
+    # ------------------------------------------------------------- costs
+    def header_cost(self, task, pkt) -> HandlerCost:
+        if self.mode == "trusted":
+            # plain-text secret compare: a fraction of the 200-cycle check
+            return HandlerCost(instructions=45, cpi=1.758)
+        return super().header_cost(task, pkt)
+
+    def payload_cost(self, task, entry: RequestEntry, pkt: Packet) -> HandlerCost:
+        base = super().payload_cost(task, entry, pkt)
+        if self.mode == "packet-mac":
+            return HandlerCost(
+                instructions=base.instructions + MAC_FIXED_INSTR
+                + MAC_INSTR_PER_BYTE * pkt.payload_bytes,
+                cpi=1.45,
+                mem_intensive=True,
+            )
+        return base
+
+    # --------------------------------------------------------- validation
+    def validate(self, state: DfsState, pkt: Packet, now_ns: float) -> bool:
+        if self.mode == "trusted":
+            return pkt.headers.get("ticket") == self.shared_secret
+        return super().validate(state, pkt, now_ns)
+
+    # ------------------------------------------------------------ payload
+    def process_pkt(self, api: "HandlerApi", task, entry: RequestEntry, pkt: Packet):
+        if self.mode == "packet-mac" and pkt.payload is not None:
+            expected = sign_packet(self.shared_secret, pkt.payload)
+            if not hmac.compare_digest(expected, pkt.headers.get("mac", b"")):
+                # Per-packet integrity failure: drop the packet, flag
+                # the request so the completion handler NACKs it.
+                self.mac_failures += 1
+                entry.scratch["mac_failed"] = True
+                task.mem.post_host_event(
+                    {"type": "packet_mac_failure", "greq_id": entry.greq_id, "t": api.now}
+                )
+                return
+        yield from super().process_pkt(api, task, entry, pkt)
+
+    # -------------------------------------------------------- completion
+    def request_fini(self, api: "HandlerApi", task, entry: RequestEntry, pkt: Packet):
+        if entry.scratch.get("mac_failed"):
+            api._accel.nacks_sent += 1
+            yield api.send_control(
+                entry.scratch["reply_to"],
+                "nack",
+                {"ack_for": entry.greq_id, "reason": "integrity"},
+            )
+            return
+        yield from super().request_fini(api, task, entry, pkt)

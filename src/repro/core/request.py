@@ -1,0 +1,188 @@
+"""Client request wire formats (§III-A, Fig. 3).
+
+A **write request** carries: the RDMA/transport header (modelled as
+:data:`~repro.simnet.packet.TRANSPORT_HEADER_BYTES` per packet), a
+generic **DFS header** (request identity + capability), and a **write
+request header (WRH)** with write-specific information — target address,
+resiliency strategy and its parameters (replica coordinates for
+replication; scheme, role, and parity-node coordinates for erasure
+coding).  A **read request** carries the DFS header plus a **read
+request header (RRH)**.
+
+Only the *first* packet of a request carries the DFS-specific headers;
+their byte size shrinks that packet's payload budget (see
+:func:`~repro.simnet.packet.segment_message`).  The paper requires the
+request headers to fit in a single MTU (§III-A); segmentation enforces
+it.
+
+In the simulator, header *objects* travel in ``Packet.headers`` under
+the ``"dfs"``, ``"wrh"`` and ``"rrh"`` keys, while their ``wire_bytes``
+are charged against the MTU so that timing is faithful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal, Optional, Sequence
+
+from ..dfs.capability import CAPABILITY_WIRE_BYTES, Capability
+
+__all__ = [
+    "DfsHeader",
+    "ReplicaCoord",
+    "ReplicationParams",
+    "EcParams",
+    "WriteRequestHeader",
+    "ReadRequestHeader",
+    "DFS_HEADER_FIXED_BYTES",
+]
+
+#: greq_id(8) + op(1) + client_id(4) + flags(3) = 16 B before the capability.
+DFS_HEADER_FIXED_BYTES = 16
+
+
+@dataclass(frozen=True)
+class DfsHeader:
+    """Generic DFS header: request identity + authentication ticket.
+
+    ``reply_to`` is the network address acknowledgments go to — always
+    the originating client, even when the request was forwarded along a
+    replication tree (each replica acks the client directly).
+    """
+
+    greq_id: int
+    op: Literal["write", "read"]
+    client_id: int
+    capability: Optional[Capability]
+    reply_to: str = ""
+
+    @property
+    def wire_bytes(self) -> int:
+        cap = CAPABILITY_WIRE_BYTES if self.capability is not None else 0
+        return DFS_HEADER_FIXED_BYTES + cap
+
+
+@dataclass(frozen=True)
+class ReplicaCoord:
+    """Network address + storage address of one replica (§V-A)."""
+
+    node: str
+    addr: int
+
+    #: node id (8) + storage address (8)
+    WIRE_BYTES = 16
+
+
+@dataclass(frozen=True)
+class ReplicationParams:
+    """Source-routed broadcast description carried in the WRH (§V-A)."""
+
+    strategy: Literal["ring", "pbt"]
+    virtual_rank: int
+    coords: tuple[ReplicaCoord, ...]
+
+    @property
+    def wire_bytes(self) -> int:
+        # strategy(1) + virtual_rank(2) + count(1) + coords
+        return 4 + len(self.coords) * ReplicaCoord.WIRE_BYTES
+
+    def children_of(self, rank: int) -> list[int]:
+        """Ranks this node forwards to.  Rank 0 is the primary storage
+        node; coords[i] is the node with virtual rank i+1.
+
+        * ring: rank r sends to r+1 (a unary tree, §V-A);
+        * pbt (pipelined binary tree): rank r sends to 2r+1 and 2r+2.
+        """
+        n = len(self.coords) + 1  # total nodes in the broadcast
+        if self.strategy == "ring":
+            nxt = rank + 1
+            return [nxt] if nxt < n else []
+        if self.strategy == "pbt":
+            return [c for c in (2 * rank + 1, 2 * rank + 2) if c < n]
+        raise ValueError(f"unknown replication strategy {self.strategy!r}")
+
+    def coord_for_rank(self, rank: int) -> ReplicaCoord:
+        """Coordinates of the node holding virtual rank ``rank`` (>=1)."""
+        return self.coords[rank - 1]
+
+
+@dataclass(frozen=True)
+class EcParams:
+    """Erasure-coding description carried in the WRH (§VI-B).
+
+    ``role`` tells the receiving storage node whether it stores a data
+    chunk (and must emit intermediate parities) or aggregates a parity
+    chunk.  ``parity_coords`` are the parity-node coordinates; ``index``
+    is this node's data-chunk index j (role=data) or parity index i
+    (role=parity); ``block_id`` identifies the encoded block so the
+    parity node can group the k incoming aggregation sequences (Fig. 14).
+    """
+
+    k: int
+    m: int
+    role: Literal["data", "parity"]
+    index: int
+    block_id: int
+    parity_coords: tuple[ReplicaCoord, ...] = ()
+    #: total chunk length in bytes (parity nodes size accumulators with it)
+    chunk_bytes: int = 0
+
+    @property
+    def wire_bytes(self) -> int:
+        # k(1) m(1) role(1) index(1) block_id(8) chunk_bytes(4) + coords
+        return 16 + len(self.parity_coords) * ReplicaCoord.WIRE_BYTES
+
+
+@dataclass(frozen=True)
+class WriteRequestHeader:
+    """WRH: target address + resiliency strategy option (§VI-B:
+    replication and EC are mutually exclusive per write)."""
+
+    addr: int
+    resiliency: Literal["none", "replication", "ec"] = "none"
+    replication: Optional[ReplicationParams] = None
+    ec: Optional[EcParams] = None
+
+    def __post_init__(self):
+        if self.resiliency == "replication" and self.replication is None:
+            raise ValueError("replication resiliency requires ReplicationParams")
+        if self.resiliency == "ec" and self.ec is None:
+            raise ValueError("ec resiliency requires EcParams")
+        if self.replication is not None and self.ec is not None:
+            raise ValueError("replication and EC are mutually exclusive (§VI-B)")
+
+    @property
+    def wire_bytes(self) -> int:
+        # addr(8) + resiliency option(1) + pad(3)
+        n = 12
+        if self.replication is not None:
+            n += self.replication.wire_bytes
+        if self.ec is not None:
+            n += self.ec.wire_bytes
+        return n
+
+
+@dataclass(frozen=True)
+class ReadRequestHeader:
+    """RRH: read-specific information."""
+
+    addr: int
+    length: int
+
+    @property
+    def wire_bytes(self) -> int:
+        return 16  # addr(8) + length(8)
+
+
+def request_header_bytes(
+    dfs: DfsHeader,
+    wrh: Optional[WriteRequestHeader] = None,
+    rrh: Optional[ReadRequestHeader] = None,
+) -> int:
+    """Total DFS-specific header bytes on the first packet."""
+    n = dfs.wire_bytes
+    if wrh is not None:
+        n += wrh.wire_bytes
+    if rrh is not None:
+        n += rrh.wire_bytes
+    return n

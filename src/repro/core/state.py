@@ -1,0 +1,175 @@
+"""NIC-resident DFS state (the ``dfs_state_t`` of Listing 1).
+
+Holds:
+
+* the **request table** — one 77-byte descriptor per in-flight write,
+  allocated in the handling cluster's L1 (spilling to L2) at
+  header-handler time and freed by the completion (or cleanup) handler.
+  Entries carry the fields only the header packet brings — the accept
+  bit, replica coordinates (``coord_array``, §V-A), EC role — so payload
+  handlers of later packets can act on them;
+* the **accumulator pool** for EC parity aggregation (§VI-B3): the
+  header handler of an intermediate-parity stream claims an accumulator
+  sized like the packet payload; when the pool is empty, aggregation
+  falls back to the host CPU;
+* **DFS-wide state**: the GF(2^8) multiplication table and keys,
+  installed at DFS-initialization time in the reserved NIC memory;
+* the **host event queue**: handlers post policy events (auth failures,
+  cleanup notices) that the DFS software on the CPU consumes (§III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from ..dfs.capability import CapabilityAuthority
+from ..ec.gf256 import MUL_TABLE_BYTES
+from ..params import PsPinParams
+from ..pspin.memory import Allocation, NicMemory
+
+__all__ = ["RequestEntry", "DfsState", "AccumulatorPool"]
+
+
+@dataclass
+class RequestEntry:
+    """One in-flight request's NIC-side descriptor (77 B, §III-B2)."""
+
+    greq_id: int
+    accept: bool
+    alloc: Allocation
+    cluster: int
+    #: policy scratch space (coord_array, EC role, DMA events, ...)
+    scratch: dict[str, Any] = field(default_factory=dict)
+    last_activity_ns: float = 0.0
+
+    @property
+    def tier(self) -> str:
+        return self.alloc.tier
+
+
+class AccumulatorPool:
+    """Fixed-size pool of parity accumulators in NIC memory (§VI-B3)."""
+
+    def __init__(self, nicmem: NicMemory, n_accumulators: int, acc_bytes: int):
+        self.nicmem = nicmem
+        self.acc_bytes = acc_bytes
+        self.capacity = n_accumulators
+        self._free: list[np.ndarray] = []
+        self._backing: Optional[Allocation] = None
+        if n_accumulators > 0:
+            total = n_accumulators * acc_bytes
+            self._backing = nicmem.alloc_wide(total)
+            if self._backing is None:
+                raise MemoryError(
+                    f"accumulator pool ({total} B) does not fit in DFS-wide NIC memory"
+                )
+            self._free = [np.zeros(acc_bytes, dtype=np.uint8) for _ in range(n_accumulators)]
+        #: aggregation-sequence id -> accumulator (the on-NIC hash table)
+        self.table: dict[tuple, np.ndarray] = {}
+        self.fallbacks = 0
+        self.peak_in_use = 0
+
+    def acquire(self, key: tuple) -> Optional[np.ndarray]:
+        """Claim an accumulator for aggregation sequence ``key``.
+
+        Returns None when the pool is exhausted — the caller must fall
+        back to CPU aggregation (§VI-B3).
+        """
+        if key in self.table:
+            return self.table[key]
+        if not self._free:
+            self.fallbacks += 1
+            return None
+        acc = self._free.pop()
+        acc.fill(0)
+        self.table[key] = acc
+        self.peak_in_use = max(self.peak_in_use, self.capacity - len(self._free))
+        return acc
+
+    def lookup(self, key: tuple) -> Optional[np.ndarray]:
+        return self.table.get(key)
+
+    def release(self, key: tuple) -> None:
+        acc = self.table.pop(key, None)
+        if acc is not None:
+            self._free.append(acc)
+
+    @property
+    def in_use(self) -> int:
+        return self.capacity - len(self._free)
+
+
+class DfsState:
+    """All NIC-resident state of one storage node's DFS execution context."""
+
+    def __init__(
+        self,
+        nicmem: NicMemory,
+        params: PsPinParams,
+        authority: Optional[CapabilityAuthority] = None,
+        n_accumulators: int = 0,
+        accumulator_bytes: int = 2048,
+    ):
+        self.nicmem = nicmem
+        self.params = params
+        #: service-shared key for capability verification; ``None`` means
+        #: the context trusts clients (the sRDMA/Orion threat model, §IV)
+        self.authority = authority
+        #: the GF table and keys occupy DFS-wide NIC memory (§VI-B2)
+        self._wide = nicmem.alloc_wide(MUL_TABLE_BYTES + 4096)
+        if self._wide is None:
+            raise MemoryError("DFS-wide state does not fit in NIC memory")
+        self.req_table: dict[int, RequestEntry] = {}
+        self.accumulators = AccumulatorPool(nicmem, n_accumulators, accumulator_bytes)
+        self.host_events: list[dict] = []
+        # counters
+        self.requests_started = 0
+        self.requests_completed = 0
+        self.requests_denied_mem = 0
+        self.requests_rejected_auth = 0
+        self.requests_cleaned = 0
+        self.peak_concurrent = 0
+
+    # ---------------------------------------------------------- req table
+    def alloc_request(
+        self, flow_id: int, greq_id: int, cluster: int, accept: bool, now_ns: float
+    ) -> Optional[RequestEntry]:
+        alloc = self.nicmem.alloc(cluster, self.params.request_descriptor_bytes)
+        if alloc is None:
+            self.requests_denied_mem += 1
+            return None
+        entry = RequestEntry(
+            greq_id=greq_id,
+            accept=accept,
+            alloc=alloc,
+            cluster=cluster,
+            last_activity_ns=now_ns,
+        )
+        self.req_table[flow_id] = entry
+        self.requests_started += 1
+        self.peak_concurrent = max(self.peak_concurrent, len(self.req_table))
+        return entry
+
+    def get_request(self, flow_id: int) -> Optional[RequestEntry]:
+        return self.req_table.get(flow_id)
+
+    def free_request(self, flow_id: int, cleaned: bool = False) -> None:
+        entry = self.req_table.pop(flow_id, None)
+        if entry is None:
+            return
+        self.nicmem.free(entry.alloc)
+        if cleaned:
+            self.requests_cleaned += 1
+        else:
+            self.requests_completed += 1
+
+    # ---------------------------------------------------------- host queue
+    def post_host_event(self, event: dict) -> None:
+        self.host_events.append(event)
+
+    def drain_host_events(self) -> list[dict]:
+        events, self.host_events = self.host_events, []
+        return events

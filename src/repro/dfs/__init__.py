@@ -1,0 +1,35 @@
+"""DFS substrate: control-plane services, layouts, nodes, client endpoint."""
+
+from .capability import (
+    CAPABILITY_WIRE_BYTES,
+    Capability,
+    CapabilityAuthority,
+    Rights,
+)
+from .client import DfsClient, PROTOCOLS
+from .cluster import Testbed, build_testbed
+from .layout import EcSpec, Extent, FileLayout, ReplicationSpec
+from .management import AuthError, ManagementService
+from .metadata import MetadataError, MetadataService
+from .nodes import ClientNode, Host, StorageNode
+
+__all__ = [
+    "AuthError",
+    "CAPABILITY_WIRE_BYTES",
+    "Capability",
+    "CapabilityAuthority",
+    "ClientNode",
+    "DfsClient",
+    "EcSpec",
+    "Extent",
+    "FileLayout",
+    "Host",
+    "ManagementService",
+    "MetadataError",
+    "MetadataService",
+    "PROTOCOLS",
+    "ReplicationSpec",
+    "StorageNode",
+    "Testbed",
+    "build_testbed",
+]

@@ -1,0 +1,120 @@
+"""Testbed builder: one simulator, one network, services, nodes.
+
+``build_testbed`` is the entry point every experiment and example uses:
+it wires the star network (§III-D parameters), the control-plane
+services, ``n_storage`` storage nodes and ``n_clients`` client hosts.
+Storage-node *personalities* (PsPIN contexts, RPC handlers, HyperLoop
+WQE hooks, INEC accelerators) are installed afterwards by the protocol
+modules in :mod:`repro.protocols`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..params import SimParams
+from ..simnet.engine import Event, Simulator
+from ..simnet.network import Network
+from .capability import CapabilityAuthority
+from .management import ManagementService
+from .metadata import MetadataService
+from .nodes import ClientNode, StorageNode
+
+__all__ = ["Testbed", "build_testbed"]
+
+
+class _LeafPlacementShim:
+    """Adapter giving a LeafSpineNetwork the Network.register interface:
+    clients land on leaf 0, storage nodes on leaf 1."""
+
+    def __init__(self, fabric):
+        self.fabric = fabric
+        self.cfg = fabric.cfg
+
+    def register(self, endpoint):
+        leaf = 1 if endpoint.name.startswith("sn") or endpoint.name == "mds" else 0
+        return self.fabric.register(endpoint, leaf=leaf)
+
+    @property
+    def switch(self):
+        return self.fabric.switch
+
+
+class Testbed:
+    """A wired cluster ready for protocol configuration."""
+
+    def __init__(self, params: SimParams, n_storage: int, n_clients: int,
+                 storage_backend: str = "nvmm", topology: str = "star",
+                 uplink_gbps: Optional[float] = None):
+        self.params = params
+        self.sim = Simulator()
+        if topology == "star":
+            self.net = Network(self.sim, params.net)
+        elif topology == "leafspine":
+            # clients on leaf 0, storage on leaf 1: every data-plane
+            # byte crosses the (possibly oversubscribed) spine uplinks
+            from ..simnet.topology import LeafSpineNetwork
+
+            fabric = LeafSpineNetwork(
+                self.sim, params.net, n_leaves=2, n_spines=1, uplink_gbps=uplink_gbps
+            )
+            self.net = _LeafPlacementShim(fabric)
+        else:
+            raise ValueError(f"unknown topology {topology!r}")
+        self.authority = CapabilityAuthority(key=b"repro-shared-service-key")
+        self.mgmt = ManagementService(self.authority)
+        self.storage: Dict[str, StorageNode] = {}
+        for i in range(n_storage):
+            name = f"sn{i}"
+            self.storage[name] = StorageNode(
+                self.sim, self.net, name, params, storage_backend=storage_backend
+            )
+        self.metadata = MetadataService(
+            storage_nodes=list(self.storage),
+            node_capacity=params.storage_capacity_bytes,
+            authority=self.authority,
+        )
+        self.clients: List[ClientNode] = [
+            ClientNode(self.sim, self.net, f"client{i}", params)
+            for i in range(n_clients)
+        ]
+
+    # ------------------------------------------------------------ helpers
+    @property
+    def storage_nodes(self) -> List[StorageNode]:
+        return list(self.storage.values())
+
+    def node(self, name: str) -> StorageNode:
+        return self.storage[name]
+
+    def run(self, until: Optional[float] = None) -> float:
+        return self.sim.run(until=until)
+
+    def run_until(self, event: Event, timeout_ns: Optional[float] = None):
+        """Drive the simulation until ``event`` fires; return its value."""
+        return self.sim.run_until_event(event, limit=timeout_ns)
+
+    def run_all(self, events) -> list:
+        """Drive the simulation until every event fires; return values."""
+        return [self.sim.run_until_event(ev) for ev in events]
+
+
+def build_testbed(
+    n_storage: int = 8,
+    n_clients: int = 1,
+    params: Optional[SimParams] = None,
+    storage_backend: str = "nvmm",
+    topology: str = "star",
+    uplink_gbps: Optional[float] = None,
+) -> Testbed:
+    """Construct a testbed.  Defaults to the paper's flat network
+    (§III-D); ``topology="leafspine"`` puts clients and storage on
+    separate leaves with configurable uplink bandwidth."""
+    return Testbed(
+        params or SimParams(),
+        n_storage=n_storage,
+        n_clients=n_clients,
+        storage_backend=storage_backend,
+        topology=topology,
+        uplink_gbps=uplink_gbps,
+    )

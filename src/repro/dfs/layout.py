@@ -1,0 +1,161 @@
+"""File layouts: where an object's bytes (and their redundancy) live.
+
+The metadata service returns a :class:`FileLayout` to the client (step 2
+of Fig. 1a); the client then talks to storage nodes directly.  A layout
+pins the primary extent plus either the ordered replica extents (for
+replication) or the data/parity extents (for erasure coding), so the
+client can source-route the whole resiliency strategy in its write
+request header (§V-A, §VI-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Optional, Sequence
+
+__all__ = ["Extent", "ReplicationSpec", "EcSpec", "StripeSpec", "FileLayout", "StripedLayout"]
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A contiguous region on one storage node."""
+
+    node: str
+    addr: int
+    length: int
+
+
+@dataclass(frozen=True)
+class ReplicationSpec:
+    """k-way replication with a broadcast strategy (§V).
+
+    ``k`` is the replication factor — the total number of nodes holding
+    the data (the paper's per-file/per-pool parameter).
+    """
+
+    k: int
+    strategy: Literal["ring", "pbt"] = "ring"
+
+    def __post_init__(self):
+        if self.k < 1:
+            raise ValueError("replication factor must be >= 1")
+        if self.strategy not in ("ring", "pbt"):
+            raise ValueError(f"unknown strategy {self.strategy!r}")
+
+
+@dataclass(frozen=True)
+class EcSpec:
+    """RS(k, m) erasure coding (§VI)."""
+
+    k: int
+    m: int
+
+    def __post_init__(self):
+        if self.k < 1 or self.m < 1:
+            raise ValueError("EC needs k >= 1 data and m >= 1 parity chunks")
+
+
+@dataclass(frozen=True)
+class StripeSpec:
+    """Striping across storage nodes (Fig. 1a: a file layout "describes
+    the regions (e.g., objects or blocks) composing a file").
+
+    The file is cut into ``stripe_size``-byte stripes assigned
+    round-robin to ``width`` storage nodes, so large files aggregate the
+    ingest bandwidth of many nodes.
+    """
+
+    width: int
+    stripe_size: int = 1 << 20
+
+    def __post_init__(self):
+        if self.width < 1:
+            raise ValueError("stripe width must be >= 1")
+        if self.stripe_size < 1:
+            raise ValueError("stripe size must be >= 1 byte")
+
+
+@dataclass(frozen=True)
+class StripedLayout:
+    """A file composed of striped regions, each its own object layout.
+
+    ``regions[i]`` stores stripes ``i, i+width, i+2*width, ...``; each
+    region is a plain (optionally replicated) :class:`FileLayout`.
+    """
+
+    object_id: int
+    size: int
+    stripe: StripeSpec
+    regions: tuple["FileLayout", ...]
+
+    def __post_init__(self):
+        if len(self.regions) != self.stripe.width:
+            raise ValueError("need one region per stripe column")
+
+    @property
+    def resiliency(self) -> str:
+        return self.regions[0].resiliency
+
+    def stripe_ranges(self) -> list[tuple[int, int, int]]:
+        """(file_offset, length, region_index) for every stripe."""
+        out = []
+        off = 0
+        i = 0
+        while off < self.size:
+            take = min(self.stripe.stripe_size, self.size - off)
+            out.append((off, take, i % self.stripe.width))
+            off += take
+            i += 1
+        return out
+
+    def region_offset(self, stripe_index: int) -> int:
+        """Byte offset of stripe ``stripe_index`` inside its region."""
+        return (stripe_index // self.stripe.width) * self.stripe.stripe_size
+
+
+@dataclass(frozen=True)
+class FileLayout:
+    """Placement of one object."""
+
+    object_id: int
+    size: int
+    #: replication: primary + ordered secondaries.  EC: data extents.
+    extents: tuple[Extent, ...]
+    resiliency: Literal["none", "replication", "ec"] = "none"
+    replication: Optional[ReplicationSpec] = None
+    ec: Optional[EcSpec] = None
+    parity_extents: tuple[Extent, ...] = ()
+
+    def __post_init__(self):
+        if self.resiliency == "replication":
+            if self.replication is None:
+                raise ValueError("missing ReplicationSpec")
+            if len(self.extents) != self.replication.k:
+                raise ValueError(
+                    f"replication k={self.replication.k} needs {self.replication.k} "
+                    f"extents, got {len(self.extents)}"
+                )
+        elif self.resiliency == "ec":
+            if self.ec is None:
+                raise ValueError("missing EcSpec")
+            if len(self.extents) != self.ec.k:
+                raise ValueError(f"EC k={self.ec.k} needs {self.ec.k} data extents")
+            if len(self.parity_extents) != self.ec.m:
+                raise ValueError(f"EC m={self.ec.m} needs {self.ec.m} parity extents")
+        elif self.resiliency == "none":
+            if len(self.extents) != 1:
+                raise ValueError("unreplicated layout needs exactly one extent")
+        else:
+            raise ValueError(f"unknown resiliency {self.resiliency!r}")
+
+    @property
+    def primary(self) -> Extent:
+        return self.extents[0]
+
+    @property
+    def all_nodes(self) -> list[str]:
+        return [e.node for e in self.extents] + [e.node for e in self.parity_extents]
+
+    def chunk_length(self) -> int:
+        """Per-extent chunk length (EC: data chunk size; all equal)."""
+        return self.extents[0].length

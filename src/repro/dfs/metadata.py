@@ -1,0 +1,189 @@
+"""Metadata service: indexes objects and allocates storage extents.
+
+Control-plane component (Fig. 1a): clients query it for file layouts
+(step 1/2) before touching storage nodes (step 3).  Placement is
+round-robin with a bump allocator per node — enough to distribute
+primaries, replicas, and parity chunks across distinct failure domains,
+which is all the data-plane experiments need.
+
+Consistency coordination (who may write what, capability revocation) is
+control-plane and out of the paper's scope (§VII); we expose a simple
+exclusive-writer check to make the examples honest.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional, Sequence
+
+from .capability import CapabilityAuthority, Rights
+from .layout import EcSpec, Extent, FileLayout, ReplicationSpec
+
+__all__ = ["MetadataService", "MetadataError"]
+
+
+class MetadataError(RuntimeError):
+    pass
+
+
+class MetadataService:
+    """Object index + extent allocator + ticket issuing front end."""
+
+    def __init__(
+        self,
+        storage_nodes: Sequence[str],
+        node_capacity: int,
+        authority: CapabilityAuthority,
+    ):
+        if not storage_nodes:
+            raise MetadataError("need at least one storage node")
+        self.nodes = list(storage_nodes)
+        self.node_capacity = node_capacity
+        self.authority = authority
+        self._cursor: Dict[str, int] = {n: 0 for n in self.nodes}
+        self._rr = 0
+        self._objects: Dict[str, FileLayout] = {}
+        self._object_ids = itertools.count(1)
+        self._writers: Dict[str, int] = {}
+
+    # ------------------------------------------------------------ alloc
+    def _alloc_on(self, node: str, length: int) -> Extent:
+        off = self._cursor[node]
+        if off + length > self.node_capacity:
+            raise MetadataError(f"storage node {node} full")
+        self._cursor[node] = off + length
+        return Extent(node=node, addr=off, length=length)
+
+    def allocate_extent(self, node: str, length: int) -> Extent:
+        """Allocate a replacement extent on a specific node (used by the
+        recovery coordinator when rebuilding lost chunks)."""
+        return self._alloc_on(node, length)
+
+    def update_layout(self, path: str, layout: FileLayout) -> None:
+        """Swap in a rebuilt placement after recovery."""
+        if path not in self._objects:
+            raise MetadataError(f"no such object {path!r}")
+        self._objects[path] = layout
+
+    def _pick_nodes(self, n: int, exclude: Sequence[str] = ()) -> list[str]:
+        avail = [x for x in self.nodes if x not in exclude]
+        if len(avail) < n:
+            raise MetadataError(
+                f"need {n} distinct storage nodes, have {len(avail)} available"
+            )
+        picked = []
+        for _ in range(n):
+            picked.append(avail[self._rr % len(avail)])
+            self._rr += 1
+        # de-duplicate while preserving rotation
+        seen, out = set(), []
+        for node in picked:
+            if node in seen:
+                continue
+            seen.add(node)
+            out.append(node)
+        i = 0
+        while len(out) < n:
+            cand = avail[i % len(avail)]
+            i += 1
+            if cand not in seen:
+                seen.add(cand)
+                out.append(cand)
+        return out
+
+    # ------------------------------------------------------------ create
+    def create(
+        self,
+        path: str,
+        size: int,
+        replication: Optional[ReplicationSpec] = None,
+        ec: Optional[EcSpec] = None,
+    ) -> FileLayout:
+        """Create an object and pin its placement.
+
+        Replication and EC are mutually exclusive (§VI-B).
+        """
+        if path in self._objects:
+            raise MetadataError(f"object {path!r} already exists")
+        if replication is not None and ec is not None:
+            raise MetadataError("replication and EC are mutually exclusive (§VI-B)")
+        if size <= 0:
+            raise MetadataError("object size must be positive")
+        oid = next(self._object_ids)
+
+        if replication is not None and replication.k > 1:
+            nodes = self._pick_nodes(replication.k)
+            extents = tuple(self._alloc_on(n, size) for n in nodes)
+            layout = FileLayout(
+                object_id=oid,
+                size=size,
+                extents=extents,
+                resiliency="replication",
+                replication=replication,
+            )
+        elif ec is not None:
+            chunk = -(-size // ec.k)
+            nodes = self._pick_nodes(ec.k + ec.m)
+            data_nodes, parity_nodes = nodes[: ec.k], nodes[ec.k :]
+            extents = tuple(self._alloc_on(n, chunk) for n in data_nodes)
+            parity = tuple(self._alloc_on(n, chunk) for n in parity_nodes)
+            layout = FileLayout(
+                object_id=oid,
+                size=size,
+                extents=extents,
+                resiliency="ec",
+                ec=ec,
+                parity_extents=parity,
+            )
+        else:
+            (node,) = self._pick_nodes(1)
+            layout = FileLayout(
+                object_id=oid, size=size, extents=(self._alloc_on(node, size),)
+            )
+        self._objects[path] = layout
+        return layout
+
+    # ------------------------------------------------------------ query
+    def lookup(self, path: str) -> FileLayout:
+        try:
+            return self._objects[path]
+        except KeyError:
+            raise MetadataError(f"no such object {path!r}") from None
+
+    def exists(self, path: str) -> bool:
+        return path in self._objects
+
+    def delete(self, path: str) -> None:
+        if path not in self._objects:
+            raise MetadataError(f"no such object {path!r}")
+        del self._objects[path]
+        self._writers.pop(path, None)
+
+    # ------------------------------------------------- write coordination
+    def grant_write(self, path: str, client_id: int) -> bool:
+        """Exclusive-writer capability granting (Ceph-style, §VII)."""
+        holder = self._writers.get(path)
+        if holder is not None and holder != client_id:
+            return False
+        self._writers[path] = client_id
+        return True
+
+    def revoke_write(self, path: str, client_id: int) -> None:
+        if self._writers.get(path) == client_id:
+            del self._writers[path]
+
+    # ------------------------------------------------------------ tickets
+    def issue_ticket(
+        self, client_id: int, path: str, rights: Rights, expiry_ns: int = 2**63 - 1
+    ):
+        """Hand the client a capability for the whole object (including
+        its redundancy extents, which forwarded requests re-validate)."""
+        layout = self.lookup(path)
+        return self.authority.issue(
+            client_id=client_id,
+            object_id=layout.object_id,
+            addr=0,
+            length=self.node_capacity,
+            rights=rights,
+            expiry_ns=expiry_ns,
+        )

@@ -1,0 +1,47 @@
+"""Erasure-coding substrate: GF(2^8) and systematic Reed-Solomon."""
+
+from .gf256 import (
+    EXP_TABLE,
+    LOG_TABLE,
+    MUL_TABLE,
+    MUL_TABLE_BYTES,
+    PRIMITIVE_POLY,
+    gf_add,
+    gf_div,
+    gf_inv,
+    gf_mul,
+    gf_mul_scalar_vec,
+    gf_mulvec_accumulate,
+    gf_pow,
+)
+from .matrix import (
+    SingularMatrixError,
+    gf_mat_inv,
+    gf_matmul,
+    systematic_encoding_matrix,
+    vandermonde,
+)
+from .reed_solomon import DecodeError, RSCode, pad_to_chunks
+
+__all__ = [
+    "DecodeError",
+    "EXP_TABLE",
+    "LOG_TABLE",
+    "MUL_TABLE",
+    "MUL_TABLE_BYTES",
+    "PRIMITIVE_POLY",
+    "RSCode",
+    "SingularMatrixError",
+    "gf_add",
+    "gf_div",
+    "gf_inv",
+    "gf_mat_inv",
+    "gf_matmul",
+    "gf_mul",
+    "gf_mul_scalar_vec",
+    "gf_mulvec_accumulate",
+    "gf_pow",
+    "pad_to_chunks",
+    "systematic_encoding_matrix",
+    "vandermonde",
+]

@@ -1,0 +1,118 @@
+"""GF(2^8) arithmetic, numpy-vectorized.
+
+The paper's sPIN-TriEC handlers encode packet payloads in the Galois
+field GF(2^8) using a 256x256-byte multiplication lookup table kept in
+NIC memory (§VI-B2: *"it allows us to use 256×256-byte lookup table to
+implement fast Galois field multiplication. The table is copied into NIC
+memory at DFS-initialization time"*).  We build exactly that table —
+``MUL_TABLE`` — plus log/exp tables, and expose vectorized primitives
+used by both the RS codec and the on-NIC handler cost model.
+
+Field: GF(2^8) with the primitive polynomial x^8+x^4+x^3+x^2+1 (0x11d),
+the conventional choice for storage Reed-Solomon codes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "PRIMITIVE_POLY",
+    "EXP_TABLE",
+    "LOG_TABLE",
+    "MUL_TABLE",
+    "gf_add",
+    "gf_mul",
+    "gf_div",
+    "gf_inv",
+    "gf_pow",
+    "gf_mul_scalar_vec",
+    "gf_mulvec_accumulate",
+    "MUL_TABLE_BYTES",
+]
+
+PRIMITIVE_POLY = 0x11D
+
+
+def _build_tables() -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    exp = np.zeros(512, dtype=np.uint8)
+    log = np.zeros(256, dtype=np.int32)
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x <<= 1
+        if x & 0x100:
+            x ^= PRIMITIVE_POLY
+    exp[255:510] = exp[:255]  # doubled so exp[a+b] never wraps
+    # Full 256x256 product table (the on-NIC table of §VI-B2): 64 KiB.
+    a = np.arange(256)
+    la = log[a][:, None]
+    lb = log[a][None, :]
+    mul = exp[(la + lb) % 255].astype(np.uint8)
+    mul[0, :] = 0
+    mul[:, 0] = 0
+    return exp, log, mul
+
+
+EXP_TABLE, LOG_TABLE, MUL_TABLE = _build_tables()
+
+#: NIC memory footprint of the multiplication table (64 KiB).
+MUL_TABLE_BYTES = MUL_TABLE.nbytes
+
+
+def gf_add(a, b):
+    """Addition in GF(2^8) is XOR (works element-wise on arrays)."""
+    return np.bitwise_xor(a, b)
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Scalar product a*b in GF(2^8)."""
+    return int(MUL_TABLE[a, b])
+
+
+def gf_pow(a: int, n: int) -> int:
+    """a**n in GF(2^8) (n may be any integer; a != 0 for negative n)."""
+    if a == 0:
+        if n < 0:
+            raise ZeroDivisionError("0 has no inverse in GF(2^8)")
+        return 1 if n == 0 else 0
+    return int(EXP_TABLE[(int(LOG_TABLE[a]) * n) % 255])
+
+
+def gf_inv(a: int) -> int:
+    """Multiplicative inverse of ``a``; raises on a == 0."""
+    if a == 0:
+        raise ZeroDivisionError("0 has no inverse in GF(2^8)")
+    return int(EXP_TABLE[255 - int(LOG_TABLE[a])])
+
+
+def gf_div(a: int, b: int) -> int:
+    """a / b in GF(2^8); raises on b == 0."""
+    if b == 0:
+        raise ZeroDivisionError("division by zero in GF(2^8)")
+    if a == 0:
+        return 0
+    return int(EXP_TABLE[(int(LOG_TABLE[a]) - int(LOG_TABLE[b])) % 255])
+
+
+def gf_mul_scalar_vec(scalar: int, vec: np.ndarray) -> np.ndarray:
+    """Element-wise ``scalar * vec`` — one row of the 256x256 table.
+
+    This is the exact per-byte operation the sPIN payload handlers run:
+    a table row lookup per payload byte (vectorized here with numpy fancy
+    indexing instead of the handler's per-byte loop).
+    """
+    if vec.dtype != np.uint8:
+        raise TypeError(f"GF vectors must be uint8, got {vec.dtype}")
+    return MUL_TABLE[scalar][vec]
+
+
+def gf_mulvec_accumulate(acc: np.ndarray, scalar: int, vec: np.ndarray) -> None:
+    """In-place ``acc ^= scalar * vec`` (the parity accumulation step).
+
+    In-place per the HPC guide: no temporaries beyond the table gather.
+    """
+    if acc.shape != vec.shape:
+        raise ValueError(f"shape mismatch: {acc.shape} vs {vec.shape}")
+    np.bitwise_xor(acc, MUL_TABLE[scalar][vec], out=acc)

@@ -1,0 +1,118 @@
+"""Matrix algebra over GF(2^8).
+
+Supports the Reed-Solomon codec: matrix products, Gauss-Jordan
+inversion, and construction of systematic encoding matrices
+(Vandermonde-derived, as in classic storage RS implementations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .gf256 import EXP_TABLE, LOG_TABLE, gf_inv, gf_mul
+
+__all__ = [
+    "gf_matmul",
+    "gf_mat_inv",
+    "vandermonde",
+    "systematic_encoding_matrix",
+    "SingularMatrixError",
+]
+
+
+class SingularMatrixError(ValueError):
+    """Raised when a GF matrix has no inverse (decode impossible)."""
+
+
+def gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product over GF(2^8).
+
+    Vectorized via log/exp: for each output cell we gather
+    ``exp[log a + log b]`` and XOR-reduce along the inner axis.  Zeros
+    are masked (log 0 is undefined).
+    """
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError(f"bad shapes for matmul: {a.shape} x {b.shape}")
+    # products[i, k, j] = a[i, k] * b[k, j]
+    la = LOG_TABLE[a][:, :, None]          # (m, n, 1)
+    lb = LOG_TABLE[b][None, :, :]          # (1, n, p)
+    prod = EXP_TABLE[(la + lb) % 255].astype(np.uint8)
+    nz = (a[:, :, None] != 0) & (b[None, :, :] != 0)
+    prod = np.where(nz, prod, np.uint8(0))
+    out = np.bitwise_xor.reduce(prod, axis=1)
+    return out.astype(np.uint8)
+
+
+def gf_mat_inv(m: np.ndarray) -> np.ndarray:
+    """Gauss-Jordan inversion over GF(2^8)."""
+    m = np.asarray(m, dtype=np.uint8)
+    n = m.shape[0]
+    if m.shape != (n, n):
+        raise ValueError(f"matrix must be square, got {m.shape}")
+    # Work in an augmented [m | I] array of ints for simplicity.
+    aug = np.concatenate([m.copy(), np.eye(n, dtype=np.uint8)], axis=1)
+    for col in range(n):
+        # pivot
+        pivot = None
+        for row in range(col, n):
+            if aug[row, col] != 0:
+                pivot = row
+                break
+        if pivot is None:
+            raise SingularMatrixError(f"singular at column {col}")
+        if pivot != col:
+            aug[[col, pivot]] = aug[[pivot, col]]
+        # normalise pivot row
+        inv = gf_inv(int(aug[col, col]))
+        if inv != 1:
+            from .gf256 import MUL_TABLE
+
+            aug[col] = MUL_TABLE[inv][aug[col]]
+        # eliminate other rows
+        for row in range(n):
+            if row != col and aug[row, col] != 0:
+                factor = int(aug[row, col])
+                from .gf256 import MUL_TABLE
+
+                aug[row] ^= MUL_TABLE[factor][aug[col]]
+    return aug[:, n:].copy()
+
+
+def vandermonde(rows: int, cols: int) -> np.ndarray:
+    """Vandermonde matrix V[i, j] = i**j over GF(2^8).
+
+    Any ``cols`` rows of this matrix are linearly independent as long as
+    ``rows <= 256``, which is what makes RS maximum distance separable.
+    """
+    if rows > 256:
+        raise ValueError("GF(2^8) supports at most 256 Vandermonde rows")
+    v = np.zeros((rows, cols), dtype=np.uint8)
+    for i in range(rows):
+        acc = 1
+        for j in range(cols):
+            v[i, j] = acc
+            acc = gf_mul(acc, i)
+    return v
+
+
+def systematic_encoding_matrix(k: int, m: int) -> np.ndarray:
+    """The (k+m) x k systematic RS encoding matrix.
+
+    Built from a (k+m) x k Vandermonde matrix by right-multiplying with
+    the inverse of its top k x k block, so the top becomes the identity:
+    the first k encoded chunks *are* the data chunks (§VI: "RS codes are
+    systematic").  The bottom m rows are the parity coefficients that the
+    sPIN data-node handlers apply per byte.
+    """
+    if k < 1 or m < 0:
+        raise ValueError(f"invalid RS({k},{m})")
+    if k + m > 256:
+        raise ValueError("RS(k, m) over GF(2^8) needs k+m <= 256")
+    v = vandermonde(k + m, k)
+    top_inv = gf_mat_inv(v[:k, :k])
+    enc = gf_matmul(v, top_inv)
+    # By construction the top block is the identity.
+    assert np.array_equal(enc[:k], np.eye(k, dtype=np.uint8))
+    return enc

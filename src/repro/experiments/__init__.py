@@ -1,0 +1,47 @@
+"""Experiment registry: one module per paper table/figure.
+
+Run from the command line::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig06
+    python -m repro.experiments all --quick
+"""
+
+from __future__ import annotations
+
+from types import ModuleType
+
+from . import (
+    fig04_nic_memory,
+    fig06_auth_latency,
+    fig07_pspin_overheads,
+    fig09_goodput,
+    fig09_replication_latency,
+    fig10_replication_factor,
+    fig11_table1_handler_stats,
+    fig15_ec_bandwidth,
+    fig15_ec_latency,
+    fig16_hpu_budget,
+    fig16_table2_ec_handlers,
+    table3_survey,
+)
+
+REGISTRY: dict[str, ModuleType] = {
+    m.ID: m
+    for m in (
+        fig04_nic_memory,
+        fig06_auth_latency,
+        fig07_pspin_overheads,
+        fig09_replication_latency,
+        fig09_goodput,
+        fig10_replication_factor,
+        fig11_table1_handler_stats,
+        fig15_ec_latency,
+        fig15_ec_bandwidth,
+        fig16_table2_ec_handlers,
+        fig16_hpu_budget,
+        table3_survey,
+    )
+}
+
+__all__ = ["REGISTRY"]

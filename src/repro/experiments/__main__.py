@@ -1,0 +1,74 @@
+"""CLI for the experiment suite: ``python -m repro.experiments <id>``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import REGISTRY
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    ap.add_argument("experiment", help="experiment id, 'list', or 'all'")
+    ap.add_argument("--quick", action="store_true", help="reduced sweeps")
+    ap.add_argument("--no-check", action="store_true", help="skip shape checks")
+    ap.add_argument("--csv", metavar="PATH",
+                    help="also write the raw rows as CSV (one file per "
+                         "experiment; PATH gets an -<id> suffix for 'all')")
+    args = ap.parse_args(argv)
+
+    if args.experiment == "list":
+        for eid, mod in REGISTRY.items():
+            print(f"{eid:16s} {mod.TITLE}")
+        return 0
+
+    ids = list(REGISTRY) if args.experiment == "all" else [args.experiment]
+    status = 0
+    for eid in ids:
+        mod = REGISTRY.get(eid)
+        if mod is None:
+            print(f"unknown experiment {eid!r}; try 'list'", file=sys.stderr)
+            return 2
+        t0 = time.time()
+        rows = mod.run(quick=args.quick)
+        print(mod.render(rows))
+        print(f"[{eid}: {len(rows)} rows in {time.time() - t0:.1f}s]")
+        if args.csv:
+            path = args.csv
+            if len(ids) > 1:
+                stem, dot, ext = path.rpartition(".")
+                path = f"{stem}-{eid}.{ext}" if dot else f"{path}-{eid}"
+            _write_csv(path, rows)
+            print(f"[{eid}: rows written to {path}]")
+        if not args.no_check:
+            try:
+                mod.check(rows)
+                print(f"[{eid}: all shape checks passed]")
+            except AssertionError as e:
+                print(f"[{eid}: SHAPE CHECK FAILED: {e}]", file=sys.stderr)
+                status = 1
+        print()
+    return status
+
+
+def _write_csv(path: str, rows: list[dict]) -> None:
+    import csv
+
+    cols: list[str] = []
+    for r in rows:
+        for k in r:
+            if k not in cols:
+                cols.append(k)
+    with open(path, "w", newline="") as fh:
+        w = csv.DictWriter(fh, fieldnames=cols)
+        w.writeheader()
+        w.writerows(rows)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,90 @@
+"""Fig. 4: worst-case NIC memory vs number of concurrent writes.
+
+Little's-law analysis (§III-B2): required memory = concurrent writes ×
+77 B, with the horizontal 6 MiB line marking the NIC memory available
+for request state (≈82 K concurrent writes).  We also cross-check the
+descriptor accounting against the simulator's own ``NicMemory``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis import littles_law, shapes
+from ..params import SimParams
+from .common import KiB, MiB, render_rows, size_label
+
+ID = "fig04"
+TITLE = "Fig. 4 — worst-case NIC memory vs concurrent writes"
+CLAIMS = [
+    "required memory is linear in the number of concurrent writes (77 B each)",
+    "6 MiB of NIC memory serve ~82 K concurrent writes",
+    "larger writes need fewer descriptors at a fixed line rate",
+]
+
+N_WRITES = [1 << i for i in range(8, 21)]  # 256 .. 1M concurrent writes
+WRITE_SIZES = [512, 2 * KiB, 8 * KiB, 64 * KiB, 1 * MiB]
+
+
+def run(params: Optional[SimParams] = None, quick: bool = False) -> list[dict]:
+    params = params or SimParams()
+    rows: list[dict] = []
+    for n in N_WRITES:
+        rows.append(
+            {
+                "series": "required-memory",
+                "n_writes": n,
+                "bytes": littles_law.required_memory_bytes(
+                    n, params.pspin.request_descriptor_bytes
+                ),
+            }
+        )
+    for size in WRITE_SIZES:
+        rows.append(
+            {
+                "series": "line-rate-concurrency",
+                "write_size": size_label(size),
+                "concurrent_writes": littles_law.concurrent_writes(size, params),
+            }
+        )
+    rows.append(
+        {
+            "series": "capacity",
+            "available_bytes": 6 * MiB,
+            "max_concurrent": littles_law.max_concurrent_writes(params.pspin),
+        }
+    )
+    return rows
+
+
+def check(rows: list[dict]) -> None:
+    mem = {r["n_writes"]: r["bytes"] for r in rows if r["series"] == "required-memory"}
+    ns = sorted(mem)
+    shapes.assert_monotonic([mem[n] for n in ns], claim="memory grows with writes")
+    # exact linearity at 77 B per descriptor
+    for n in ns:
+        shapes.check(mem[n] == 77 * n, f"descriptor accounting: {n} writes -> {mem[n]} B")
+    cap = next(r for r in rows if r["series"] == "capacity")
+    shapes.check(
+        80_000 <= cap["max_concurrent"] <= 85_000,
+        f"~82 K concurrent writes (got {cap['max_concurrent']})",
+    )
+    conc = [
+        r["concurrent_writes"] for r in rows if r["series"] == "line-rate-concurrency"
+    ]
+    shapes.assert_monotonic(conc, increasing=False, claim="larger writes -> fewer in flight")
+
+
+def render(rows: list[dict]) -> str:
+    mem = [r for r in rows if r["series"] == "required-memory"]
+    conc = [r for r in rows if r["series"] == "line-rate-concurrency"]
+    cap = next(r for r in rows if r["series"] == "capacity")
+    out = [
+        render_rows(mem, ["n_writes", "bytes"], TITLE),
+        "",
+        render_rows(conc, ["write_size", "concurrent_writes"], "Concurrency at line rate"),
+        "",
+        f"NIC memory for request state: {cap['available_bytes']} B "
+        f"-> max {cap['max_concurrent']} concurrent writes (paper: ~82 K)",
+    ]
+    return "\n".join(out)

@@ -1,0 +1,64 @@
+"""Fig. 16 (right): HPUs needed to sustain line rate vs handler duration.
+
+For 2 KiB packets, a packet arrives every 40.96 ns at 400 Gbit/s
+(81.92 ns at 200 Gbit/s); a handler lasting D ns needs ceil(D / 40.96)
+HPUs.  The paper reads off that RS(6,3) (~23 us payload handlers) needs
+~512 HPUs at 400 Gbit/s — PsPIN's modular clusters can be scaled out to
+reach that.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis import budget, shapes
+from ..params import SimParams
+from .common import render_rows
+
+ID = "fig16_budget"
+TITLE = "Fig. 16 R — HPUs needed vs mean handler duration (2 KiB packets)"
+CLAIMS = [
+    "HPUs needed grow linearly with handler duration",
+    "RS(6,3) payload handlers (~23 us) need ~512 HPUs at 400 Gbit/s",
+    "halving the line rate halves the HPU requirement",
+]
+
+DURATIONS_NS = [100, 500, 1000, 2000, 4000, 8000, 16681, 23018, 32000]
+PKT = 2048
+
+
+def run(params: Optional[SimParams] = None, quick: bool = False) -> list[dict]:
+    rows = []
+    for d in DURATIONS_NS:
+        rows.append(
+            {
+                "handler_ns": d,
+                "hpus_400g": budget.hpus_needed(400.0, PKT, d),
+                "hpus_200g": budget.hpus_needed(200.0, PKT, d),
+            }
+        )
+    return rows
+
+
+def check(rows: list[dict]) -> None:
+    h400 = [r["hpus_400g"] for r in rows]
+    shapes.assert_monotonic(h400, claim="HPUs grow with handler duration")
+    rs63 = next(r for r in rows if r["handler_ns"] == 23018)
+    shapes.check(
+        450 <= rs63["hpus_400g"] <= 640,
+        f"RS(6,3) needs ~512 HPUs at 400G (got {rs63['hpus_400g']})",
+    )
+    for r in rows:
+        if r["handler_ns"] >= 1000:
+            shapes.assert_ratio_between(
+                r["hpus_400g"], r["hpus_200g"], 1.8, 2.2,
+                "double line rate -> double HPUs",
+            )
+    # the default 32-HPU configuration sustains 400G only for handlers
+    # under ~1311 ns (§VI-C)
+    b = budget.handler_budget_ns(400.0, PKT, 32)
+    shapes.check(1300 <= b <= 1320, f"32-HPU budget ~1310 ns (got {b:.0f})")
+
+
+def render(rows: list[dict]) -> str:
+    return render_rows(rows, ["handler_ns", "hpus_400g", "hpus_200g"], TITLE)

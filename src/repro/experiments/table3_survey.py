@@ -1,0 +1,48 @@
+"""Table III: DFS characteristics survey (§VIII)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis import DFS_SURVEY, Support, shapes
+from ..analysis.survey import render_table
+from ..params import SimParams
+
+ID = "table3"
+TITLE = "Table III — DFS characteristics survey"
+CLAIMS = [
+    "14 systems surveyed",
+    "no surveyed system fully provides RDMA together with all three policies",
+]
+
+
+def run(params: Optional[SimParams] = None, quick: bool = False) -> list[dict]:
+    return [
+        {
+            "dfs": e.name,
+            "rdma": e.rdma.symbol,
+            "auth": e.auth.symbol,
+            "replication": e.replication.symbol,
+            "ec": e.erasure_coding.symbol,
+            "notes": e.notes,
+        }
+        for e in DFS_SURVEY
+    ]
+
+
+def check(rows: list[dict]) -> None:
+    shapes.check(len(rows) == 14, "14 systems surveyed")
+    # the gap the paper fills: nobody has full RDMA + auth + repl + EC
+    full = [
+        e.name
+        for e in DFS_SURVEY
+        if e.rdma == Support.YES
+        and e.auth == Support.YES
+        and e.replication == Support.YES
+        and e.erasure_coding == Support.YES
+    ]
+    shapes.check(not full, f"no fully-RDMA DFS offloads all policies (found {full})")
+
+
+def render(rows: list[dict]) -> str:
+    return render_table()

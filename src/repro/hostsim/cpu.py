@@ -1,0 +1,55 @@
+"""Storage-node CPU model.
+
+A pool of cores (a :class:`~repro.simnet.resources.Resource`) plus
+helpers to charge cycle- or byte-denominated work.  The CPU is where the
+RPC-based baselines (Fig. 1b) enforce DFS policies: request validation,
+buffering copies, and replication forwarding all occupy a core here.
+"""
+
+from __future__ import annotations
+
+from ..params import HostParams
+from ..simnet.engine import Simulator
+from ..simnet.link import gbps_to_ns_per_byte
+from ..simnet.resources import Resource
+
+__all__ = ["Cpu"]
+
+
+class Cpu:
+    """``cores`` identical cores at ``cpu_freq_ghz``."""
+
+    def __init__(self, sim: Simulator, params: HostParams, name: str = "cpu"):
+        self.sim = sim
+        self.params = params
+        self.name = name
+        self.cores = Resource(sim, capacity=params.cpu_cores, name=f"{name}.cores")
+        self._memcpy_ns_per_byte = gbps_to_ns_per_byte(params.memcpy_gbps)
+        self.busy_ns = 0.0
+
+    def cycles_ns(self, cycles: float) -> float:
+        return cycles / self.params.cpu_freq_ghz
+
+    def memcpy_ns(self, nbytes: int) -> float:
+        """Single-core buffered copy cost (what the RPC write path pays
+        to stage data while validating, §IV-A)."""
+        return nbytes * self._memcpy_ns_per_byte
+
+    def run(self, duration_ns: float):
+        """Generator: occupy one core for ``duration_ns``.
+
+        Usage: ``yield from cpu.run(t)`` inside a process.
+        """
+        req = self.cores.request()
+        yield req
+        try:
+            yield self.sim.timeout(duration_ns)
+            self.busy_ns += duration_ns
+        finally:
+            self.cores.release(req)
+
+    def run_cycles(self, cycles: float):
+        yield from self.run(self.cycles_ns(cycles))
+
+    def utilisation(self) -> float:
+        return self.cores.utilisation()

@@ -1,0 +1,54 @@
+"""Host memory target: the functional byte store behind a storage node.
+
+The paper deliberately abstracts the storage medium (§III: "we assume
+that the storage medium can digest data at network bandwidth or
+higher"), targeting NVMM / in-memory file systems.  We model the target
+as a flat byte-addressable buffer: writes land at explicit offsets, and
+the benchmark assertions later check byte-for-byte contents (e.g. all
+replicas identical after a replicated write).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MemoryTarget", "AddressError"]
+
+
+class AddressError(ValueError):
+    """Out-of-range access to a memory target."""
+
+
+class MemoryTarget:
+    """A flat, byte-addressable storage target."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.buf = np.zeros(capacity, dtype=np.uint8)
+        self.bytes_written = 0
+        self.write_ops = 0
+
+    def check_range(self, addr: int, length: int) -> None:
+        if addr < 0 or length < 0 or addr + length > self.capacity:
+            raise AddressError(
+                f"range [{addr}, {addr + length}) outside target of {self.capacity} B"
+            )
+
+    def write(self, addr: int, data: np.ndarray) -> None:
+        data = np.asarray(data, dtype=np.uint8)
+        self.check_range(addr, data.nbytes)
+        self.buf[addr : addr + data.nbytes] = data
+        self.bytes_written += data.nbytes
+        self.write_ops += 1
+
+    def read(self, addr: int, length: int) -> np.ndarray:
+        self.check_range(addr, length)
+        # A read returns a copy: callers may mutate it freely.
+        return self.buf[addr : addr + length].copy()
+
+    def view(self, addr: int, length: int) -> np.ndarray:
+        """Zero-copy view for assertions in tests/benchmarks."""
+        self.check_range(addr, length)
+        return self.buf[addr : addr + length]

@@ -1,0 +1,79 @@
+"""PCIe / system-interconnect model.
+
+A shared DMA channel between the NIC and host memory: transfers are
+serialized at the PCIe payload bandwidth and each transaction pays the
+one-way latency before the data is visible in host memory.  The paper's
+motivation hinges on this cost ("a PCIe round-trip can take up to
+400 ns" [25], §III): CPU-centric policies pay it on every data touch,
+sPIN handlers act on packets *before* they cross it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..params import HostParams
+from ..simnet.engine import Event, Simulator
+from ..simnet.link import gbps_to_ns_per_byte
+from ..simnet.resources import Store
+
+__all__ = ["Pcie"]
+
+
+class Pcie:
+    """A serializing DMA channel with per-transaction latency.
+
+    ``dma(nbytes, on_complete)`` returns an event firing when the data is
+    durable in host memory (serialization through the channel + one-way
+    latency).  Transactions from concurrent packets queue FIFO, so a
+    flood of incoming writes sees PCIe as a bandwidth resource, not just
+    a constant.
+    """
+
+    def __init__(self, sim: Simulator, params: HostParams, name: str = "pcie"):
+        self.sim = sim
+        self.params = params
+        self.name = name
+        self._ns_per_byte = gbps_to_ns_per_byte(params.pcie_bandwidth_gbps)
+        self._queue: Store = Store(sim, name=f"{name}.q")
+        self.bytes_transferred = 0
+        self.transactions = 0
+        self.busy_ns = 0.0
+        sim.process(self._serve(), name=f"{name}.server")
+
+    def dma(
+        self,
+        nbytes: int,
+        on_complete: Optional[Callable[[], None]] = None,
+    ) -> Event:
+        """Move ``nbytes`` across the interconnect; event fires when the
+        transfer is durable (flushed) at the far side."""
+        if nbytes < 0:
+            raise ValueError("negative DMA size")
+        done = self.sim.event(name=f"{self.name}.dma")
+        self._queue.put((nbytes, on_complete, done))
+        return done
+
+    def _serve(self):
+        sim = self.sim
+        lat = self.params.pcie_latency_ns
+        while True:
+            nbytes, on_complete, done = yield self._queue.get()
+            ser = nbytes * self._ns_per_byte
+            if ser > 0:
+                yield sim.timeout(ser)
+            self.busy_ns += ser
+            self.bytes_transferred += nbytes
+            self.transactions += 1
+
+            def finish(cb=on_complete, ev=done):
+                if cb is not None:
+                    cb()
+                ev.succeed(None)
+
+            # Latency overlaps with the next transaction's serialization
+            # (posted writes pipeline through the root complex).
+            sim._call_soon(finish, delay=lat)
+
+    def utilisation(self) -> float:
+        return self.busy_ns / self.sim.now if self.sim.now > 0 else 0.0

@@ -1,0 +1,51 @@
+"""Write protocols: the sPIN data path and every baseline of §IV-§VI."""
+
+from .base import WriteContext, WriteOutcome
+from .ec_protocols import inec_write, install_inec_targets
+from .hyperloop import hyperloop_write, install_hyperloop_targets
+from .logrep import ReplicatedLog, install_log_targets, log_append
+from .raw import raw_write
+from .recovery import RecoveryReport, degraded_read, rebuild_object
+from .replication import (
+    DEFAULT_CHUNK_BYTES,
+    cpu_replicated_write,
+    install_cpu_replication_targets,
+    rdma_flat_write,
+)
+from .rpc import install_rpc_targets, rpc_write
+from .rpc_rdma import install_rpc_rdma_targets, rpc_rdma_write
+from .spin_write import install_spin_targets, spin_read, spin_write
+from .striped import create_striped, read_back_striped, striped_write
+from .threat import install_threat_targets, threat_write
+
+__all__ = [
+    "DEFAULT_CHUNK_BYTES",
+    "RecoveryReport",
+    "ReplicatedLog",
+    "WriteContext",
+    "WriteOutcome",
+    "cpu_replicated_write",
+    "create_striped",
+    "degraded_read",
+    "read_back_striped",
+    "rebuild_object",
+    "striped_write",
+    "hyperloop_write",
+    "inec_write",
+    "install_cpu_replication_targets",
+    "install_hyperloop_targets",
+    "install_inec_targets",
+    "install_log_targets",
+    "install_rpc_rdma_targets",
+    "install_rpc_targets",
+    "install_spin_targets",
+    "install_threat_targets",
+    "log_append",
+    "threat_write",
+    "raw_write",
+    "rdma_flat_write",
+    "rpc_rdma_write",
+    "rpc_write",
+    "spin_read",
+    "spin_write",
+]

@@ -1,0 +1,204 @@
+"""Erasure-coding protocols: the INEC-TriEC baseline (§VI-A, Fig. 13 left).
+
+TriEC distributes encoding across storage nodes; INEC accelerates it
+with pre-posted in-network EC primitives on conventional RDMA NICs.  The
+defining property versus sPIN-TriEC is **per-chunk, host-memory-staged**
+operation:
+
+* the client writes chunk j to data node j (a plain RDMA write: the
+  chunk lands in *host* memory);
+* only when the whole chunk arrived does the NIC EC engine fire: it
+  reads the chunk back across PCIe, encodes the m intermediate parities,
+  and sends them to the parity nodes;
+* a parity node stages the k intermediate chunks in host memory, reads
+  them back, XORs, writes the final parity, and acks.
+
+sPIN-TriEC (in :mod:`repro.protocols.spin_write`) does the same algebra
+per *packet*, before anything crosses PCIe — that difference is the
+whole Fig. 15 story.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.policies.erasure import rs_for
+from ..dfs.cluster import Testbed
+from ..dfs.layout import FileLayout
+from ..dfs.nodes import StorageNode
+from ..ec.gf256 import gf_mul_scalar_vec
+from ..ec.reed_solomon import pad_to_chunks
+from ..simnet.engine import Event
+from ..simnet.packet import Packet
+from .base import WriteContext, as_uint8, wrap_result
+
+__all__ = ["install_inec_targets", "inec_write"]
+
+
+def install_inec_targets(testbed: Testbed) -> None:
+    for node in testbed.storage_nodes:
+        _InecEngine(node)
+
+
+class _InecEngine:
+    """Per-node INEC primitive machinery (NIC rx hook + EC engine)."""
+
+    def __init__(self, node: StorageNode):
+        self.node = node
+        self._rx: dict = {}
+        #: parity staging: (block, parity_idx) -> {"chunks": [..], "meta"}
+        self._parity: dict = {}
+        #: the vendor EC engine processes one descriptor at a time — the
+        #: serialization that sinks INEC's small-block bandwidth
+        from ..simnet.resources import Resource
+
+        self.engine = Resource(node.sim, capacity=1, name=f"{node.name}.ec-engine")
+        node.nic.rx_hooks.append(self.on_packet)
+
+    def on_packet(self, pkt: Packet) -> bool:
+        if pkt.op == "write" and (
+            pkt.headers.get("inec") is not None or pkt.msg_id in self._rx
+        ):
+            self._rx_chunk(pkt)
+            return True
+        return False
+
+    def _rx_chunk(self, pkt: Packet) -> None:
+        if pkt.is_header:
+            self._rx[pkt.msg_id] = {"meta": pkt.headers["inec"], "chunks": []}
+        st = self._rx.get(pkt.msg_id)
+        if st is None:
+            return
+        if pkt.payload is not None:
+            st["chunks"].append(pkt.payload)
+        if pkt.is_completion:
+            self._rx.pop(pkt.msg_id)
+            data = (
+                np.concatenate(st["chunks"])
+                if st["chunks"]
+                else np.zeros(0, np.uint8)
+            )
+            meta = st["meta"]
+            if meta["role"] == "data":
+                self.node.sim.process(self._encode_and_forward(meta, data))
+            else:
+                self.node.sim.process(self._aggregate(meta, data))
+
+    # ------------------------------------------------------- data node
+    def _encode_and_forward(self, meta: dict, chunk: np.ndarray):
+        node = self.node
+        inec = node.params.inec
+        rs = rs_for(meta["k"], meta["m"])
+        # chunk lands in host memory first (per-message processing)
+        yield node.pcie.dma(chunk.nbytes)
+        node.memory.write(meta["addr"], chunk)
+        # engine invocation: one descriptor at a time through the
+        # firmware engine — fetch, read the chunk back out, encode
+        req = self.engine.request()
+        yield req
+        try:
+            yield node.sim.timeout(inec.block_overhead_ns)
+            yield node.pcie.dma(chunk.nbytes)
+            yield node.sim.timeout(chunk.nbytes * meta["m"] * 8.0 / inec.engine_gbps)
+        finally:
+            self.engine.release(req)
+        for i, (pnode, paddr) in enumerate(meta["parity_coords"]):
+            enc = gf_mul_scalar_vec(
+                rs.parity_coefficient(i, meta["index"]), chunk
+            )
+            node.nic.send_message(
+                dst=pnode,
+                op="write",
+                headers={
+                    "inec": {
+                        "role": "parity",
+                        "k": meta["k"],
+                        "m": meta["m"],
+                        "index": i,
+                        "block": meta["block"],
+                        "addr": paddr,
+                        "client": meta["client"],
+                        "greq_id": meta["greq_id"],
+                    }
+                },
+                data=enc,
+                header_bytes=48,
+                post_overhead=False,
+            )
+        # local ack once the systematic chunk is durable
+        node.nic.send_control(
+            meta["client"], "ack", {"ack_for": meta["greq_id"], "node": node.name}
+        )
+
+    # ------------------------------------------------------ parity node
+    def _aggregate(self, meta: dict, contribution: np.ndarray):
+        """One INEC aggregation primitive per arriving intermediate
+        chunk: stage it in host memory, then a triggered engine pass
+        reads it (and the running accumulator) back over PCIe and XORs
+        it in.  k sequential passes per block — versus sPIN-TriEC's
+        per-packet accumulator XOR that never leaves the NIC."""
+        node = self.node
+        inec = node.params.inec
+        key = (meta["block"], meta["index"])
+        st = self._parity.get(key)
+        if st is None:
+            st = self._parity[key] = {"acc": np.zeros_like(contribution), "count": 0}
+        # stage the intermediate chunk in host memory
+        yield node.pcie.dma(contribution.nbytes)
+        # triggered per-chunk engine pass
+        req = self.engine.request()
+        yield req
+        try:
+            yield node.sim.timeout(inec.block_overhead_ns)
+            # read the staged chunk + accumulator back, write acc out
+            yield node.pcie.dma(2 * contribution.nbytes)
+            yield node.sim.timeout(contribution.nbytes * 8.0 / inec.engine_gbps)
+        finally:
+            self.engine.release(req)
+        n = contribution.nbytes
+        np.bitwise_xor(st["acc"][:n], contribution, out=st["acc"][:n])
+        st["count"] += 1
+        if st["count"] < meta["k"]:
+            return
+        self._parity.pop(key)
+        yield node.pcie.dma(n)
+        node.memory.write(meta["addr"], st["acc"][:n])
+        node.nic.send_control(
+            meta["client"], "ack", {"ack_for": meta["greq_id"], "node": node.name}
+        )
+
+
+def inec_write(ctx: WriteContext, layout: FileLayout, data) -> Event:
+    """Client driver: k chunk writes; completes on k + m acks."""
+    data = as_uint8(data)
+    assert layout.ec is not None
+    k, m = layout.ec.k, layout.ec.m
+    chunks = pad_to_chunks(data, k)
+    nic = ctx.client.nic
+    greq, done = nic.open_transaction(expected_acks=k + m)
+    parity_coords = [(e.node, e.addr) for e in layout.parity_extents]
+    block = layout.object_id * 1_000_003 + greq
+    for j, (chunk, ext) in enumerate(zip(chunks, layout.extents)):
+        nic.send_message(
+            dst=ext.node,
+            op="write",
+            headers={
+                "inec": {
+                    "role": "data",
+                    "k": k,
+                    "m": m,
+                    "index": j,
+                    "block": block,
+                    "addr": ext.addr,
+                    "parity_coords": parity_coords,
+                    "client": ctx.client.name,
+                    "greq_id": greq,
+                }
+            },
+            data=chunk,
+            header_bytes=64,
+            post_overhead=(j == 0),
+        )
+    return wrap_result(ctx.client.sim, done, data.nbytes, f"inec-triec-rs({k},{m})")

@@ -1,0 +1,214 @@
+"""RDMA-HyperLoop replication baseline (§V, Fig. 8; Kim et al. [35]).
+
+HyperLoop chains *pre-posted, triggered* RDMA work-queue elements on the
+storage-node NICs: when a data write lands, the NIC's triggered WQE
+forwards it to the next node in the ring without CPU involvement.
+Because pre-posted WQEs cannot depend on message content, the client
+must first **configure** them — remotely writing WQE descriptors
+(destination, addresses) into each storage node — before every logical
+write.  That configuration round is the overhead that penalises
+HyperLoop for small writes and short chains (Fig. 9), and is amortised
+for large writes / large k.
+
+Model: per ring node, a ``wqe_config`` control write (landing in host
+memory across PCIe, where the NIC fetches descriptors from) that is
+acknowledged; then a chunked ring broadcast where each hop
+stores-and-forwards at the NIC: DMA to host, WQE trigger, DMA back from
+host, retransmit.  The tail node acknowledges the client per chunk.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..dfs.cluster import Testbed
+from ..dfs.layout import FileLayout
+from ..dfs.nodes import StorageNode
+from ..simnet.engine import Event
+from ..simnet.packet import Packet
+from .base import WriteContext, WriteOutcome, as_uint8
+from .replication import DEFAULT_CHUNK_BYTES
+
+__all__ = ["install_hyperloop_targets", "hyperloop_write"]
+
+#: NIC-side cost to fetch and fire one triggered WQE.
+WQE_TRIGGER_NS = 150.0
+
+
+def install_hyperloop_targets(testbed: Testbed) -> None:
+    for node in testbed.storage_nodes:
+        _HyperLoopEngine(node)
+
+
+class _HyperLoopEngine:
+    """Per-node triggered-WQE machinery, hooked into the NIC rx path."""
+
+    def __init__(self, node: StorageNode):
+        self.node = node
+        self.rings: dict = {}          # ring_id -> descriptor
+        self._rx: dict = {}            # msg_id -> chunks
+        node.nic.rx_hooks.append(self.on_packet)
+
+    def on_packet(self, pkt: Packet) -> bool:
+        if pkt.op == "wqe_config":
+            self.node.sim.process(self._configure(pkt))
+            return True
+        if pkt.op == "write" and (
+            pkt.headers.get("hl_ring") is not None or pkt.msg_id in self._rx
+        ):
+            self._rx_data(pkt)
+            return True
+        return False
+
+    # ------------------------------------------------------------ config
+    def _configure(self, pkt: Packet):
+        h = pkt.headers
+        # The WQE descriptors are remotely written into host memory; the
+        # NIC will fetch them when triggered.
+        yield self.node.pcie.dma(64 * h.get("n_wqes", 1))
+        self.rings[h["ring"]] = {
+            "next_node": h["next_node"],
+            "next_addr": h["next_addr"],
+            "addr": h["addr"],
+            "client": h["client"],
+            "greq": h["greq_id"],
+            "tail": h["next_node"] is None,
+        }
+        self.node.nic.send_control(
+            pkt.src, "ack", {"ack_for": h["greq_id"], "cfg": True, "node": self.node.name}
+        )
+
+    # -------------------------------------------------------------- data
+    def _rx_data(self, pkt: Packet) -> None:
+        if pkt.is_header:
+            self._rx[pkt.msg_id] = {
+                "ring": pkt.headers["hl_ring"],
+                "chunks": [],
+                "chunk_off": pkt.headers["chunk_off"],
+                "greq": pkt.headers.get("greq_id"),
+            }
+        st = self._rx.get(pkt.msg_id)
+        if st is None:
+            return
+        if pkt.payload is not None:
+            st["chunks"].append(pkt.payload)
+        if pkt.is_completion:
+            self._rx.pop(pkt.msg_id)
+            self.node.sim.process(self._forward(st))
+
+    def _forward(self, st: dict):
+        node = self.node
+        ring = self.rings[st["ring"]]
+        data = (
+            np.concatenate(st["chunks"]) if st["chunks"] else np.zeros(0, np.uint8)
+        )
+        # 1. the chunk lands in host memory (it already streamed through
+        #    the NIC; charge the PCIe store)
+        yield node.pcie.dma(data.nbytes)
+        node.memory.write(ring["addr"] + st["chunk_off"], data)
+        # 2. triggered WQE fires
+        yield node.sim.timeout(WQE_TRIGGER_NS)
+        greq = st.get("greq") or ring["greq"]
+        if ring["tail"]:
+            node.nic.send_control(
+                ring["client"], "ack", {"ack_for": greq, "node": node.name}
+            )
+            return
+        # 3. the NIC reads the data back out of host memory and forwards
+        yield node.pcie.dma(data.nbytes)
+        node.nic.send_message(
+            dst=ring["next_node"],
+            op="write",
+            headers={
+                "hl_ring": st["ring"],
+                "chunk_off": st["chunk_off"],
+                "addr": -1,
+                "greq_id": greq,
+            },
+            data=data,
+            header_bytes=24,
+            post_overhead=False,
+        )
+
+
+def hyperloop_write(
+    ctx: WriteContext,
+    layout: FileLayout,
+    data,
+    chunk_bytes: Optional[int] = None,
+) -> Event:
+    """Client driver: configure the ring's WQEs, then stream chunks."""
+    data = as_uint8(data)
+    assert layout.replication is not None
+    sim = ctx.client.sim
+    nic = ctx.client.nic
+    extents = list(layout.extents)
+    k = len(extents)
+    chunk_bytes = chunk_bytes or DEFAULT_CHUNK_BYTES
+    n_chunks = max(1, -(-data.nbytes // chunk_bytes))
+    ring_id = f"hl-{layout.object_id}-{sim.now}"
+
+    outcome_ev = sim.event(name="hyperloop-outcome")
+
+    def driver():
+        t0 = sim.now
+        # ---- configuration phase: write WQEs to each storage node ----
+        cfg_greq, cfg_done = nic.open_transaction(expected_acks=k)
+        for i, ext in enumerate(extents):
+            nxt = extents[i + 1] if i + 1 < k else None
+            nic.send_message(
+                dst=ext.node,
+                op="wqe_config",
+                headers={
+                    "ring": ring_id,
+                    "greq_id": cfg_greq,
+                    "next_node": nxt.node if nxt else None,
+                    "next_addr": nxt.addr if nxt else -1,
+                    "addr": ext.addr,
+                    "client": ctx.client.name,
+                    "n_wqes": n_chunks,
+                },
+                header_bytes=48,
+                post_overhead=(i == 0),
+            )
+        yield cfg_done
+        # ---- data phase: chunked ring broadcast, tail acks ----
+        data_greq, data_done = nic.open_transaction(expected_acks=n_chunks)
+        off = 0
+        for idx in range(n_chunks):
+            chunk = data[off : off + chunk_bytes]
+            nic.send_message(
+                dst=extents[0].node,
+                op="write",
+                headers={
+                    "hl_ring": ring_id,
+                    "chunk_off": off,
+                    "addr": extents[0].addr + off,
+                    "greq_id": data_greq,
+                },
+                data=chunk,
+                header_bytes=24,
+                post_overhead=(idx == 0),
+            )
+            off += chunk.nbytes
+        yield data_done
+        return WriteOutcome(
+            ok=True,
+            t_start=t0,
+            t_end=sim.now,
+            size=data.nbytes,
+            protocol="rdma-hyperloop",
+            greq_id=data_greq,
+            details={"config_acks": k, "chunks": n_chunks},
+        )
+
+    proc = sim.process(driver(), name="hyperloop-write")
+    proc.add_callback(
+        lambda ev: outcome_ev.fail(ev.exception)
+        if ev.exception is not None
+        else outcome_ev.succeed(ev.value)
+    )
+    proc._observed = True
+    return outcome_ev

@@ -1,0 +1,104 @@
+"""Replicated-log protocol driver (the §VII extension).
+
+``install_log_targets`` creates a k-way replicated log object and
+installs the :class:`~repro.core.policies.logrep.LogAppendPolicy` into
+each replica's NIC, registering the log descriptor (base address +
+capacity) in NIC state.  ``log_append`` then issues ordered appends:
+the primary's NIC assigns the offset atomically and source-routes the
+record down the replica ring.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..core.policies.logrep import LogAppendPolicy
+from ..dfs.cluster import Testbed
+from ..dfs.layout import FileLayout, ReplicationSpec
+from ..simnet.engine import Event
+from .base import WriteContext, as_uint8
+
+__all__ = ["ReplicatedLog", "install_log_targets", "log_append"]
+
+_log_ids = itertools.count(1)
+
+
+@dataclass
+class ReplicatedLog:
+    """Client-side handle to an installed log."""
+
+    log_id: int
+    layout: FileLayout
+    capacity: int
+
+    @property
+    def primary(self) -> str:
+        return self.layout.primary.node
+
+    @property
+    def k(self) -> int:
+        return len(self.layout.extents)
+
+
+def install_log_targets(
+    testbed: Testbed, path: str, capacity: int, k: int = 3
+) -> ReplicatedLog:
+    """Create the log object and install append policies on its replicas.
+
+    Reuses a node's existing :class:`LogAppendPolicy` context when one is
+    already installed (several logs can share the NIC state).
+    """
+    layout = testbed.metadata.create(
+        path, capacity, replication=ReplicationSpec(k=k, strategy="ring")
+    )
+    log_id = next(_log_ids)
+    for ext in layout.extents:
+        node = testbed.node(ext.node)
+        policy = None
+        if node.accelerator is not None:
+            for ctx in node.accelerator.contexts:
+                cand = getattr(ctx.handlers.payload, "policy", None)
+                if isinstance(cand, LogAppendPolicy):
+                    policy = cand
+                    break
+        if policy is None:
+            policy = LogAppendPolicy()
+            if node.accelerator is not None:
+                # NIC already runs a DFS context: add a second context
+                # matching the log_append message class
+                node.add_pspin_context(policy, match_ops=("log_append",))
+            else:
+                node.install_pspin(
+                    policy, authority=testbed.authority, match_ops=("log_append",)
+                )
+        policy.register_log(log_id, ext.addr, capacity)
+    return ReplicatedLog(log_id=log_id, layout=layout, capacity=capacity)
+
+
+def log_append(ctx: WriteContext, log: ReplicatedLog, record) -> Event:
+    """Append a record to the replicated log.
+
+    The event's value is an :class:`~repro.rdma.nic.OpResult`; on success
+    ``result.info["offset"]`` holds the NIC-assigned log offset, which is
+    identical on every replica.
+    """
+    record = as_uint8(record)
+    nic = ctx.client.nic
+    ring = tuple({"node": e.node} for e in log.layout.extents[1:])
+    greq, done = nic.open_transaction(expected_acks=log.k)
+    dfs = ctx.dfs_header(greq)
+    nic.send_message(
+        dst=log.primary,
+        op="log_append",
+        headers={
+            "dfs": dfs,
+            "log_id": log.log_id,
+            "write_len": record.nbytes,
+            "ring": ring,
+            "greq_id": greq,
+        },
+        data=record,
+        header_bytes=96 + 16 * len(ring),
+    )
+    return done

@@ -1,0 +1,31 @@
+"""Raw RDMA writes — the paper's speed-of-light reference (§IV).
+
+No DFS policy is enforced: the client issues a single one-sided RDMA
+write to the storage node; the NIC DMAs payloads straight to the target
+and acks on the last packet.  Anyone holding the rkey could write
+anywhere — which is exactly the gap the offloaded policies close.
+"""
+
+from __future__ import annotations
+
+from ..dfs.layout import FileLayout
+from ..simnet.engine import Event
+from .base import WriteContext, as_uint8, wrap_result
+
+__all__ = ["raw_write"]
+
+
+def raw_write(ctx: WriteContext, layout: FileLayout, data) -> Event:
+    """One unvalidated RDMA write to the layout's primary extent."""
+    data = as_uint8(data)
+    ext = layout.primary
+    if data.nbytes > ext.length:
+        raise ValueError(f"write of {data.nbytes} B exceeds extent {ext.length} B")
+    done = ctx.client.nic.post_write(
+        dst=ext.node,
+        data=data,
+        headers={"addr": ext.addr, "reply_to": ctx.client.name},
+        header_bytes=8,
+        expected_acks=1,
+    )
+    return wrap_result(ctx.client.sim, done, data.nbytes, "raw")

@@ -1,0 +1,147 @@
+"""Replication baselines (§V, Fig. 8).
+
+* **CPU-Ring / CPU-PBT** — the storage-node CPUs broadcast the data
+  along a ring / pipelined binary tree: every hop pays NIC→host DMA, a
+  host staging copy, and CPU re-injection.  The client pipelines the
+  write as a train of chunks ("we report data from pipelined executions
+  with optimal chunk size", §V-B); every node acks every chunk, so the
+  client completes after k × n_chunks acks.
+
+* **RDMA-Flat** — the client replicates itself with k independent RDMA
+  writes (Fig. 8): no storage CPU involvement, no request validation
+  (clients are fully trusted, §V-B), but the client's injection
+  bandwidth is paid k times — the linear-in-k cost of Fig. 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+import numpy as np
+
+from ..core.request import ReplicaCoord, ReplicationParams, request_header_bytes
+from ..dfs.capability import Rights
+from ..dfs.cluster import Testbed
+from ..dfs.layout import FileLayout
+from ..dfs.nodes import StorageNode
+from ..rdma.nic import fresh_greq_id
+from ..simnet.engine import Event
+from .base import WriteContext, as_uint8, replication_params_for, wrap_result
+
+__all__ = [
+    "install_cpu_replication_targets",
+    "cpu_replicated_write",
+    "rdma_flat_write",
+    "DEFAULT_CHUNK_BYTES",
+]
+
+#: Default pipelining chunk; benchmarks sweep around it for the optimum.
+DEFAULT_CHUNK_BYTES = 64 * 1024
+
+
+def install_cpu_replication_targets(testbed: Testbed) -> None:
+    for node in testbed.storage_nodes:
+        node.register_rpc("repl_write", _repl_write_handler)
+
+
+def _repl_write_handler(node: StorageNode, headers: dict, payload: np.ndarray, src: str):
+    """One pipelined chunk: validate, stage, store, forward, ack."""
+    p = node.params.host
+    rp: ReplicationParams = headers["rp"]
+    greq = headers["greq_id"]
+    reply_to = headers["reply_to_client"]
+    # validation (per request: only the first chunk pays the full check)
+    if headers["chunk_idx"] == 0:
+        yield from node.cpu.run(p.rpc_validate_cycles / p.cpu_freq_ghz)
+        authority = headers.get("authority")
+        dfs = headers.get("dfs")
+        if authority is not None and (
+            dfs is None
+            or dfs.capability is None
+            or not authority.verify(
+                dfs.capability, Rights.WRITE, headers["addr"], payload.nbytes, 0.0
+            )
+        ):
+            node.respond(reply_to, greq, "auth", error=True)
+            return
+    # staging copy out of the RPC buffer into the storage target
+    yield from node.cpu.run(node.cpu.memcpy_ns(int(payload.nbytes)))
+    node.memory.write(headers["addr"] + headers["chunk_off"], payload)
+    # forward to children (CPU posts the sends; data must come back out
+    # of host memory across PCIe)
+    for child_rank in rp.children_of(rp.virtual_rank):
+        coord = rp.coord_for_rank(child_rank)
+        fwd_headers = dict(headers)
+        fwd_headers["rp"] = replace(rp, virtual_rank=child_rank)
+        fwd_headers["addr"] = coord.addr
+        yield node.pcie.dma(int(payload.nbytes))  # NIC reads the data back
+        node.nic.send_message(
+            dst=coord.node,
+            op="rpc",
+            headers=fwd_headers,
+            data=payload,
+            header_bytes=64,
+            post_overhead=False,  # CPU posting charged below
+        )
+        yield from node.cpu.run(p.rpc_dispatch_ns / 2)
+    node.ack(reply_to, greq)
+
+
+def cpu_replicated_write(
+    ctx: WriteContext,
+    layout: FileLayout,
+    data,
+    testbed: Testbed,
+    chunk_bytes: Optional[int] = None,
+) -> Event:
+    """CPU-Ring / CPU-PBT driver (strategy taken from the layout)."""
+    data = as_uint8(data)
+    assert layout.replication is not None
+    k = layout.replication.k
+    chunk_bytes = chunk_bytes or DEFAULT_CHUNK_BYTES
+    chunks = [data[i : i + chunk_bytes] for i in range(0, max(data.nbytes, 1), chunk_bytes)]
+    rp = replication_params_for(layout, virtual_rank=0)
+    greq, done = ctx.client.nic.open_transaction(expected_acks=k * len(chunks))
+    dfs = ctx.dfs_header(greq)
+    off = 0
+    for idx, chunk in enumerate(chunks):
+        ctx.client.nic.send_message(
+            dst=layout.primary.node,
+            op="rpc",
+            headers={
+                "rpc": "repl_write",
+                "greq_id": greq,
+                "dfs": dfs,
+                "rp": rp,
+                "addr": layout.primary.addr,
+                "chunk_off": off,
+                "chunk_idx": idx,
+                "reply_to_client": ctx.client.name,
+                "authority": testbed.authority,
+            },
+            data=chunk,
+            header_bytes=64,
+            post_overhead=(idx == 0),
+        )
+        off += chunk.nbytes
+    name = f"cpu-{layout.replication.strategy}"
+    return wrap_result(ctx.client.sim, done, data.nbytes, name)
+
+
+def rdma_flat_write(ctx: WriteContext, layout: FileLayout, data) -> Event:
+    """RDMA-Flat: k independent raw writes from the client (Fig. 8)."""
+    data = as_uint8(data)
+    assert layout.replication is not None
+    sim = ctx.client.sim
+    greq, done = ctx.client.nic.open_transaction(expected_acks=len(layout.extents))
+    for ext in layout.extents:
+        ctx.client.nic.post_write(
+            dst=ext.node,
+            data=data,
+            headers={"addr": ext.addr, "reply_to": ctx.client.name},
+            header_bytes=8,
+            greq_id=greq,
+            expected_acks=0,  # the shared transaction counts the acks
+        )
+    return wrap_result(sim, done, data.nbytes, "rdma-flat")

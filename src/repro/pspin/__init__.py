@@ -1,0 +1,42 @@
+"""PsPIN SmartNIC model: accelerator, NIC memory, handler cost model."""
+
+from .accelerator import HandlerApi, HandlerStats, PsPinAccelerator
+from .isa import (
+    AUTH_HANDLER_CYCLES,
+    CPI_CONTROL,
+    CPI_LOOP,
+    HandlerCost,
+    cleanup_handler_cost,
+    completion_handler_cost,
+    ec_completion_cost,
+    ec_data_payload_cost,
+    ec_fixed_instructions,
+    ec_instructions_per_byte,
+    ec_parity_payload_cost,
+    forward_payload_cost,
+    header_handler_cost,
+    payload_handler_cost,
+)
+from .memory import Allocation, NicMemory
+
+__all__ = [
+    "AUTH_HANDLER_CYCLES",
+    "Allocation",
+    "CPI_CONTROL",
+    "CPI_LOOP",
+    "HandlerApi",
+    "HandlerCost",
+    "HandlerStats",
+    "NicMemory",
+    "PsPinAccelerator",
+    "cleanup_handler_cost",
+    "completion_handler_cost",
+    "ec_completion_cost",
+    "ec_data_payload_cost",
+    "ec_fixed_instructions",
+    "ec_instructions_per_byte",
+    "ec_parity_payload_cost",
+    "forward_payload_cost",
+    "header_handler_cost",
+    "payload_handler_cost",
+]

@@ -1,0 +1,500 @@
+"""The PsPIN on-NIC packet processor (transaction-level model).
+
+Per-packet pipeline, timed per Fig. 7 (2 KiB packet):
+
+1. copy into the NIC packet buffer        — 32 cycles (64 B/cycle)
+2. hardware scheduler picks a cluster     — 2 cycles
+3. copy into the cluster's L1             — 43 cycles (≈48 B/cycle)
+4. dispatch onto an idle HPU              — 1 ns
+5. handler execution                      — cost model + waits
+
+Handler ordering per message follows sPIN's contract (§II-B1, §III-B):
+the header handler (HH) runs on the first packet and *completes* before
+any payload handler (PH) of the same message starts; PHs run on every
+packet, concurrently across HPUs; the completion handler (CH) runs once
+all packets are processed.  Handlers of one message run in one cluster
+(their shared state lives in that cluster's L1).
+
+Two emergent effects the model must produce (not hard-code):
+
+* **egress stalls** — handlers that forward packets block until the NIC
+  egress port transmits them; under PBT replication each incoming packet
+  begets two outgoing ones, the port saturates, and PH occupancy
+  stretches to ~2 µs with IPC ~0.06 (Table I);
+* **L1 contention** — memory-intensive handlers (the GF encode loop) see
+  a CPI penalty growing with concurrently active HPUs in their cluster,
+  producing the ~12 % EC throughput drop at high utilisation (§VI-C(b)).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..params import PsPinParams
+
+if TYPE_CHECKING:  # pragma: no cover — avoids a core<->pspin import cycle
+    from ..core.context import ExecutionContext
+from ..simnet.engine import Event, Simulator
+from ..simnet.packet import Packet
+from ..simnet.resources import Resource
+
+__all__ = ["PsPinAccelerator", "HandlerApi", "HandlerStats"]
+
+
+@dataclass
+class HandlerStats:
+    """Per-handler-type measurements (drives Tables I/II, Figs. 11/16)."""
+
+    durations_ns: List[float] = field(default_factory=list)
+    instructions: List[int] = field(default_factory=list)
+
+    def record(self, duration_ns: float, instructions: int) -> None:
+        self.durations_ns.append(duration_ns)
+        self.instructions.append(instructions)
+
+    @property
+    def n(self) -> int:
+        return len(self.durations_ns)
+
+    def mean_duration(self) -> float:
+        return sum(self.durations_ns) / self.n if self.n else 0.0
+
+    def mean_instructions(self) -> float:
+        return sum(self.instructions) / self.n if self.n else 0.0
+
+    def mean_ipc(self, freq_ghz: float) -> float:
+        """IPC as the paper reports it: instructions / (duration * freq)."""
+        d = self.mean_duration()
+        return self.mean_instructions() / (d * freq_ghz) if d > 0 else 0.0
+
+
+class _Cluster:
+    def __init__(self, sim: Simulator, idx: int, params: PsPinParams):
+        self.idx = idx
+        self.hpus = Resource(sim, params.hpus_per_cluster, name=f"cluster{idx}.hpus")
+        self.active = 0  # handlers currently in their compute phase
+
+
+class _MessageRun:
+    """Book-keeping for one in-flight message's handler executions."""
+
+    __slots__ = (
+        "msg_id",
+        "ctx",
+        "cluster",
+        "task",
+        "hh_done",
+        "phs_done",
+        "expected",
+        "ph_completed",
+        "completion_seen",
+        "dma_events",
+        "last_activity",
+        "finished",
+    )
+
+    def __init__(self, sim: Simulator, msg_id: int, ctx: "ExecutionContext", cluster: int):
+        from ..core.context import Task  # deferred: core imports pspin.isa
+
+        self.msg_id = msg_id
+        self.ctx = ctx
+        self.cluster = cluster
+        self.task = Task(ctx=ctx, flow_id=msg_id, cluster=cluster)
+        self.hh_done: Event = sim.event(name=f"hh_done({msg_id})")
+        self.phs_done: Event = sim.event(name=f"phs_done({msg_id})")
+        self.expected: Optional[int] = None
+        self.ph_completed = 0
+        self.completion_seen = False
+        self.dma_events: List[Event] = []
+        self.last_activity = 0.0
+        self.finished = False
+
+
+class HandlerApi:
+    """What a running handler may do (the sPIN device API)."""
+
+    def __init__(self, accel: "PsPinAccelerator", run: _MessageRun):
+        self._accel = accel
+        self._run = run
+
+    @property
+    def now(self) -> float:
+        return self._accel.sim.now
+
+    @property
+    def sim(self) -> Simulator:
+        return self._accel.sim
+
+    def send(self, pkt: Packet) -> Event:
+        """Forward a packet out of the NIC.
+
+        The returned event fires when the egress command queue *accepts*
+        the packet.  While egress keeps up with the handler's output the
+        wait is ~0; when handlers amplify traffic (PBT: two packets out
+        per packet in) the queue saturates and handlers stall here —
+        the back-pressure behind Table I's PBT numbers.
+        """
+        self._accel.forwarded_packets += 1
+        return self._accel._egress.put(pkt)
+
+    def send_control(self, dst: str, op: str, headers: dict, msg_id: Optional[int] = None) -> Event:
+        """Emit a small control packet (ack / nack)."""
+        from ..simnet.packet import fresh_msg_id
+
+        pkt = Packet(
+            src=self._accel.node_name,
+            dst=dst,
+            op=op,
+            msg_id=fresh_msg_id() if msg_id is None else msg_id,
+            seq=0,
+            nseq=1,
+            payload=None,
+            headers=headers,
+            header_bytes=16,
+        )
+        return self._accel._egress.put(pkt)
+
+    def dma_write(self, addr: int, payload: np.ndarray) -> Event:
+        """Write payload bytes to the host storage target via PCIe.
+
+        Non-blocking: returns the flush event.  The data is visible in
+        host memory only when the event fires — exactly the persistence
+        subtlety of §III-B1.  The event is tracked in the message run so
+        the completion handler can wait for all flushes before acking.
+        """
+        ev = self._accel.dma_fn(addr, payload)
+        self._run.dma_events.append(ev)
+        return ev
+
+    def dma_timing(self, nbytes: int) -> Event:
+        """Charge a PCIe crossing of ``nbytes`` with no functional write
+        (used by the CPU-fallback aggregation path, §VI-B3)."""
+        ev = self._accel.dma_fn(None, nbytes)
+        self._run.dma_events.append(ev)
+        return ev
+
+    def host_write(self, addr: int, payload: np.ndarray) -> None:
+        """Functional write performed by the host CPU (data already in
+        host memory; no PCIe charge)."""
+        self._accel.host_write_fn(addr, payload)
+
+    def all_dma_flushed(self) -> Event:
+        """Event firing when every DMA issued for this message is durable."""
+        sim = self._accel.sim
+        pending = [e for e in self._run.dma_events if not e.triggered]
+        if not pending:
+            ev = sim.event()
+            ev.succeed(None)
+            return ev
+        return sim.all_of(pending)
+
+    def compute(self, cycles: float) -> Event:
+        """Charge extra compute cycles (rare; costs normally come from
+        Handler.cost)."""
+        return self._accel.sim.timeout(cycles * self._accel.params.cycle_ns)
+
+    def host_exec(self, duration_ns: float) -> Event:
+        """Run work on the host CPU (the CPU-fallback path of §VI-B3).
+
+        Returns an event firing when a host core has executed
+        ``duration_ns`` of work on the accelerator's behalf.
+        """
+        fn = self._accel.host_exec_fn
+        if fn is None:
+            return self._accel.sim.timeout(duration_ns)
+        return fn(duration_ns)
+
+    def host_read(self, addr: int, length: int):
+        """Functional read of the storage target (the timing of the PCIe
+        fetch must be charged separately via :meth:`dma_timing`)."""
+        return self._accel.host_read_fn(addr, length)
+
+
+class PsPinAccelerator:
+    """One storage-node NIC's PsPIN engine."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: PsPinParams,
+        node_name: str,
+        send_fn: Callable[[Packet], Event],
+        dma_fn: Callable[[Optional[int], object], Event],
+        host_exec_fn: Optional[Callable[[float], Event]] = None,
+        host_write_fn: Optional[Callable[[int, np.ndarray], None]] = None,
+        host_read_fn: Optional[Callable[[int, int], np.ndarray]] = None,
+    ):
+        self.sim = sim
+        self.params = params
+        self.node_name = node_name
+        self.send_fn = send_fn
+        self.dma_fn = dma_fn
+        self.host_exec_fn = host_exec_fn
+        self.host_write_fn = host_write_fn or (lambda addr, payload: None)
+        self.host_read_fn = host_read_fn or (
+            lambda addr, length: np.zeros(length, dtype=np.uint8)
+        )
+        # Handler sends go through a shallow egress command queue drained
+        # at line rate: handlers block only while the queue is full —
+        # negligible for ring forwarding (1 out per 1 in), dominant for
+        # PBT (2 out per 1 in), which is what collapses PBT PH IPC.
+        from ..simnet.resources import Store
+
+        self._egress: Store = Store(
+            sim, capacity=params.egress_credits, name=f"{node_name}.accel-egress"
+        )
+        sim.process(self._egress_pump(), name=f"{node_name}.accel-egress")
+        self.clusters = [_Cluster(sim, i, params) for i in range(params.n_clusters)]
+        self.contexts: List[ExecutionContext] = []
+        self._runs: Dict[int, _MessageRun] = {}
+        self._next_cluster = 0
+        self.stats: Dict[str, HandlerStats] = defaultdict(HandlerStats)
+        # counters
+        self.packets_processed = 0
+        self.packets_dropped = 0
+        self.packets_steered = 0
+        self._overloaded: set[int] = set()
+        self._admitted: set[int] = set()
+        self.forwarded_packets = 0
+        self.nacks_sent = 0
+        self._queued = 0
+        self._cleanup_proc = None
+
+    def _egress_pump(self):
+        """Drain the handler egress queue at line rate (one in-flight
+        transmission at a time, like a DMA engine feeding the wire)."""
+        while True:
+            pkt = yield self._egress.get()
+            yield self.send_fn(pkt)
+
+    # ----------------------------------------------------------- contexts
+    def install(self, ctx: ExecutionContext) -> None:
+        """Install a persistent execution context (user-level, §III-C)."""
+        self.contexts.append(ctx)
+        if ctx.hpu_quota is not None:
+            ctx._quota_sem = Resource(
+                self.sim,
+                min(ctx.hpu_quota, self.params.n_hpus),
+                name=f"{self.node_name}.quota.{ctx.name}",
+            )
+        if self._cleanup_proc is None and ctx.handlers.cleanup is not None:
+            self._cleanup_proc = self.sim.process(
+                self._cleanup_sweeper(), name=f"{self.node_name}.cleanup"
+            )
+
+    def match(self, pkt: Packet) -> Optional[ExecutionContext]:
+        for ctx in self.contexts:
+            if ctx.matches(pkt):
+                return ctx
+        return None
+
+    # ------------------------------------------------------------- ingest
+    def ingest(self, pkt: Packet) -> bool:
+        """Offer a packet to the accelerator.
+
+        Returns False when no context matches (the packet then takes the
+        NIC's default path).  When a context matches but the accelerator
+        cannot keep up (ingress queue full, §III-C), the *message* is
+        denied: the header packet is NACK'd so the client retries later,
+        and its remaining packets are dropped — matching the paper's
+        handling of resource exhaustion (§III-B2).
+        """
+        ctx = self.match(pkt)
+        if ctx is None:
+            return False
+        # Admission control is per *message* (§III-C): the decision is
+        # taken on the header packet; later packets of an admitted
+        # message are always processed, later packets of a denied
+        # message are always dropped.
+        if pkt.msg_id in self._overloaded:
+            self.packets_steered += 1
+            if pkt.is_completion:
+                self._overloaded.discard(pkt.msg_id)
+            return True
+        if (
+            pkt.msg_id not in self._admitted
+            and self._queued >= self.params.ingress_queue_packets
+            and pkt.is_header
+        ):
+            self.packets_steered += 1
+            if not pkt.is_completion:
+                self._overloaded.add(pkt.msg_id)
+            dfs = pkt.headers.get("dfs")
+            reply = (dfs.reply_to if dfs is not None else None) or pkt.src
+            greq = dfs.greq_id if dfs is not None else pkt.headers.get("greq_id")
+            self.nacks_sent += 1
+            self.send_fn(
+                Packet(
+                    src=self.node_name,
+                    dst=reply,
+                    op="nack",
+                    msg_id=pkt.msg_id,
+                    seq=0,
+                    nseq=1,
+                    headers={"ack_for": greq, "reason": "overload"},
+                    header_bytes=16,
+                )
+            )
+            return True
+        if pkt.is_header and not pkt.is_completion:
+            self._admitted.add(pkt.msg_id)
+        if pkt.is_completion:
+            self._admitted.discard(pkt.msg_id)
+        self._queued += 1
+        self.sim.process(self._pipeline(ctx, pkt))
+        return True
+
+    # ------------------------------------------------------------ pipeline
+    def _pipeline(self, ctx: ExecutionContext, pkt: Packet):
+        sim = self.sim
+        p = self.params
+        cyc = p.cycle_ns
+        # 1. packet buffer copy
+        yield sim.timeout(-(-pkt.size // p.pkt_buffer_bytes_per_cycle) * cyc)
+        # 2. hardware scheduler
+        yield sim.timeout(p.sched_cycles * cyc)
+        run = self._runs.get(pkt.msg_id)
+        if run is None:
+            # Any packet may open the run: handler-forwarded streams can
+            # arrive slightly reordered (concurrent payload handlers race
+            # for the upstream egress queue), so a payload packet may beat
+            # its header here.  Its pipeline simply parks on ``hh_done``
+            # until the header handler has run.
+            cluster = self._next_cluster
+            self._next_cluster = (self._next_cluster + 1) % p.n_clusters
+            run = _MessageRun(sim, pkt.msg_id, ctx, cluster)
+            self._runs[pkt.msg_id] = run
+        run.expected = pkt.nseq
+        run.last_activity = sim.now
+        # Packet-level parallelism (§II-B1): payload packets of one
+        # message spread over ALL clusters' HPUs (the Fig. 16 budget
+        # model assumes every HPU shares a message's packets); the
+        # message's request state lives in its home cluster's L1.
+        exec_cluster = self._next_cluster
+        self._next_cluster = (self._next_cluster + 1) % p.n_clusters
+        # 3. copy into cluster L1
+        yield sim.timeout(-(-pkt.size // p.l1_copy_bytes_per_cycle) * cyc)
+        self._queued -= 1
+        self.packets_processed += 1
+
+        if pkt.is_header:
+            yield from self._exec(run, "header", pkt, run.cluster)
+            if not run.hh_done.triggered:
+                run.hh_done.succeed(None)
+        elif not run.hh_done.triggered:
+            yield run.hh_done
+
+        if run.finished:
+            self.packets_dropped += 1
+            return
+
+        if pkt.is_completion:
+            run.completion_seen = True
+
+        yield from self._exec(run, "payload", pkt, exec_cluster)
+        run.ph_completed += 1
+        run.last_activity = sim.now
+        if (
+            run.completion_seen
+            and run.expected is not None
+            and run.ph_completed >= run.expected
+            and not run.phs_done.triggered
+        ):
+            run.phs_done.succeed(None)
+
+        if pkt.is_completion:
+            if not run.phs_done.triggered:
+                yield run.phs_done
+            yield from self._exec(run, "completion", pkt, run.cluster)
+            self._finish(run)
+
+    def _exec(self, run: _MessageRun, htype: str, pkt: Packet, cluster_idx: Optional[int] = None):
+        """Run one handler on an HPU of the given (or home) cluster."""
+        sim = self.sim
+        p = self.params
+        handler = getattr(run.ctx.handlers, htype)
+        cluster = self.clusters[run.cluster if cluster_idx is None else cluster_idx]
+        quota = run.ctx._quota_sem
+        qreq = None
+        if quota is not None:
+            # per-tenant HPU quota (§VII cloud QoS): a context may not
+            # occupy more than its share of the HPU pool
+            qreq = quota.request()
+            yield qreq
+        req = cluster.hpus.request()
+        yield req
+        yield sim.timeout(p.hpu_dispatch_ns)
+        t0 = sim.now
+        cluster.active += 1
+        try:
+            cost = handler.cost(run.task, pkt)
+            contention = 1.0 + p.l1_contention_per_hpu * max(0, cluster.active - 1)
+            yield sim.timeout(cost.compute_ns(p.freq_ghz, contention))
+            gen = handler.run(HandlerApi(self, run), run.task, pkt)
+            if gen is not None:
+                yield from gen
+        finally:
+            cluster.active -= 1
+            cluster.hpus.release(req)
+            if quota is not None:
+                quota.release(qreq)
+        self.stats[f"{htype}:{run.ctx.name}"].record(sim.now - t0, cost.instructions)
+
+    def _finish(self, run: _MessageRun) -> None:
+        run.finished = True
+        self._runs.pop(run.msg_id, None)
+
+    # ------------------------------------------------------------- cleanup
+    def _cleanup_sweeper(self):
+        """Fire cleanup handlers for messages inactive beyond the
+        timeout (§VII: clients failing mid-write leave dangling state)."""
+        sim = self.sim
+        period = self.params.cleanup_timeout_ns / 2
+        while True:
+            yield sim.timeout(period)
+            deadline = sim.now - self.params.cleanup_timeout_ns
+            stale = [
+                run
+                for run in self._runs.values()
+                if run.last_activity <= deadline and not run.finished
+            ]
+            for run in stale:
+                yield from self._exec_cleanup(run)
+
+    def _exec_cleanup(self, run: _MessageRun):
+        handler = run.ctx.handlers.cleanup
+        if handler is None:
+            self._finish(run)
+            return
+        sim = self.sim
+        cluster = self.clusters[run.cluster]
+        req = cluster.hpus.request()
+        yield req
+        t0 = sim.now
+        try:
+            cost = handler.cost(run.task, None)
+            yield sim.timeout(cost.compute_ns(self.params.freq_ghz))
+            gen = handler.run(HandlerApi(self, run), run.task, None)
+            if gen is not None:
+                yield from gen
+        finally:
+            cluster.hpus.release(req)
+        self.stats[f"cleanup:{run.ctx.name}"].record(sim.now - t0, cost.instructions)
+        if not run.hh_done.triggered:
+            run.hh_done.succeed(None)
+        self._finish(run)
+
+    # --------------------------------------------------------------- stats
+    def stats_for(self, htype: str, ctx_name: str) -> HandlerStats:
+        return self.stats[f"{htype}:{ctx_name}"]
+
+    def hpu_utilisation(self) -> float:
+        return sum(c.hpus.utilisation() for c in self.clusters) / len(self.clusters)
+
+    @property
+    def in_flight_messages(self) -> int:
+        return len(self._runs)

@@ -1,0 +1,113 @@
+"""NIC memory accounting: per-cluster L1 scratchpads + shared L2.
+
+§III-B2: PsPIN has four 1 MiB single-cycle L1 memories (one per compute
+cluster) and a 4 MiB off-cluster L2.  Client request descriptors (77 B)
+live in the L1 of the handling cluster and *swap out* to L2 when L1 is
+full; 2 MiB of L2 are reserved for DFS-wide state (e.g. the 64 KiB
+GF(2^8) table), leaving 6 MiB for request state — about 82 K concurrent
+writes.  When neither tier has room the request is denied and the client
+retries later.
+
+Allocation is non-blocking: callers get an :class:`Allocation` or
+``None`` (NACK).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Optional
+
+from ..params import PsPinParams
+from ..simnet.engine import Simulator
+from ..simnet.resources import Container
+
+__all__ = ["Allocation", "NicMemory"]
+
+
+@dataclass
+class Allocation:
+    """A granted slice of NIC memory."""
+
+    nbytes: int
+    tier: Literal["l1", "l2", "wide"]
+    cluster: int  # -1 for l2/wide
+    freed: bool = False
+
+
+class NicMemory:
+    """Capacity accounting for L1/L2 NIC memories."""
+
+    def __init__(self, sim: Simulator, params: PsPinParams, name: str = "nicmem"):
+        self.sim = sim
+        self.params = params
+        self.name = name
+        self.l1 = [
+            Container(sim, params.l1_bytes_per_cluster, name=f"{name}.l1[{c}]")
+            for c in range(params.n_clusters)
+        ]
+        usable_l2 = params.l2_bytes - params.dfs_wide_state_bytes
+        if usable_l2 <= 0:
+            raise ValueError("dfs_wide_state_bytes exceeds L2 capacity")
+        self.l2 = Container(sim, usable_l2, name=f"{name}.l2")
+        self.wide = Container(
+            sim, params.dfs_wide_state_bytes, name=f"{name}.wide"
+        )
+        self.denials = 0
+        self.l2_spills = 0
+
+    # ------------------------------------------------------------ request
+    def alloc(self, cluster: int, nbytes: int) -> Optional[Allocation]:
+        """Allocate request state, preferring the cluster's L1, spilling
+        to L2, NACKing when both are full."""
+        if nbytes <= 0:
+            raise ValueError("allocation must be positive")
+        if self.l1[cluster].try_get(nbytes):
+            return Allocation(nbytes, "l1", cluster)
+        if self.l2.try_get(nbytes):
+            self.l2_spills += 1
+            return Allocation(nbytes, "l2", -1)
+        self.denials += 1
+        return None
+
+    def alloc_wide(self, nbytes: int) -> Optional[Allocation]:
+        """Allocate DFS-wide state (installed at DFS-init time, §VI-B2)."""
+        if self.wide.try_get(nbytes):
+            return Allocation(nbytes, "wide", -1)
+        self.denials += 1
+        return None
+
+    def free(self, alloc: Allocation) -> None:
+        if alloc.freed:
+            raise ValueError("double free of NIC memory allocation")
+        alloc.freed = True
+        if alloc.tier == "l1":
+            self.l1[alloc.cluster].put(alloc.nbytes)
+        elif alloc.tier == "l2":
+            self.l2.put(alloc.nbytes)
+        else:
+            self.wide.put(alloc.nbytes)
+
+    # -------------------------------------------------------------- stats
+    @property
+    def request_capacity_bytes(self) -> int:
+        """Total bytes available for request state (the paper's 6 MiB)."""
+        return (
+            self.params.n_clusters * self.params.l1_bytes_per_cluster
+            + self.params.l2_bytes
+            - self.params.dfs_wide_state_bytes
+        )
+
+    def max_concurrent_requests(self, descriptor_bytes: Optional[int] = None) -> int:
+        """§III-B2: ~82 K concurrent writes with 77-byte descriptors."""
+        d = descriptor_bytes or self.params.request_descriptor_bytes
+        return self.request_capacity_bytes // d
+
+    def in_use_bytes(self) -> int:
+        used = sum(c.capacity - c.level for c in self.l1)
+        used += self.l2.capacity - self.l2.level
+        return int(used)
+
+    def peak_in_use_bytes(self) -> int:
+        peak = sum(c.capacity - c.min_level for c in self.l1)
+        peak += self.l2.capacity - self.l2.min_level
+        return int(peak)

@@ -1,0 +1,5 @@
+"""RDMA substrate: NIC model, one-sided verbs, HyperLoop triggered WQEs."""
+
+from .nic import OpResult, PendingOp, RdmaNic, fresh_greq_id
+
+__all__ = ["OpResult", "PendingOp", "RdmaNic", "fresh_greq_id"]

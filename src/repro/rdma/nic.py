@@ -1,0 +1,432 @@
+"""The RDMA NIC model: one-sided writes/reads, RPC delivery, acks.
+
+This is the baseline transport every protocol builds on (Fig. 1b/1c).
+A :class:`RdmaNic` terminates the node's network port and implements:
+
+* **initiator side** — ``post_write`` / ``post_read`` / ``post_rpc``:
+  segment a message, charge the client posting overhead (WQE build +
+  doorbell), stream packets, and complete when the expected number of
+  acknowledgments (or the read/RPC response) arrives;
+* **target side** — dispatch received packets: one-sided writes DMA
+  payloads into the host memory target (acking on the last packet,
+  *without* waiting for the PCIe flush — the RDMA persistence gap of
+  §III-B1), read requests stream data back, RPC sends are DMA'd up and
+  handed to the host's command queue.
+
+A :class:`~repro.pspin.accelerator.PsPinAccelerator` can be attached, in
+which case matching packets are diverted into it *before* the host path
+(Fig. 1d); everything else behaves like a plain RDMA NIC.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..params import SimParams
+from ..simnet.engine import Event, Simulator
+from ..simnet.link import Port
+from ..simnet.packet import Message, Packet, as_payload, fresh_msg_id, segment_message
+
+__all__ = ["RdmaNic", "OpResult", "PendingOp"]
+
+_greq_ids = itertools.count(1)
+
+
+def fresh_greq_id() -> int:
+    return next(_greq_ids)
+
+
+@dataclass
+class OpResult:
+    """Outcome of a posted operation."""
+
+    ok: bool
+    t_start: float
+    t_end: float
+    greq_id: int
+    nacks: list = field(default_factory=list)
+    data: Optional[np.ndarray] = None
+    #: merged headers of received acks (e.g. the assigned log offset)
+    info: dict = field(default_factory=dict)  # for reads / RPC responses
+
+    @property
+    def latency_ns(self) -> float:
+        return self.t_end - self.t_start
+
+
+@dataclass
+class PendingOp:
+    event: Event
+    t_start: float
+    greq_id: int
+    expected_acks: int = 1
+    acks: int = 0
+    nacks: list = field(default_factory=list)
+    data: Optional[np.ndarray] = None
+    info: dict = field(default_factory=dict)
+
+
+class RdmaNic:
+    """One node's NIC.  ``host`` duck-type:
+
+    * ``host.memory`` — :class:`~repro.hostsim.memory.MemoryTarget` or None
+    * ``host.pcie``   — :class:`~repro.hostsim.pcie.Pcie` or None
+    * ``host.on_rpc(headers, payload, src)`` — optional RPC delivery hook
+    """
+
+    def __init__(self, sim: Simulator, params: SimParams, host, name: str):
+        self.sim = sim
+        self.params = params
+        self.host = host
+        self.name = name
+        self.port: Optional[Port] = None  # wired by the network builder
+        self.accelerator = None  # optional PsPinAccelerator
+        self._pending: Dict[int, PendingOp] = {}
+        #: per-incoming-message receive state (DMA offsets, reply routes)
+        self._rx_writes: Dict[object, object] = {}
+        #: hooks for protocol extensions (e.g. HyperLoop preposted WQEs)
+        self.rx_hooks: list[Callable[[Packet], bool]] = []
+        # stats
+        self.rx_packets = 0
+        self.tx_messages = 0
+        self.acks_sent = 0
+
+    # ------------------------------------------------------------ wiring
+    def attach_port(self, port: Port) -> None:
+        self.port = port
+
+    def attach_accelerator(self, accel) -> None:
+        self.accelerator = accel
+
+    # =================================================== initiator side
+    def post_write(
+        self,
+        dst: str,
+        data,
+        headers: dict,
+        header_bytes: int = 8,
+        expected_acks: int = 1,
+        greq_id: Optional[int] = None,
+        op: str = "write",
+        post_overhead: bool = True,
+    ) -> Event:
+        """Post a (one-sided) write; the event's value is an OpResult.
+
+        ``headers`` must let the target place the data: either a raw
+        ``{"addr": n}`` or DFS headers (``dfs``/``wrh`` objects).
+        """
+        gid = fresh_greq_id() if greq_id is None else greq_id
+        headers = dict(headers)
+        headers.setdefault("greq_id", gid)
+        msg = Message(
+            src=self.name,
+            dst=dst,
+            op=op,
+            data=as_payload(data) if data is not None else None,
+            headers=headers,
+            header_bytes=header_bytes,
+        )
+        existing = self._pending.get(gid)
+        if existing is not None:
+            # Part of a multi-message transaction opened via
+            # open_transaction(): reuse its pending op and event.
+            done = existing.event
+        else:
+            done = self.sim.event(name=f"write({gid})")
+            self._pending[gid] = PendingOp(
+                event=done, t_start=self.sim.now, greq_id=gid, expected_acks=expected_acks
+            )
+        self.sim.process(self._tx_message(msg, post_overhead), name=f"{self.name}.tx")
+        return done
+
+    def post_read(self, dst: str, addr: int, length: int, headers: Optional[dict] = None) -> Event:
+        """One-sided read: request goes out, target NIC streams data back."""
+        gid = fresh_greq_id()
+        h = dict(headers or {})
+        h.update({"greq_id": gid, "addr": addr, "length": length, "reply_to": self.name})
+        msg = Message(src=self.name, dst=dst, op="read_req", headers=h, header_bytes=24)
+        done = self.sim.event(name=f"read({gid})")
+        op = PendingOp(event=done, t_start=self.sim.now, greq_id=gid)
+        op.data = np.zeros(length, dtype=np.uint8)
+        op.acks = 0  # bytes received accumulate in op
+        self._pending[gid] = op
+        self.sim.process(self._tx_message(msg, True), name=f"{self.name}.tx")
+        return done
+
+    def post_rpc(
+        self,
+        dst: str,
+        headers: dict,
+        data=None,
+        header_bytes: int = 32,
+        post_overhead: bool = True,
+    ) -> Event:
+        """Two-sided send: delivered to the target host's RPC queue; the
+        event completes when an ``rpc_resp`` for it returns."""
+        gid = fresh_greq_id()
+        h = dict(headers)
+        h.update({"greq_id": gid, "reply_to": self.name})
+        msg = Message(
+            src=self.name,
+            dst=dst,
+            op="rpc",
+            data=as_payload(data) if data is not None else None,
+            headers=h,
+            header_bytes=header_bytes,
+        )
+        done = self.sim.event(name=f"rpc({gid})")
+        self._pending[gid] = PendingOp(event=done, t_start=self.sim.now, greq_id=gid)
+        self.sim.process(self._tx_message(msg, post_overhead), name=f"{self.name}.tx")
+        return done
+
+    def open_transaction(self, expected_acks: int, greq_id: Optional[int] = None) -> tuple[int, Event]:
+        """Create a pending operation that completes after
+        ``expected_acks`` acknowledgments referencing ``greq_id`` arrive.
+
+        Used by multi-message operations (chunked CPU replication,
+        erasure-coded block writes) where several wire messages share one
+        logical request id.
+        """
+        gid = fresh_greq_id() if greq_id is None else greq_id
+        done = self.sim.event(name=f"txn({gid})")
+        self._pending[gid] = PendingOp(
+            event=done, t_start=self.sim.now, greq_id=gid, expected_acks=expected_acks
+        )
+        return gid, done
+
+    def send_message(
+        self,
+        dst: str,
+        op: str,
+        headers: dict,
+        data=None,
+        header_bytes: int = 8,
+        post_overhead: bool = True,
+    ) -> None:
+        """Fire-and-forget message send (no pending op is created)."""
+        msg = Message(
+            src=self.name,
+            dst=dst,
+            op=op,
+            data=as_payload(data) if data is not None else None,
+            headers=dict(headers),
+            header_bytes=header_bytes,
+        )
+        self.sim.process(self._tx_message(msg, post_overhead), name=f"{self.name}.tx")
+
+    def send_raw(self, pkt: Packet) -> Event:
+        """NIC-level packet emission (used by the accelerator and by
+        protocol machinery like HyperLoop's triggered WQEs)."""
+        assert self.port is not None, f"{self.name} not attached to a network"
+        return self.port.send(pkt)
+
+    def send_control(self, dst: str, op: str, headers: dict) -> Event:
+        pkt = Packet(
+            src=self.name,
+            dst=dst,
+            op=op,
+            msg_id=fresh_msg_id(),
+            seq=0,
+            nseq=1,
+            headers=headers,
+            header_bytes=16,
+        )
+        return self.send_raw(pkt)
+
+    def _tx_message(self, msg: Message, post_overhead: bool):
+        sim = self.sim
+        if post_overhead:
+            # WQE construction + doorbell on the initiating host.
+            yield sim.timeout(self.params.client_post_ns)
+        # NIC tx pipeline latency (once per message; packets then stream
+        # at line rate through the fixed-depth pipeline).
+        yield sim.timeout(self.params.nic_tx_ns)
+        self.tx_messages += 1
+        pkts = segment_message(msg, self.params.net.mtu)
+        for pkt in pkts:
+            yield self.port.send(pkt)
+
+    # ==================================================== target side
+    def receive(self, pkt: Packet) -> None:
+        """Network delivery entry point (called by the link layer)."""
+        self.rx_packets += 1
+        # rx pipeline latency, then dispatch
+        self.sim._call_soon(lambda: self._dispatch(pkt), delay=self.params.nic_rx_ns)
+
+    def _dispatch(self, pkt: Packet) -> None:
+        for hook in self.rx_hooks:
+            if hook(pkt):
+                return
+        if self.accelerator is not None and self.accelerator.ingest(pkt):
+            return
+        op = pkt.op
+        if op == "write":
+            self._rx_write(pkt)
+        elif op == "read_req":
+            self.sim.process(self._serve_read(pkt), name=f"{self.name}.read")
+        elif op == "read_resp":
+            self._rx_read_resp(pkt)
+        elif op == "rpc":
+            self._rx_rpc(pkt)
+        elif op in ("ack", "nack", "rpc_resp"):
+            self._rx_ack(pkt)
+        else:
+            raise ValueError(f"{self.name}: unknown packet op {op!r}")
+
+    # -------------------------------------------------------- raw writes
+    def _write_addr(self, pkt: Packet) -> int:
+        wrh = pkt.headers.get("wrh")
+        if wrh is not None:
+            return wrh.addr
+        return pkt.headers["addr"]
+
+    def _rx_write(self, pkt: Packet) -> None:
+        if pkt.is_header:
+            self._rx_writes[pkt.msg_id] = self._write_addr(pkt)
+            self._rx_writes[(pkt.msg_id, "reply")] = (
+                pkt.headers.get("dfs").reply_to
+                if pkt.headers.get("dfs") is not None
+                else pkt.headers.get("reply_to", pkt.src)
+            ) or pkt.src
+            self._rx_writes[(pkt.msg_id, "greq")] = (
+                pkt.headers.get("dfs").greq_id
+                if pkt.headers.get("dfs") is not None
+                else pkt.headers.get("greq_id")
+            )
+        base = self._rx_writes.get(pkt.msg_id)
+        if base is None:
+            return  # header lost/cleaned: drop silently
+        if pkt.payload is not None and self.host.memory is not None:
+            payload = pkt.payload
+            addr = base + pkt.payload_offset
+            if self.host.pcie is not None:
+                self.host.pcie.dma(
+                    payload.nbytes,
+                    on_complete=lambda a=addr, p=payload: self.host.memory.write(a, p),
+                )
+            else:
+                self.host.memory.write(addr, payload)
+        if pkt.is_completion:
+            reply = self._rx_writes.pop((pkt.msg_id, "reply"))
+            greq = self._rx_writes.pop((pkt.msg_id, "greq"))
+            self._rx_writes.pop(pkt.msg_id, None)
+            # RDMA semantics: ack once the last packet is received; the
+            # data may still sit in PCIe buffers (§III-B1).
+            self.acks_sent += 1
+            self.send_control(reply, "ack", {"ack_for": greq, "node": self.name})
+
+    # --------------------------------------------------------- reads
+    def _serve_read(self, pkt: Packet):
+        sim = self.sim
+        addr, length = pkt.headers["addr"], pkt.headers["length"]
+        reply_to = pkt.headers.get("reply_to", pkt.src)
+        greq = pkt.headers["greq_id"]
+        # DMA the data from host memory into the NIC (PCIe read).
+        if self.host.pcie is not None:
+            yield self.host.pcie.dma(length)
+        data = (
+            self.host.memory.read(addr, length)
+            if self.host.memory is not None
+            else np.zeros(length, dtype=np.uint8)
+        )
+        msg = Message(
+            src=self.name,
+            dst=reply_to,
+            op="read_resp",
+            data=data,
+            headers={"greq_id": greq, "offset": 0},
+            header_bytes=16,
+        )
+        yield sim.timeout(self.params.nic_tx_ns)
+        for p in segment_message(msg, self.params.net.mtu):
+            yield self.port.send(p)
+
+    def _rx_read_resp(self, pkt: Packet) -> None:
+        if pkt.is_header:
+            self._rx_writes[(pkt.msg_id, "rgreq")] = pkt.headers["greq_id"]
+        greq = self._rx_writes.get((pkt.msg_id, "rgreq"))
+        pending = self._pending.get(greq)
+        if pending is None:
+            return
+        if pkt.payload is not None:
+            off = pkt.payload_offset
+            pending.data[off : off + pkt.payload.nbytes] = pkt.payload
+        if pkt.is_completion:
+            self._rx_writes.pop((pkt.msg_id, "rgreq"), None)
+            self._complete(greq, ok=True)
+
+    # ----------------------------------------------------------- rpc
+    def _rx_rpc(self, pkt: Packet) -> None:
+        key = (pkt.msg_id, "rpc")
+        if pkt.is_header:
+            self._rx_writes[key] = {
+                "headers": pkt.headers,
+                "chunks": [],
+                "src": pkt.src,
+            }
+        st = self._rx_writes.get(key)
+        if st is None:
+            return
+        if pkt.payload is not None:
+            st["chunks"].append(pkt.payload)
+        if pkt.is_completion:
+            self._rx_writes.pop(key)
+            payload = (
+                np.concatenate(st["chunks"]) if st["chunks"] else np.zeros(0, np.uint8)
+            )
+            # The command (and inline data) crosses PCIe into host memory
+            # before the CPU can see it.
+            def deliver():
+                self.host.on_rpc(st["headers"], payload, st["src"])
+
+            if self.host.pcie is not None:
+                self.host.pcie.dma(payload.nbytes + 64, on_complete=deliver)
+            else:
+                deliver()
+
+    # ----------------------------------------------------------- acks
+    def _rx_ack(self, pkt: Packet) -> None:
+        greq = pkt.headers.get("ack_for") or pkt.headers.get("greq_id")
+        pending = self._pending.get(greq)
+        if pending is None:
+            return
+        if pkt.op == "nack":
+            pending.nacks.append(pkt.headers)
+            self._complete(greq, ok=False)
+            return
+        if pkt.op == "rpc_resp":
+            pending.data = pkt.headers.get("result")
+            self._complete(greq, ok=not pkt.headers.get("error", False))
+            return
+        pending.acks += 1
+        pending.info.update(
+            {k: v for k, v in pkt.headers.items() if k not in ("ack_for", "node")}
+        )
+        if pending.acks >= pending.expected_acks:
+            self._complete(greq, ok=True)
+
+    def _complete(self, greq: int, ok: bool) -> None:
+        pending = self._pending.pop(greq, None)
+        if pending is None or pending.event.triggered:
+            return
+        res = OpResult(
+            ok=ok,
+            t_start=pending.t_start,
+            t_end=self.sim.now + self.params.client_completion_ns,
+            greq_id=greq,
+            nacks=pending.nacks,
+            data=pending.data,
+            info=pending.info,
+        )
+        # Completion is visible to the application after the CQ poll.
+        self.sim._call_soon(
+            lambda: pending.event.succeed(res), delay=self.params.client_completion_ns
+        )
+
+    # ------------------------------------------------------------ misc
+    def pending_count(self) -> int:
+        return len(self._pending)

@@ -1,0 +1,407 @@
+"""Deterministic discrete-event simulation kernel.
+
+This is the substrate that replaces the paper's use of the Structural
+Simulation Toolkit (SST).  It is a compact, generator-coroutine based
+engine in the style of SimPy, specialised for the needs of packet-level
+network simulation:
+
+* time is measured in **nanoseconds** (floats);
+* event ordering is fully deterministic: ties are broken by a
+  monotonically increasing sequence number, so the same program produces
+  the same trace on every run;
+* processes are plain Python generators that ``yield`` *waitables*
+  (:class:`Timeout`, :class:`Event`, other :class:`Process` objects, or
+  :class:`AllOf`/:class:`AnyOf` combinators).
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def proc(name, delay):
+...     yield sim.timeout(delay)
+...     log.append((sim.now, name))
+>>> _ = sim.process(proc("a", 5.0))
+>>> _ = sim.process(proc("b", 3.0))
+>>> sim.run()
+>>> log
+[(3.0, 'b'), (5.0, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "Simulator",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when it is interrupted.
+
+    The ``cause`` attribute carries the interrupter-supplied reason.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; it is later either :meth:`succeed`-ed with
+    a value or :meth:`fail`-ed with an exception.  Callbacks registered
+    before triggering run when the event fires (in registration order).
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "triggered", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self.triggered = False
+        self.name = name
+
+    # -- state ---------------------------------------------------------
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    @property
+    def ok(self) -> bool:
+        return self.triggered and self._exc is None
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exc
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Mark the event successful and schedule its callbacks *now*."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self.triggered = True
+        self._value = value
+        self.sim._schedule_event(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Mark the event failed; waiters will see ``exc`` raised."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self.triggered = True
+        self._exc = exc
+        self.sim._schedule_event(self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        if self.triggered and self._dispatched():
+            # Already fired: run on next kernel step to keep ordering sane.
+            self.sim._call_soon(lambda: fn(self))
+        else:
+            self.callbacks.append(fn)
+
+    def _dispatched(self) -> bool:
+        return self.triggered and self.callbacks is _DISPATCHED
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending"
+        if self.triggered:
+            state = "ok" if self._exc is None else "failed"
+        return f"<{type(self).__name__} {self.name!r} {state}>"
+
+
+_DISPATCHED: list = []  # sentinel assigned to Event.callbacks after dispatch
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name=f"timeout({delay})")
+        self.delay = delay
+        self.triggered = True  # a timeout cannot be cancelled or re-triggered
+        self._value = value
+        sim._schedule_event(self, delay)
+
+
+class Process(Event):
+    """A running generator; completes when the generator returns.
+
+    The generator's ``return`` value becomes the process's event value.
+    Exceptions escaping the generator fail the process event; if nobody
+    waits on the process, the exception is re-raised by
+    :meth:`Simulator.run` (crashes are never silently swallowed).
+    """
+
+    __slots__ = ("gen", "_waiting_on", "_observed")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
+        self.gen = gen
+        self._waiting_on: Optional[Event] = None
+        self._observed = False
+        sim._call_soon(lambda: self._resume(None))
+
+    # -- public --------------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the next step."""
+        if self.triggered:
+            return
+        target = self._waiting_on
+        if target is not None and not target.triggered:
+            # Detach from what we were waiting on; the stale callback
+            # checks identity before resuming.
+            self._waiting_on = None
+        self.sim._call_soon(lambda: self._throw(Interrupt(cause)))
+
+    # -- kernel --------------------------------------------------------
+    def _resume(self, trigger: Optional[Event]) -> None:
+        if self.triggered:
+            return
+        if trigger is not None and trigger is not self._waiting_on:
+            return  # stale wake-up after an interrupt
+        self._waiting_on = None
+        try:
+            if trigger is not None and trigger.exception is not None:
+                nxt = self.gen.throw(trigger.exception)
+            else:
+                value = trigger.value if trigger is not None else None
+                nxt = self.gen.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate via event
+            self.fail(exc)
+            return
+        self._wait_on(nxt)
+
+    def _throw(self, exc: BaseException) -> None:
+        if self.triggered:
+            return
+        self._waiting_on = None
+        try:
+            nxt = self.gen.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as err:  # noqa: BLE001
+            self.fail(err)
+            return
+        self._wait_on(nxt)
+
+    def _wait_on(self, target: Any) -> None:
+        if not isinstance(target, Event):
+            self.fail(
+                SimulationError(
+                    f"process {self.name!r} yielded non-event {target!r}"
+                )
+            )
+            return
+        if target.sim is not self.sim:
+            self.fail(SimulationError("yielded event belongs to another simulator"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf combinators."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event], name: str):
+        super().__init__(sim, name=name)
+        self.events = list(events)
+        self._pending = 0
+        if not self.events:
+            self.succeed([])
+            return
+        for ev in self.events:
+            self._pending += 1
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every child event has fired; value is list of values.
+
+    If any child fails, the condition fails with that child's exception.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, events, name="all_of")
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if ev.exception is not None:
+            self.fail(ev.exception)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([e.value for e in self.events])
+
+
+class AnyOf(_Condition):
+    """Fires when the first child event fires; value is that event."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, events, name="any_of")
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if ev.exception is not None:
+            self.fail(ev.exception)
+            return
+        self.succeed(ev)
+
+
+class Simulator:
+    """The event loop.  Time unit: nanoseconds."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, object]] = []
+        self._seq = 0
+        self._running = False
+
+    # -- construction helpers ------------------------------------------
+    def event(self, name: str = "") -> Event:
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        if not isinstance(gen, Generator):
+            raise SimulationError(
+                f"Simulator.process() needs a generator, got {type(gen).__name__}"
+            )
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling -----------------------------------------------------
+    def _schedule_event(self, ev: Event, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, ev))
+
+    def _call_soon(self, fn: Callable[[], None], delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn))
+
+    # -- running ---------------------------------------------------------
+    def _step(self) -> None:
+        t, _, item = heapq.heappop(self._heap)
+        if t < self.now - 1e-9:
+            raise SimulationError("time went backwards")
+        self.now = t
+        if isinstance(item, Event):
+            self._dispatch(item)
+        else:
+            item()
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the event heap drains or ``until`` (exclusive) is hit.
+
+        Returns the final simulation time.  Unhandled process failures
+        are re-raised here.  Note: background service processes (egress
+        servers, sweepers) can keep the heap non-empty forever — use
+        :meth:`run_until_event` to wait for a specific outcome.
+        """
+        if self._running:
+            raise SimulationError("run() called re-entrantly")
+        self._running = True
+        try:
+            while self._heap:
+                if until is not None and self._heap[0][0] > until:
+                    self.now = until
+                    break
+                self._step()
+            else:
+                if until is not None:
+                    self.now = max(self.now, until)
+        finally:
+            self._running = False
+        return self.now
+
+    def run_until_event(self, ev: Event, limit: Optional[float] = None) -> Any:
+        """Run until ``ev`` fires; return its value (or raise its error).
+
+        ``limit`` bounds simulated time; exceeding it raises
+        :class:`SimulationError`, as does a drained heap (deadlock).
+        """
+        if self._running:
+            raise SimulationError("run() called re-entrantly")
+        self._running = True
+        try:
+            while not ev.triggered:
+                if not self._heap:
+                    raise SimulationError(
+                        f"deadlock: event {ev.name!r} can never fire (heap empty)"
+                    )
+                if limit is not None and self._heap[0][0] > limit:
+                    raise SimulationError(
+                        f"event {ev.name!r} did not fire by t={limit} ns"
+                    )
+                self._step()
+        finally:
+            self._running = False
+        if ev.exception is not None:
+            raise ev.exception
+        return ev.value
+
+    def run_until_complete(self, proc: Process, until: Optional[float] = None) -> Any:
+        """Run until ``proc`` finishes; return its value or raise its error."""
+        proc._observed = True
+        return self.run_until_event(proc, limit=until)
+
+    def _dispatch(self, ev: Event) -> None:
+        callbacks = ev.callbacks
+        ev.callbacks = _DISPATCHED
+        if ev._exc is not None and not callbacks and not isinstance(ev, Process):
+            raise ev._exc
+        for cb in callbacks:
+            cb(ev)
+        if isinstance(ev, Process) and ev._exc is not None and not callbacks:
+            if not ev._observed:
+                raise ev._exc
+
+    def peek(self) -> float:
+        """Time of the next scheduled item, or +inf if the heap is empty."""
+        return self._heap[0][0] if self._heap else float("inf")

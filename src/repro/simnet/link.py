@@ -1,0 +1,121 @@
+"""Links and ports: the serializing, store-and-forward wire model.
+
+Each :class:`Port` owns a bounded egress queue drained by a server
+process that charges serialization time (``bytes * 8 / bandwidth``) per
+packet, then delivers the packet to the attached peer after the link
+propagation latency.  The bounded queue is what creates *egress
+back-pressure*: a PsPIN handler that forwards two packets per incoming
+packet (sPIN-PBT) ends up blocked on the egress port, which is precisely
+the mechanism behind the paper's observed IPC collapse (Table I,
+IPC 0.06 for PBT payload handlers).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol
+
+from .engine import Event, Simulator
+from .packet import Packet
+from .resources import Store
+
+__all__ = ["Port", "Endpoint", "gbps_to_ns_per_byte"]
+
+
+def gbps_to_ns_per_byte(gbps: float) -> float:
+    """Serialization cost in ns/byte for a line rate in Gbit/s."""
+    return 8.0 / gbps
+
+
+class Endpoint(Protocol):
+    """Anything that can terminate a link."""
+
+    name: str
+
+    def receive(self, pkt: Packet) -> None: ...
+
+
+class Port:
+    """A full-duplex network port with a serializing egress queue."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        owner_name: str,
+        bandwidth_gbps: float,
+        queue_packets: int = 64,
+    ):
+        self.sim = sim
+        self.owner_name = owner_name
+        self.bandwidth_gbps = bandwidth_gbps
+        self._ns_per_byte = gbps_to_ns_per_byte(bandwidth_gbps)
+        self.queue: Store = Store(sim, capacity=queue_packets, name=f"egress({owner_name})")
+        self.peer: Optional[Endpoint] = None
+        self.latency_ns: float = 0.0
+        # statistics
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.busy_ns = 0.0
+        self._server: Optional[object] = None
+
+    # -- wiring ----------------------------------------------------------
+    def connect(self, peer: Endpoint, latency_ns: float) -> None:
+        if self.peer is not None:
+            raise RuntimeError(f"port of {self.owner_name} already connected")
+        self.peer = peer
+        self.latency_ns = latency_ns
+        self._server = self.sim.process(self._serve(), name=f"tx({self.owner_name})")
+
+    # -- sending ---------------------------------------------------------
+    def send(self, pkt: Packet) -> Event:
+        """Enqueue a packet for transmission.
+
+        Returns an event that fires when the packet has been *fully
+        serialized onto the wire* (not when delivered).  Yielding on it
+        models a sender that blocks until egress accepts its data.
+        """
+        done = self.sim.event(name=f"tx_done(pkt={pkt.pkt_id})")
+        pkt.enqueue_t = self.sim.now
+        put_ev = self.queue.put((pkt, done))
+        if not put_ev.triggered:
+            # Queue full: the *enqueue itself* must block.  Chain events so
+            # the caller still waits for transmission completion.
+            pass  # Store.put queues the item; server will drain in order.
+        return done
+
+    def try_send(self, pkt: Packet) -> Optional[Event]:
+        """Non-blocking enqueue; None when the egress queue is full."""
+        done = self.sim.event(name=f"tx_done(pkt={pkt.pkt_id})")
+        pkt.enqueue_t = self.sim.now
+        if self.queue.try_put((pkt, done)):
+            return done
+        return None
+
+    def serialization_ns(self, nbytes: int) -> float:
+        return nbytes * self._ns_per_byte
+
+    # -- server ------------------------------------------------------------
+    def _serve(self):
+        sim = self.sim
+        while True:
+            pkt, done = yield self.queue.get()
+            ser = self.serialization_ns(pkt.size)
+            yield sim.timeout(ser)
+            self.tx_packets += 1
+            self.tx_bytes += pkt.size
+            self.busy_ns += ser
+            done.succeed(pkt)
+            peer = self.peer
+            assert peer is not None
+            # Propagation: deliver after link latency without blocking
+            # the serializer (pipelined wire).
+            sim._call_soon(_deliver(peer, pkt), delay=self.latency_ns)
+
+    def utilisation(self) -> float:
+        return self.busy_ns / self.sim.now if self.sim.now > 0 else 0.0
+
+
+def _deliver(peer: Endpoint, pkt: Packet) -> Callable[[], None]:
+    def cb() -> None:
+        peer.receive(pkt)
+
+    return cb

@@ -1,0 +1,120 @@
+"""Topology: switches and the network builder.
+
+The paper's SST setup is a flat 400 Gbit/s network with 20 ns link
+latency and 2048 B MTU (§III-D).  We model it as a single output-queued
+switch in a star topology (the default), with per-port serialization at
+line rate and a fixed switch traversal latency.  Multi-switch topologies
+can be composed for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .engine import Simulator
+from .link import Port
+from .packet import Packet
+
+__all__ = ["NetConfig", "Switch", "Network"]
+
+
+@dataclass(frozen=True)
+class NetConfig:
+    """Network parameters (paper defaults, §III-D)."""
+
+    bandwidth_gbps: float = 400.0
+    mtu: int = 2048
+    link_latency_ns: float = 20.0
+    switch_latency_ns: float = 350.0
+    port_queue_packets: int = 4096
+
+
+class _SwitchPortShim:
+    """Receives packets arriving at one switch port and forwards them."""
+
+    def __init__(self, switch: "Switch", name: str):
+        self.switch = switch
+        self.name = name
+
+    def receive(self, pkt: Packet) -> None:
+        self.switch.forward(pkt)
+
+
+class Switch:
+    """An output-queued crossbar switch.
+
+    Forwarding charges ``switch_latency_ns`` and then enqueues the packet
+    on the destination's output port, where it is serialized at line
+    rate.  Output queueing means congestion appears exactly where it does
+    in the paper's experiments: on the egress port towards a hot storage
+    node.
+    """
+
+    def __init__(self, sim: Simulator, cfg: NetConfig, name: str = "switch"):
+        self.sim = sim
+        self.cfg = cfg
+        self.name = name
+        self._out_ports: Dict[str, Port] = {}
+        self.rx_packets = 0
+
+    def attach(self, endpoint) -> Port:
+        """Attach an endpoint; returns the *endpoint's* port (towards us)."""
+        node_name = endpoint.name
+        if node_name in self._out_ports:
+            raise ValueError(f"{node_name} already attached to {self.name}")
+        # Switch-side output port towards the endpoint.
+        out = Port(
+            self.sim,
+            f"{self.name}->{node_name}",
+            self.cfg.bandwidth_gbps,
+            queue_packets=self.cfg.port_queue_packets,
+        )
+        out.connect(endpoint, self.cfg.link_latency_ns)
+        self._out_ports[node_name] = out
+        # Endpoint-side port towards the switch.
+        up = Port(
+            self.sim,
+            f"{node_name}->{self.name}",
+            self.cfg.bandwidth_gbps,
+            queue_packets=self.cfg.port_queue_packets,
+        )
+        up.connect(_SwitchPortShim(self, f"{self.name}<-{node_name}"), self.cfg.link_latency_ns)
+        return up
+
+    def forward(self, pkt: Packet) -> None:
+        self.rx_packets += 1
+        out = self._out_ports.get(pkt.dst)
+        if out is None:
+            raise KeyError(f"{self.name}: no route to {pkt.dst!r}")
+        # Fixed traversal latency, then output queueing.
+        self.sim._call_soon(lambda: out.send(pkt), delay=self.cfg.switch_latency_ns)
+
+    def out_port(self, node_name: str) -> Port:
+        return self._out_ports[node_name]
+
+
+class Network:
+    """A star network: every endpoint hangs off one switch.
+
+    Endpoints must expose ``name`` and ``receive(pkt)``; ``register``
+    hands them back their uplink :class:`Port`.
+    """
+
+    def __init__(self, sim: Simulator, cfg: Optional[NetConfig] = None):
+        self.sim = sim
+        self.cfg = cfg or NetConfig()
+        self.switch = Switch(sim, self.cfg)
+        self.endpoints: Dict[str, object] = {}
+
+    def register(self, endpoint) -> Port:
+        if endpoint.name in self.endpoints:
+            raise ValueError(f"duplicate endpoint name {endpoint.name!r}")
+        self.endpoints[endpoint.name] = endpoint
+        return self.switch.attach(endpoint)
+
+    def min_rtt_ns(self) -> float:
+        """Lower-bound round trip for a tiny request and response
+        (propagation + switch traversal only; serialization excluded)."""
+        one_way = 2 * self.cfg.link_latency_ns + self.cfg.switch_latency_ns
+        return 2 * one_way

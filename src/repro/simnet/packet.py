@@ -1,0 +1,179 @@
+"""Packets and message segmentation.
+
+A *message* (e.g. one RDMA write) is carried by a stream of packets.
+Following the paper (§III-A): the first packet of a message carries the
+DFS-specific headers; all packets carry a transport (RDMA) header; the
+network guarantees the header packet is delivered first and the
+completion packet last (§II-B1, sPIN requirement) — our in-order links
+satisfy this trivially.
+
+Payloads are real ``numpy`` ``uint8`` arrays (views into the message
+buffer, never copies — see the hpc guide note on views), so every policy
+is functionally checkable end to end.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+__all__ = ["Packet", "Message", "segment_message", "TRANSPORT_HEADER_BYTES"]
+
+#: Bytes of transport framing per packet (Ethernet+IP+UDP+BTH-equivalent).
+TRANSPORT_HEADER_BYTES = 64
+
+_pkt_ids = itertools.count()
+_msg_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """One network packet.
+
+    ``size`` is the wire size in bytes (transport header + DFS headers on
+    the first packet + payload).  ``payload`` is a zero-copy view into the
+    originating message buffer (may be ``None`` for pure control packets).
+    """
+
+    src: str
+    dst: str
+    op: str                       # e.g. "write", "read_req", "ack", "rpc"
+    msg_id: int
+    seq: int                      # packet index within the message
+    nseq: int                     # total packets in the message
+    payload: Optional[np.ndarray] = None
+    headers: dict[str, Any] = field(default_factory=dict)
+    header_bytes: int = 0         # DFS-specific header bytes (first pkt only)
+    #: byte offset of this packet's payload within the message — carried
+    #: on the wire (like RDMA BTH/RETH offsets) so receivers can place
+    #: payloads without per-message counters
+    payload_offset: int = 0
+    pkt_id: int = field(default_factory=lambda: next(_pkt_ids))
+    # Filled in by the network while in flight:
+    enqueue_t: float = 0.0
+
+    @property
+    def payload_bytes(self) -> int:
+        return 0 if self.payload is None else int(self.payload.nbytes)
+
+    @property
+    def size(self) -> int:
+        return TRANSPORT_HEADER_BYTES + self.header_bytes + self.payload_bytes
+
+    @property
+    def is_header(self) -> bool:
+        return self.seq == 0
+
+    @property
+    def is_completion(self) -> bool:
+        return self.seq == self.nseq - 1
+
+    def child(self, **overrides: Any) -> "Packet":
+        """A derived packet (e.g. a forwarded copy) sharing the payload view."""
+        kw = dict(
+            src=self.src,
+            dst=self.dst,
+            op=self.op,
+            msg_id=self.msg_id,
+            seq=self.seq,
+            nseq=self.nseq,
+            payload=self.payload,
+            headers=dict(self.headers),
+            header_bytes=self.header_bytes,
+            payload_offset=self.payload_offset,
+        )
+        kw.update(overrides)
+        return Packet(**kw)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Packet {self.op} {self.src}->{self.dst} "
+            f"msg={self.msg_id} {self.seq + 1}/{self.nseq} {self.size}B>"
+        )
+
+
+@dataclass
+class Message:
+    """A logical message prior to segmentation."""
+
+    src: str
+    dst: str
+    op: str
+    data: Optional[np.ndarray] = None
+    headers: dict[str, Any] = field(default_factory=dict)
+    header_bytes: int = 0
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+
+
+def fresh_msg_id() -> int:
+    """Allocate a globally unique message id."""
+    return next(_msg_ids)
+
+
+def as_payload(data) -> np.ndarray:
+    """Coerce bytes-like input to a ``uint8`` numpy array without copying
+    when the input is already a ``uint8`` array."""
+    if isinstance(data, np.ndarray):
+        if data.dtype != np.uint8:
+            raise TypeError(f"payload must be uint8, got {data.dtype}")
+        return data
+    return np.frombuffer(bytes(data), dtype=np.uint8)
+
+
+def segment_message(msg: Message, mtu: int) -> list[Packet]:
+    """Split a message into MTU-sized packets.
+
+    ``mtu`` bounds ``dfs_headers + payload`` per packet (transport framing
+    is extra, as on real RoCE links).  The paper assumes request headers
+    always fit in a single packet (§III-A); we enforce that.
+
+    The first packet carries the DFS headers, so its payload share is
+    reduced by ``msg.header_bytes``; subsequent packets are pure payload.
+    Packets carrying *additional* trailing bytes when the MTU does not
+    divide the message (the "outlier" packets of Fig. 16) simply end up
+    shorter — exactly like the paper's traffic.
+    """
+    if msg.header_bytes > mtu:
+        raise ValueError(
+            f"DFS headers ({msg.header_bytes} B) must fit in one MTU ({mtu} B)"
+        )
+    data = msg.data
+    total = 0 if data is None else int(data.nbytes)
+
+    # Payload budget of the first packet and of the rest.
+    first_budget = mtu - msg.header_bytes
+    rest_budget = mtu
+
+    # Compute packet count.
+    if total <= first_budget:
+        nseq = 1
+    else:
+        nseq = 1 + -(-(total - first_budget) // rest_budget)
+
+    pkts: list[Packet] = []
+    off = 0
+    for seq in range(nseq):
+        budget = first_budget if seq == 0 else rest_budget
+        take = min(budget, total - off)
+        payload = None
+        if data is not None and take > 0:
+            payload = data[off : off + take]
+        pkts.append(
+            Packet(
+                src=msg.src,
+                dst=msg.dst,
+                op=msg.op,
+                msg_id=msg.msg_id,
+                seq=seq,
+                nseq=nseq,
+                payload=payload,
+                headers=dict(msg.headers) if seq == 0 else {},
+                header_bytes=msg.header_bytes if seq == 0 else 0,
+                payload_offset=off,
+            )
+        )
+        off += take
+    return pkts

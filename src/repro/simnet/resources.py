@@ -1,0 +1,245 @@
+"""Shared-resource primitives for the simulation kernel.
+
+These mirror the classic SimPy resource set, trimmed to what the network
+and NIC models need:
+
+* :class:`Resource` — ``capacity`` identical servers with a FIFO queue
+  (used for HPU pools, CPU cores, DMA engines);
+* :class:`Store` — an unbounded or bounded FIFO of Python objects (used
+  for egress queues, RPC command queues);
+* :class:`Container` — a counted pool of indistinguishable units (used
+  for NIC memory accounting and egress credits).
+
+All wait operations return :class:`~repro.simnet.engine.Event` objects,
+so processes simply ``yield`` them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from .engine import Event, SimulationError, Simulator
+
+__all__ = ["Request", "Resource", "Store", "Container"]
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource`."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.sim, name=f"req({resource.name})")
+        self.resource = resource
+
+    def release(self) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """``capacity`` identical servers with FIFO granting.
+
+    Usage::
+
+        req = res.request()
+        yield req
+        ...critical section...
+        res.release(req)
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "resource"):
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.users: list[Request] = []
+        self.queue: Deque[Request] = deque()
+        # occupancy bookkeeping for utilisation statistics
+        self._busy_time = 0.0
+        self._last_change = 0.0
+        self._peak_queue = 0
+
+    # -- API -------------------------------------------------------------
+    def request(self) -> Request:
+        req = Request(self)
+        if len(self.users) < self.capacity:
+            self._account()
+            self.users.append(req)
+            req.succeed(req)
+        else:
+            self.queue.append(req)
+            self._peak_queue = max(self._peak_queue, len(self.queue))
+        return req
+
+    def release(self, req: Request) -> None:
+        if req not in self.users:
+            raise SimulationError(f"release of request not holding {self.name!r}")
+        self._account()
+        self.users.remove(req)
+        if self.queue:
+            nxt = self.queue.popleft()
+            self.users.append(nxt)
+            nxt.succeed(nxt)
+
+    def cancel(self, req: Request) -> None:
+        """Withdraw a still-queued request (no-op if already granted)."""
+        try:
+            self.queue.remove(req)
+        except ValueError:
+            pass
+
+    # -- stats -------------------------------------------------------------
+    def _account(self) -> None:
+        now = self.sim.now
+        self._busy_time += len(self.users) * (now - self._last_change)
+        self._last_change = now
+
+    def utilisation(self) -> float:
+        """Mean busy servers per unit time since t=0, divided by capacity."""
+        self._account()
+        if self.sim.now <= 0:
+            return 0.0
+        return self._busy_time / (self.sim.now * self.capacity)
+
+    @property
+    def count(self) -> int:
+        return len(self.users)
+
+    @property
+    def peak_queue(self) -> int:
+        return self._peak_queue
+
+
+class Store:
+    """FIFO store of items with optional capacity bound.
+
+    ``put`` blocks when the store is full; ``get`` blocks when empty.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: Optional[int] = None,
+        name: str = "store",
+    ):
+        if capacity is not None and capacity < 1:
+            raise SimulationError("store capacity must be >= 1 or None")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+        self._peak = 0
+
+    def put(self, item: Any) -> Event:
+        ev = Event(self.sim, name=f"put({self.name})")
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            ev.succeed(None)
+        elif self.capacity is None or len(self.items) < self.capacity:
+            self.items.append(item)
+            self._peak = max(self._peak, len(self.items))
+            ev.succeed(None)
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False when the store is full."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            return True
+        if self.capacity is not None and len(self.items) >= self.capacity:
+            return False
+        self.items.append(item)
+        self._peak = max(self._peak, len(self.items))
+        return True
+
+    def get(self) -> Event:
+        ev = Event(self.sim, name=f"get({self.name})")
+        if self.items:
+            item = self.items.popleft()
+            self._admit_putter()
+            ev.succeed(item)
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def _admit_putter(self) -> None:
+        if self._putters:
+            pev, pitem = self._putters.popleft()
+            self.items.append(pitem)
+            self._peak = max(self._peak, len(self.items))
+            pev.succeed(None)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def peak(self) -> int:
+        return self._peak
+
+
+class Container:
+    """A counted pool of units (credits, bytes of NIC memory, ...)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: float,
+        init: Optional[float] = None,
+        name: str = "container",
+    ):
+        if capacity <= 0:
+            raise SimulationError("container capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.level = capacity if init is None else init
+        if not 0 <= self.level <= capacity:
+            raise SimulationError("initial level out of range")
+        self.name = name
+        self._getters: Deque[tuple[Event, float]] = deque()
+        self._min_level = self.level
+
+    def get(self, amount: float) -> Event:
+        """Take ``amount`` units, blocking until available (FIFO order)."""
+        if amount < 0:
+            raise SimulationError("container get amount must be >= 0")
+        if amount > self.capacity:
+            raise SimulationError(
+                f"get({amount}) exceeds container capacity {self.capacity}"
+            )
+        ev = Event(self.sim, name=f"get({self.name})")
+        if not self._getters and amount <= self.level:
+            self.level -= amount
+            self._min_level = min(self._min_level, self.level)
+            ev.succeed(amount)
+        else:
+            self._getters.append((ev, amount))
+        return ev
+
+    def try_get(self, amount: float) -> bool:
+        """Non-blocking take, honouring FIFO waiters (fails if any queued)."""
+        if self._getters or amount > self.level:
+            return False
+        self.level -= amount
+        self._min_level = min(self._min_level, self.level)
+        return True
+
+    def put(self, amount: float) -> None:
+        if amount < 0:
+            raise SimulationError("container put amount must be >= 0")
+        self.level = min(self.capacity, self.level + amount)
+        while self._getters and self._getters[0][1] <= self.level:
+            ev, amt = self._getters.popleft()
+            self.level -= amt
+            self._min_level = min(self._min_level, self.level)
+            ev.succeed(amt)
+
+    @property
+    def min_level(self) -> float:
+        return self._min_level

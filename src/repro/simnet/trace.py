@@ -1,0 +1,82 @@
+"""Lightweight tracing and statistics collection.
+
+A :class:`Tracer` records typed events with timestamps.  Components emit
+into it opportunistically; experiments query it afterwards.  Keeping the
+trace as parallel flat lists (not per-event objects) keeps the hot path
+allocation-light, per the HPC Python guide.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["Tracer", "Timeline", "summarize"]
+
+
+@dataclass
+class Timeline:
+    """A named series of (t, value) samples."""
+
+    name: str
+    times: List[float] = field(default_factory=list)
+    values: List[Any] = field(default_factory=list)
+
+    def add(self, t: float, value: Any = None) -> None:
+        self.times.append(t)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self) -> Iterator[Tuple[float, Any]]:
+        return zip(self.times, self.values)
+
+
+class Tracer:
+    """Sink for named event streams; cheap when disabled."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.timelines: Dict[str, Timeline] = {}
+        self.counters: Dict[str, int] = defaultdict(int)
+
+    def emit(self, stream: str, t: float, value: Any = None) -> None:
+        if not self.enabled:
+            return
+        tl = self.timelines.get(stream)
+        if tl is None:
+            tl = self.timelines[stream] = Timeline(stream)
+        tl.add(t, value)
+
+    def count(self, counter: str, n: int = 1) -> None:
+        if self.enabled:
+            self.counters[counter] += n
+
+    def get(self, stream: str) -> Timeline:
+        return self.timelines.get(stream, Timeline(stream))
+
+    def values(self, stream: str) -> List[Any]:
+        return list(self.get(stream).values)
+
+
+def summarize(samples: List[float]) -> Dict[str, float]:
+    """min/median/mean/p99/max summary for a list of durations."""
+    if not samples:
+        return {"n": 0, "min": 0.0, "mean": 0.0, "median": 0.0, "p99": 0.0, "max": 0.0}
+    s = sorted(samples)
+    n = len(s)
+
+    def pct(p: float) -> float:
+        idx = min(n - 1, int(round(p * (n - 1))))
+        return s[idx]
+
+    return {
+        "n": n,
+        "min": s[0],
+        "mean": sum(s) / n,
+        "median": pct(0.5),
+        "p99": pct(0.99),
+        "max": s[-1],
+    }

@@ -1,0 +1,162 @@
+"""Workload generators and measurement drivers.
+
+Two measurement styles from the paper:
+
+* **latency** — a single isolated write, reported request-to-response
+  (Figs. 6, 9 left/center, 10, 15 left);
+* **window-based goodput/bandwidth** — keep a window of operations in
+  flight back to back and divide bytes by elapsed time (Fig. 9 right,
+  Fig. 15 right; §VI-C(b): "common to window-based messaging
+  benchmarks").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional
+
+import numpy as np
+
+from .dfs.client import DfsClient
+from .dfs.cluster import Testbed
+from .protocols.base import WriteOutcome
+from .simnet.engine import Event
+
+__all__ = [
+    "measure_write_latency",
+    "measure_goodput",
+    "measure_latency_distribution",
+    "GoodputResult",
+    "sweep",
+    "optimal_chunk_size",
+    "payload_bytes",
+]
+
+
+def payload_bytes(size: int, seed: int = 0) -> np.ndarray:
+    """Deterministic pseudo-random payload (content-checkable)."""
+    return np.random.default_rng(seed).integers(0, 256, size=size, dtype=np.uint8)
+
+
+def measure_write_latency(
+    client: DfsClient,
+    path: str,
+    size: int,
+    protocol: str,
+    warmup: int = 1,
+    repeats: int = 3,
+    **kw,
+) -> float:
+    """Median latency of isolated writes (first write warms structures)."""
+    data = payload_bytes(size)
+    samples = []
+    for i in range(warmup + repeats):
+        out = client.write_sync(path, data, protocol=protocol, **kw)
+        if not out.ok:
+            raise RuntimeError(f"write failed: {out.nacks}")
+        if i >= warmup:
+            samples.append(out.latency_ns)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+@dataclass
+class GoodputResult:
+    bytes_completed: int
+    elapsed_ns: float
+    n_ops: int
+
+    @property
+    def goodput_gbps(self) -> float:
+        return self.bytes_completed * 8.0 / self.elapsed_ns if self.elapsed_ns else 0.0
+
+
+def measure_goodput(
+    testbed: Testbed,
+    issue: Callable[[int], Event],
+    n_ops: int,
+    op_bytes: int,
+    window: int = 16,
+) -> GoodputResult:
+    """Window-based goodput: keep ``window`` operations in flight.
+
+    ``issue(i)`` posts operation ``i`` and returns its completion event.
+    Elapsed time runs from the first issue to the last completion.
+    """
+    sim = testbed.sim
+    t0 = sim.now
+    in_flight: List[Event] = [issue(i) for i in range(min(window, n_ops))]
+    issued = len(in_flight)
+    completed = 0
+    while completed < n_ops:
+        # wait for the oldest op (FIFO window, deterministic)
+        ev = in_flight.pop(0)
+        out = sim.run_until_event(ev)
+        if isinstance(out, WriteOutcome) and not out.ok:
+            raise RuntimeError(f"write failed mid-window: {out.nacks}")
+        completed += 1
+        if issued < n_ops:
+            in_flight.append(issue(issued))
+            issued += 1
+    return GoodputResult(
+        bytes_completed=completed * op_bytes,
+        elapsed_ns=sim.now - t0,
+        n_ops=n_ops,
+    )
+
+
+def measure_latency_distribution(
+    testbed: Testbed,
+    issue: Callable[[int], Event],
+    n_ops: int,
+    window: int = 16,
+) -> dict:
+    """Per-operation latency distribution under load.
+
+    Unlike :func:`measure_goodput` this records every operation's
+    latency (from the outcome objects), returning the
+    :func:`~repro.simnet.trace.summarize` statistics — useful for tail
+    behaviour under contention (p99 vs median).
+    """
+    from .simnet.trace import summarize
+
+    sim = testbed.sim
+    in_flight: List[Event] = [issue(i) for i in range(min(window, n_ops))]
+    issued = len(in_flight)
+    latencies: List[float] = []
+    while in_flight:
+        ev = in_flight.pop(0)
+        out = sim.run_until_event(ev)
+        lat = getattr(out, "latency_ns", None)
+        if lat is None:
+            raise TypeError("issue() must yield outcomes with latency_ns")
+        if isinstance(out, WriteOutcome) and not out.ok:
+            raise RuntimeError(f"operation failed: {out.nacks}")
+        latencies.append(lat)
+        if issued < n_ops:
+            in_flight.append(issue(issued))
+            issued += 1
+    return summarize(latencies)
+
+
+def sweep(fn: Callable[[int], float], points: Iterable[int]) -> dict[int, float]:
+    """Evaluate ``fn`` over a parameter sweep; returns {point: value}."""
+    return {p: fn(p) for p in points}
+
+
+def optimal_chunk_size(
+    run: Callable[[int], float],
+    candidates: Optional[Iterable[int]] = None,
+) -> tuple[int, float]:
+    """Pick the pipelining chunk size minimising ``run(chunk)`` —
+    the paper reports CPU/HyperLoop strategies "with optimal chunk
+    size" (§V-B).  Returns (best_chunk, best_latency)."""
+    if candidates is None:
+        candidates = [8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10]
+    best = None
+    for c in candidates:
+        lat = run(c)
+        if best is None or lat < best[1]:
+            best = (c, lat)
+    assert best is not None
+    return best

@@ -1,0 +1,145 @@
+"""Tests for the analytic models and shape-check helpers."""
+
+import pytest
+
+from repro.analysis import (
+    DFS_SURVEY,
+    ShapeError,
+    Support,
+    assert_crossover_within,
+    assert_faster,
+    assert_monotonic,
+    assert_ratio_between,
+    check,
+    concurrent_writes,
+    crossover_point,
+    handler_budget_ns,
+    hpus_needed,
+    max_concurrent_writes,
+    packet_interarrival_ns,
+    relative_gap,
+    render_table,
+    required_memory_bytes,
+)
+from repro.params import PsPinParams, SimParams
+
+
+# --------------------------------------------------------------- littles law
+def test_required_memory_linear():
+    assert required_memory_bytes(0) == 0
+    assert required_memory_bytes(1) == 77
+    assert required_memory_bytes(1000) == 77_000
+    assert required_memory_bytes(10, descriptor_bytes=100) == 1000
+    with pytest.raises(ValueError):
+        required_memory_bytes(-1)
+
+
+def test_max_concurrent_writes_is_82k():
+    assert max_concurrent_writes(PsPinParams()) == pytest.approx(82_000, rel=0.01)
+
+
+def test_concurrent_writes_littles_law():
+    p = SimParams()
+    # small writes at line rate: overhead dominates residence -> many in flight
+    small = concurrent_writes(512, p)
+    big = concurrent_writes(1 << 20, p)
+    assert small > big
+    # L = lambda * W with W = transfer + extra; transfer-only -> exactly 1
+    exactly_one = concurrent_writes(1 << 20, p, extra_latency_ns=0.0)
+    assert exactly_one == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        concurrent_writes(0, p)
+
+
+# -------------------------------------------------------------------- budget
+def test_packet_interarrival():
+    # 2 KiB at 400 Gbit/s: 40.96 ns (§VI-C)
+    assert packet_interarrival_ns(400.0, 2048) == pytest.approx(40.96)
+    with pytest.raises(ValueError):
+        packet_interarrival_ns(0, 2048)
+
+
+def test_handler_budget_32_hpus():
+    # "each handler should not last more than ~1310 ns" (§VI-C)
+    assert handler_budget_ns(400.0, 2048, 32) == pytest.approx(1310.72)
+    with pytest.raises(ValueError):
+        handler_budget_ns(400.0, 2048, 0)
+
+
+def test_hpus_needed_rs63():
+    # the paper reads off ~512 HPUs for RS(6,3) at 400 Gbit/s
+    assert hpus_needed(400.0, 2048, 23018) == 562
+    assert hpus_needed(200.0, 2048, 23018) == 281
+    assert hpus_needed(400.0, 2048, 0) == 1
+    with pytest.raises(ValueError):
+        hpus_needed(400.0, 2048, -1)
+
+
+# -------------------------------------------------------------------- survey
+def test_survey_size_and_render():
+    assert len(DFS_SURVEY) == 14
+    table = render_table()
+    for e in DFS_SURVEY:
+        assert e.name in table
+
+
+def test_survey_symbols():
+    assert Support.YES.symbol == "Y"
+    assert Support.PARTIAL.symbol == "~"
+    assert Support.NO.symbol == "x"
+
+
+def test_survey_gap_claim():
+    """The paper's motivation: no surveyed DFS has full RDMA + all
+    three policies."""
+    full = [
+        e for e in DFS_SURVEY
+        if e.rdma == Support.YES and e.auth == Support.YES
+        and e.replication == Support.YES and e.erasure_coding == Support.YES
+    ]
+    assert not full
+
+
+# -------------------------------------------------------------------- shapes
+def test_check_and_assert_faster():
+    check(True, "fine")
+    with pytest.raises(ShapeError):
+        check(False, "nope")
+    assert_faster(1.0, 2.0, "ok")
+    with pytest.raises(ShapeError):
+        assert_faster(2.0, 1.0, "bad")
+
+
+def test_assert_monotonic():
+    assert_monotonic([1, 2, 2, 3])
+    assert_monotonic([3, 2, 1], increasing=False)
+    with pytest.raises(ShapeError):
+        assert_monotonic([1, 3, 2])
+
+
+def test_assert_ratio_between():
+    assert_ratio_between(2.0, 1.0, 1.5, 2.5, "ok")
+    with pytest.raises(ShapeError):
+        assert_ratio_between(3.0, 1.0, 1.5, 2.5, "bad")
+
+
+def test_relative_gap():
+    assert relative_gap(1.27, 1.0) == pytest.approx(0.27)
+
+
+def test_crossover_point():
+    a = {1: 10, 2: 20, 4: 40, 8: 80}
+    b = {1: 30, 2: 30, 4: 30, 8: 30}
+    assert crossover_point(a, b) == 4
+    assert crossover_point(b, a) == 1  # b never starts faster
+    assert crossover_point(a, {1: 100, 2: 100, 4: 100, 8: 100}) is None
+
+
+def test_assert_crossover_within():
+    a = {1: 10, 2: 20, 4: 40, 8: 80}
+    b = {1: 30, 2: 30, 4: 30, 8: 30}
+    assert assert_crossover_within(a, b, 2, 8, "ok") == 4
+    with pytest.raises(ShapeError):
+        assert_crossover_within(a, b, 1, 2, "window too early")
+    with pytest.raises(ShapeError):
+        assert_crossover_within(b, a, 1, 8, "wrong direction")

@@ -1,0 +1,68 @@
+"""Client retry semantics for transient NIC denials (§III-B2, §III-C)."""
+
+import numpy as np
+import pytest
+
+from repro import DfsClient, build_testbed
+from repro.params import SimParams
+from repro.protocols import install_spin_targets
+
+KiB = 1024
+
+
+def test_retry_succeeds_after_overload_drains():
+    """A tiny ingress queue overloads under a burst; retries succeed
+    once the accelerator drains."""
+    params = SimParams().with_pspin(ingress_queue_packets=8)
+    tb = build_testbed(n_storage=2, params=params)
+    install_spin_targets(tb)
+    c = DfsClient(tb)
+    c.create("/f", size=2 << 20)
+    data = np.zeros(256 * KiB, np.uint8)
+    # saturate: issue a burst of background writes without waiting
+    bg = [c.write("/f", data, protocol="spin") for _ in range(6)]
+    out = c.write_with_retry("/f", data, protocol="spin", max_retries=12)
+    assert out.ok
+    assert out.details["attempts"] >= 1
+    for ev in bg:
+        res = tb.run_until(ev)  # background writes settle (ok or denied)
+
+
+def test_retry_gives_up_after_max_attempts():
+    params = SimParams().with_pspin(ingress_queue_packets=2)
+    tb = build_testbed(n_storage=2, params=params)
+    install_spin_targets(tb)
+    c = DfsClient(tb)
+    c.create("/f", size=2 << 20)
+    data = np.zeros(512 * KiB, np.uint8)
+    # permanent pressure: keep re-issuing background floods
+    for _ in range(10):
+        c.write("/f", data, protocol="spin")
+    out = c.write_with_retry("/f", np.zeros(64 * KiB, np.uint8),
+                             max_retries=1, backoff_ns=10.0)
+    # either it squeezed through or it gave up with a retryable nack
+    if not out.ok:
+        assert out.details["attempts"] == 2
+        assert out.nacks[0]["reason"] in DfsClient.RETRYABLE_NACKS
+    tb.run(until=tb.sim.now + 50_000_000)
+
+
+def test_auth_rejection_not_retried():
+    tb = build_testbed(n_storage=2)
+    install_spin_targets(tb)
+    c = DfsClient(tb)
+    c.create("/f", size=64 * KiB)
+    out = c.write_with_retry("/f", np.zeros(1 * KiB, np.uint8),
+                             capability=c.forge_ticket("/f"))
+    assert not out.ok
+    assert out.details["attempts"] == 1  # no retry on auth failure
+    assert out.nacks[0]["reason"] == "auth"
+
+
+def test_retry_noop_on_success():
+    tb = build_testbed(n_storage=2)
+    install_spin_targets(tb)
+    c = DfsClient(tb)
+    c.create("/f", size=64 * KiB)
+    out = c.write_with_retry("/f", np.zeros(4 * KiB, np.uint8))
+    assert out.ok and out.details["attempts"] == 1

@@ -1,0 +1,133 @@
+"""Unit tests for the Listing-1 handler skeleton itself."""
+
+import numpy as np
+import pytest
+
+from repro.core.context import CleanupHandler, ExecutionContext, Handler, HandlerSet
+from repro.core.handlers import DROP_COST, DfsPolicy, build_dfs_context
+from repro.core.state import DfsState
+from repro.params import PsPinParams
+from repro.pspin.memory import NicMemory
+from repro.simnet import Simulator
+from repro.simnet.packet import Packet
+
+
+def _state(authority=None):
+    return DfsState(NicMemory(Simulator(), PsPinParams()), PsPinParams(), authority=authority)
+
+
+def _ctx(policy=None, state=None):
+    return build_dfs_context("t", policy or DfsPolicy(), state or _state())
+
+
+def test_build_dfs_context_wires_handler_set():
+    ctx = _ctx()
+    assert ctx.handlers.header is not None
+    assert ctx.handlers.payload is not None
+    assert ctx.handlers.completion is not None
+    assert isinstance(ctx.handlers.cleanup, CleanupHandler)
+
+
+def test_context_matching_by_op():
+    ctx = _ctx()
+    w = Packet(src="a", dst="b", op="write", msg_id=1, seq=0, nseq=1)
+    r = Packet(src="a", dst="b", op="read", msg_id=1, seq=0, nseq=1)
+    assert ctx.matches(w)
+    assert not ctx.matches(r)
+    ctx2 = build_dfs_context("t2", DfsPolicy(), _state(), match_ops=("write", "read"))
+    assert ctx2.matches(r)
+
+
+def test_payload_cost_is_drop_cost_without_entry():
+    """Listing 1: packets of rejected/unknown requests are dropped with
+    minimal handler work."""
+    ctx = _ctx()
+    from repro.core.context import Task
+
+    task = Task(ctx=ctx, flow_id=123, cluster=0)
+    pkt = Packet(src="a", dst="b", op="write", msg_id=123, seq=1, nseq=3)
+    assert ctx.handlers.payload.cost(task, pkt) is DROP_COST
+    assert ctx.handlers.completion.cost(task, pkt) is DROP_COST
+
+
+def test_payload_cost_is_drop_cost_for_rejected_entry():
+    ctx = _ctx()
+    from repro.core.context import Task
+
+    state = ctx.state
+    task = Task(ctx=ctx, flow_id=5, cluster=0)
+    state.alloc_request(5, 99, 0, accept=False, now_ns=0.0)
+    pkt = Packet(src="a", dst="b", op="write", msg_id=5, seq=1, nseq=3)
+    assert ctx.handlers.payload.cost(task, pkt) is DROP_COST
+
+
+def test_handler_base_requires_cost():
+    h = Handler()
+    with pytest.raises(NotImplementedError):
+        h.cost(None, None)
+    assert h.run(None, None, None) is None or True  # default no-op
+
+
+def test_default_validate_requires_dfs_header():
+    p = DfsPolicy()
+    state = _state()
+    pkt = Packet(src="a", dst="b", op="write", msg_id=1, seq=0, nseq=1)
+    assert not p.validate(state, pkt, 0.0)
+
+
+def test_default_validate_trusts_without_authority():
+    from repro.core.request import DfsHeader, WriteRequestHeader
+
+    p = DfsPolicy()
+    state = _state(authority=None)
+    pkt = Packet(
+        src="a", dst="b", op="write", msg_id=1, seq=0, nseq=1,
+        headers={
+            "dfs": DfsHeader(1, "write", 1, capability=None),
+            "wrh": WriteRequestHeader(addr=0),
+        },
+    )
+    assert p.validate(state, pkt, 0.0)
+
+
+def test_validate_write_requires_wrh_when_untrusted():
+    from repro.core.request import DfsHeader
+    from repro.dfs.capability import CapabilityAuthority, Rights
+
+    auth = CapabilityAuthority(key=b"k")
+    cap = auth.issue(1, 1, 0, 1 << 20, Rights.RW)
+    p = DfsPolicy()
+    state = _state(authority=auth)
+    pkt = Packet(
+        src="a", dst="b", op="write", msg_id=1, seq=0, nseq=1,
+        headers={"dfs": DfsHeader(1, "write", 1, capability=cap)},
+    )
+    assert not p.validate(state, pkt, 0.0)  # no WRH -> reject
+
+
+def test_handler_set_default_cleanup_injected():
+    hs = HandlerSet(header=Handler(), payload=Handler(), completion=Handler())
+    assert isinstance(hs.cleanup, CleanupHandler)
+    custom = CleanupHandler()
+    hs2 = HandlerSet(header=Handler(), payload=Handler(), completion=Handler(),
+                     cleanup=custom)
+    assert hs2.cleanup is custom
+
+
+def test_cleanup_handler_frees_and_notifies():
+    ctx = _ctx()
+    from repro.core.context import Task
+
+    state = ctx.state
+    state.alloc_request(7, 42, 0, accept=True, now_ns=0.0)
+    task = Task(ctx=ctx, flow_id=7, cluster=0)
+
+    class FakeApi:
+        now = 123.0
+
+    list(ctx.handlers.cleanup.run(FakeApi(), task, None) or [])
+    assert state.get_request(7) is None
+    assert state.requests_cleaned == 1
+    events = state.drain_host_events()
+    assert events and events[0]["type"] == "write_interrupted"
+    assert events[0]["greq_id"] == 42

@@ -1,0 +1,118 @@
+"""Wire-format tests (§III-A, Fig. 3)."""
+
+import pytest
+
+from repro.core.request import (
+    DFS_HEADER_FIXED_BYTES,
+    DfsHeader,
+    EcParams,
+    ReadRequestHeader,
+    ReplicaCoord,
+    ReplicationParams,
+    WriteRequestHeader,
+    request_header_bytes,
+)
+from repro.dfs.capability import CAPABILITY_WIRE_BYTES, CapabilityAuthority, Rights
+
+
+def _cap():
+    return CapabilityAuthority(key=b"k").issue(1, 2, 0, 100, Rights.RW)
+
+
+def test_dfs_header_size_with_and_without_capability():
+    h = DfsHeader(1, "write", 1, capability=None)
+    assert h.wire_bytes == DFS_HEADER_FIXED_BYTES
+    h2 = DfsHeader(1, "write", 1, capability=_cap())
+    assert h2.wire_bytes == DFS_HEADER_FIXED_BYTES + CAPABILITY_WIRE_BYTES
+
+
+def test_wrh_plain_size():
+    assert WriteRequestHeader(addr=0).wire_bytes == 12
+
+
+def test_wrh_replication_size_scales_with_replicas():
+    coords = tuple(ReplicaCoord(f"n{i}", 0) for i in range(3))
+    rp = ReplicationParams("ring", 0, coords)
+    wrh = WriteRequestHeader(addr=0, resiliency="replication", replication=rp)
+    assert wrh.wire_bytes == 12 + 4 + 3 * ReplicaCoord.WIRE_BYTES
+
+
+def test_wrh_ec_size_scales_with_parity_nodes():
+    ec = EcParams(k=3, m=2, role="data", index=0, block_id=1,
+                  parity_coords=(ReplicaCoord("p0", 0), ReplicaCoord("p1", 0)))
+    wrh = WriteRequestHeader(addr=0, resiliency="ec", ec=ec)
+    assert wrh.wire_bytes == 12 + 16 + 2 * ReplicaCoord.WIRE_BYTES
+
+
+def test_wrh_validation():
+    with pytest.raises(ValueError):
+        WriteRequestHeader(addr=0, resiliency="replication")
+    with pytest.raises(ValueError):
+        WriteRequestHeader(addr=0, resiliency="ec")
+    rp = ReplicationParams("ring", 0, ())
+    ec = EcParams(k=2, m=1, role="data", index=0, block_id=1)
+    with pytest.raises(ValueError):
+        WriteRequestHeader(addr=0, resiliency="replication", replication=rp, ec=ec)
+
+
+def test_rrh_size():
+    assert ReadRequestHeader(addr=0, length=10).wire_bytes == 16
+
+
+def test_request_header_bytes_compose():
+    dfs = DfsHeader(1, "write", 1, capability=_cap())
+    wrh = WriteRequestHeader(addr=0)
+    rrh = ReadRequestHeader(addr=0, length=10)
+    assert request_header_bytes(dfs) == dfs.wire_bytes
+    assert request_header_bytes(dfs, wrh) == dfs.wire_bytes + wrh.wire_bytes
+    assert request_header_bytes(dfs, rrh=rrh) == dfs.wire_bytes + rrh.wire_bytes
+
+
+def test_headers_fit_one_mtu_for_reasonable_k():
+    """§III-A: request headers must fit a single packet; check the WRH
+    stays under a 2 KiB MTU even for wide replication/EC configs."""
+    dfs = DfsHeader(1, "write", 1, capability=_cap())
+    coords = tuple(ReplicaCoord(f"n{i}", i) for i in range(64))
+    rp = ReplicationParams("ring", 0, coords)
+    wrh = WriteRequestHeader(addr=0, resiliency="replication", replication=rp)
+    assert request_header_bytes(dfs, wrh) < 2048
+
+
+def test_replication_params_unknown_strategy():
+    rp = ReplicationParams.__new__(ReplicationParams)
+    object.__setattr__(rp, "strategy", "mesh")
+    object.__setattr__(rp, "virtual_rank", 0)
+    object.__setattr__(rp, "coords", ())
+    with pytest.raises(ValueError):
+        rp.children_of(0)
+
+
+def test_ring_is_unary_tree():
+    coords = tuple(ReplicaCoord(f"n{i}", 0) for i in range(1, 5))
+    rp = ReplicationParams("ring", 0, coords)
+    chain = [0]
+    while True:
+        ch = rp.children_of(chain[-1])
+        if not ch:
+            break
+        assert len(ch) == 1
+        chain.append(ch[0])
+    assert chain == [0, 1, 2, 3, 4]
+
+
+def test_pbt_depth_is_logarithmic():
+    coords = tuple(ReplicaCoord(f"n{i}", 0) for i in range(1, 8))  # k=8
+    rp = ReplicationParams("pbt", 0, coords)
+
+    def depth(rank):
+        ch = rp.children_of(rank)
+        return 1 + max((depth(c) for c in ch), default=0)
+
+    assert depth(0) == 4  # ceil(log2(8)) + 1 levels
+    ring = ReplicationParams("ring", 0, coords)
+
+    def rdepth(rank):
+        ch = ring.children_of(rank)
+        return 1 + (rdepth(ch[0]) if ch else 0)
+
+    assert rdepth(0) == 8

@@ -1,0 +1,134 @@
+"""DfsState / request table / accumulator pool tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.state import AccumulatorPool, DfsState
+from repro.params import PsPinParams
+from repro.pspin.memory import NicMemory
+from repro.simnet import Simulator
+
+
+@pytest.fixture
+def state():
+    nm = NicMemory(Simulator(), PsPinParams())
+    return DfsState(nm, PsPinParams(), authority=None, n_accumulators=4,
+                    accumulator_bytes=256)
+
+
+def test_wide_state_includes_gf_table(state):
+    # the 64 KiB MUL table + keys live in the reserved region (§VI-B2)
+    used_wide = state.nicmem.wide.capacity - state.nicmem.wide.level
+    assert used_wide >= 64 * 1024
+
+
+def test_request_lifecycle(state):
+    e = state.alloc_request(flow_id=1, greq_id=10, cluster=0, accept=True, now_ns=5.0)
+    assert e is not None and e.tier == "l1"
+    assert state.get_request(1) is e
+    assert state.requests_started == 1
+    state.free_request(1)
+    assert state.get_request(1) is None
+    assert state.requests_completed == 1
+    assert state.nicmem.in_use_bytes() == 0
+
+
+def test_request_descriptor_is_77_bytes(state):
+    state.alloc_request(1, 10, 0, True, 0.0)
+    assert state.nicmem.in_use_bytes() == 77
+
+
+def test_free_cleaned_counts_separately(state):
+    state.alloc_request(1, 10, 0, True, 0.0)
+    state.free_request(1, cleaned=True)
+    assert state.requests_cleaned == 1 and state.requests_completed == 0
+
+
+def test_free_unknown_is_noop(state):
+    state.free_request(999)  # must not raise
+
+
+def test_peak_concurrent_tracking(state):
+    for i in range(5):
+        state.alloc_request(i, i, 0, True, 0.0)
+    for i in range(5):
+        state.free_request(i)
+    assert state.peak_concurrent == 5
+
+
+def test_denial_counted_when_memory_full():
+    params = PsPinParams()
+    nm = NicMemory(Simulator(), params)
+    st = DfsState(nm, params)
+    for c in range(params.n_clusters):
+        nm.l1[c].try_get(nm.l1[c].level)
+    nm.l2.try_get(nm.l2.level)
+    assert st.alloc_request(1, 1, 0, True, 0.0) is None
+    assert st.requests_denied_mem == 1
+
+
+def test_host_event_queue(state):
+    state.post_host_event({"type": "x"})
+    state.post_host_event({"type": "y"})
+    assert [e["type"] for e in state.drain_host_events()] == ["x", "y"]
+    assert state.drain_host_events() == []
+
+
+# --------------------------------------------------------------- accumulators
+def test_accumulator_acquire_release(state):
+    pool = state.accumulators
+    a = pool.acquire(("b", 0, 0))
+    assert a is not None and a.nbytes == 256 and not a.any()
+    assert pool.lookup(("b", 0, 0)) is a
+    assert pool.in_use == 1
+    pool.release(("b", 0, 0))
+    assert pool.in_use == 0
+    assert pool.lookup(("b", 0, 0)) is None
+
+
+def test_accumulator_acquire_idempotent_for_same_key(state):
+    pool = state.accumulators
+    a = pool.acquire(("k",))
+    b = pool.acquire(("k",))
+    assert a is b and pool.in_use == 1
+
+
+def test_accumulator_exhaustion_falls_back(state):
+    pool = state.accumulators
+    for i in range(4):
+        assert pool.acquire(("k", i)) is not None
+    assert pool.acquire(("k", 99)) is None
+    assert pool.fallbacks == 1
+    pool.release(("k", 0))
+    assert pool.acquire(("k", 99)) is not None
+
+
+def test_accumulator_reuse_is_zeroed(state):
+    pool = state.accumulators
+    a = pool.acquire(("k1",))
+    a[:] = 0xFF
+    pool.release(("k1",))
+    b = pool.acquire(("k2",))
+    assert not b.any()
+
+
+def test_accumulator_peak_tracking(state):
+    pool = state.accumulators
+    pool.acquire(("a",))
+    pool.acquire(("b",))
+    pool.release(("a",))
+    pool.acquire(("c",))
+    assert pool.peak_in_use == 2
+
+
+def test_accumulator_pool_must_fit_nic_memory():
+    nm = NicMemory(Simulator(), PsPinParams())
+    with pytest.raises(MemoryError):
+        DfsState(nm, PsPinParams(), n_accumulators=10_000, accumulator_bytes=2048)
+
+
+def test_zero_accumulator_pool():
+    nm = NicMemory(Simulator(), PsPinParams())
+    st = DfsState(nm, PsPinParams(), n_accumulators=0)
+    assert st.accumulators.acquire(("x",)) is None
+    assert st.accumulators.fallbacks == 1

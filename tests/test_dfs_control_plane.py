@@ -1,0 +1,194 @@
+"""Metadata / management / layout control-plane tests."""
+
+import pytest
+
+from repro.dfs.capability import CapabilityAuthority, Rights
+from repro.dfs.layout import EcSpec, Extent, FileLayout, ReplicationSpec
+from repro.dfs.management import AuthError, ManagementService
+from repro.dfs.metadata import MetadataError, MetadataService
+
+
+@pytest.fixture
+def meta():
+    return MetadataService(
+        storage_nodes=[f"sn{i}" for i in range(8)],
+        node_capacity=1 << 20,
+        authority=CapabilityAuthority(key=b"svc"),
+    )
+
+
+# ----------------------------------------------------------------- layout
+def test_layout_validation_replication():
+    with pytest.raises(ValueError):
+        FileLayout(1, 100, extents=(Extent("a", 0, 100),),
+                   resiliency="replication", replication=ReplicationSpec(k=2))
+
+
+def test_layout_validation_ec():
+    with pytest.raises(ValueError):
+        FileLayout(1, 100, extents=(Extent("a", 0, 50), Extent("b", 0, 50)),
+                   resiliency="ec", ec=EcSpec(k=2, m=1), parity_extents=())
+
+
+def test_layout_plain_single_extent():
+    with pytest.raises(ValueError):
+        FileLayout(1, 100, extents=(Extent("a", 0, 50), Extent("b", 0, 50)))
+
+
+def test_replication_spec_validation():
+    with pytest.raises(ValueError):
+        ReplicationSpec(k=0)
+    with pytest.raises(ValueError):
+        ReplicationSpec(k=2, strategy="star")  # type: ignore[arg-type]
+
+
+def test_ec_spec_validation():
+    with pytest.raises(ValueError):
+        EcSpec(k=0, m=1)
+    with pytest.raises(ValueError):
+        EcSpec(k=3, m=0)
+
+
+# --------------------------------------------------------------- metadata
+def test_create_plain(meta):
+    lay = meta.create("/a", 1000)
+    assert lay.resiliency == "none" and lay.size == 1000
+    assert lay.primary.length == 1000
+    assert meta.lookup("/a") is lay
+    assert meta.exists("/a")
+
+
+def test_create_duplicate_rejected(meta):
+    meta.create("/a", 100)
+    with pytest.raises(MetadataError):
+        meta.create("/a", 100)
+
+
+def test_create_replicated_distinct_nodes(meta):
+    lay = meta.create("/r", 4096, replication=ReplicationSpec(k=4))
+    nodes = [e.node for e in lay.extents]
+    assert len(set(nodes)) == 4
+    assert all(e.length == 4096 for e in lay.extents)
+
+
+def test_create_ec_distinct_nodes_and_chunks(meta):
+    lay = meta.create("/e", 6000, ec=EcSpec(k=3, m=2))
+    all_nodes = lay.all_nodes
+    assert len(set(all_nodes)) == 5
+    chunk = lay.chunk_length()
+    assert chunk == 2000
+    assert all(e.length == chunk for e in lay.parity_extents)
+
+
+def test_replication_and_ec_exclusive(meta):
+    with pytest.raises(MetadataError):
+        meta.create("/x", 100, replication=ReplicationSpec(k=2), ec=EcSpec(2, 1))
+
+
+def test_too_many_replicas_rejected(meta):
+    with pytest.raises(MetadataError):
+        meta.create("/x", 100, replication=ReplicationSpec(k=9))
+
+
+def test_capacity_exhaustion():
+    meta = MetadataService(["sn0"], node_capacity=1000,
+                           authority=CapabilityAuthority(key=b"k"))
+    meta.create("/a", 800)
+    with pytest.raises(MetadataError):
+        meta.create("/b", 300)
+
+
+def test_allocations_do_not_overlap(meta):
+    lays = [meta.create(f"/f{i}", 3000) for i in range(16)]
+    by_node: dict = {}
+    for lay in lays:
+        e = lay.primary
+        by_node.setdefault(e.node, []).append((e.addr, e.addr + e.length))
+    for ranges in by_node.values():
+        ranges.sort()
+        for (s1, e1), (s2, _) in zip(ranges, ranges[1:]):
+            assert e1 <= s2, "overlapping extents"
+
+
+def test_delete(meta):
+    meta.create("/a", 100)
+    meta.delete("/a")
+    assert not meta.exists("/a")
+    with pytest.raises(MetadataError):
+        meta.delete("/a")
+    with pytest.raises(MetadataError):
+        meta.lookup("/a")
+
+
+def test_write_grant_exclusive(meta):
+    meta.create("/a", 100)
+    assert meta.grant_write("/a", client_id=1)
+    assert meta.grant_write("/a", client_id=1)  # re-grant to holder ok
+    assert not meta.grant_write("/a", client_id=2)
+    meta.revoke_write("/a", client_id=1)
+    assert meta.grant_write("/a", client_id=2)
+
+
+def test_issue_ticket_covers_object(meta):
+    lay = meta.create("/a", 100)
+    cap = meta.issue_ticket(client_id=1, path="/a", rights=Rights.RW)
+    assert cap.object_id == lay.object_id
+    assert meta.authority.verify(cap, Rights.WRITE, lay.primary.addr, 100)
+
+
+def test_invalid_sizes(meta):
+    with pytest.raises(MetadataError):
+        meta.create("/z", 0)
+    with pytest.raises(MetadataError):
+        meta.create("/z", -5)
+
+
+def test_placement_round_robins(meta):
+    primaries = [meta.create(f"/p{i}", 10).primary.node for i in range(8)]
+    assert len(set(primaries)) == 8  # spread across all nodes
+
+
+def test_needs_at_least_one_node():
+    with pytest.raises(MetadataError):
+        MetadataService([], 100, CapabilityAuthority(key=b"k"))
+
+
+# -------------------------------------------------------------- management
+def test_management_authenticate():
+    m = ManagementService()
+    cid = m.authenticate("alice")
+    assert m.is_authenticated(cid)
+    assert m.principal(cid) == "alice"
+    assert not m.is_authenticated(cid + 1)
+
+
+def test_management_rejects_unknown_principal():
+    m = ManagementService()
+    with pytest.raises(AuthError):
+        m.authenticate("mallory-the-attacker")
+
+
+def test_management_health_tracking():
+    m = ManagementService()
+    m.report_healthy("sn0")
+    m.report_failed("sn1")
+    assert m.is_healthy("sn0")
+    assert not m.is_healthy("sn1")
+    assert m.is_healthy("sn9")  # unknown defaults healthy
+    assert m.failed_nodes() == ["sn1"]
+
+
+def test_children_of_ring_and_pbt():
+    from repro.core.request import ReplicaCoord, ReplicationParams
+
+    coords = tuple(ReplicaCoord(f"n{i}", 0) for i in range(1, 7))  # k=7
+    ring = ReplicationParams("ring", 0, coords)
+    assert ring.children_of(0) == [1]
+    assert ring.children_of(5) == [6]
+    assert ring.children_of(6) == []
+    pbt = ReplicationParams("pbt", 0, coords)
+    assert pbt.children_of(0) == [1, 2]
+    assert pbt.children_of(1) == [3, 4]
+    assert pbt.children_of(2) == [5, 6]
+    assert pbt.children_of(3) == []
+    assert pbt.coord_for_rank(1).node == "n1"

@@ -1,0 +1,130 @@
+"""GF(2^8) field arithmetic tests, including field-axiom property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ec import (
+    EXP_TABLE,
+    LOG_TABLE,
+    MUL_TABLE,
+    MUL_TABLE_BYTES,
+    gf_add,
+    gf_div,
+    gf_inv,
+    gf_mul,
+    gf_mul_scalar_vec,
+    gf_mulvec_accumulate,
+    gf_pow,
+)
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+def test_table_shapes_and_footprint():
+    assert MUL_TABLE.shape == (256, 256) and MUL_TABLE.dtype == np.uint8
+    # The paper stores this exact 64 KiB table in NIC memory (§VI-B2).
+    assert MUL_TABLE_BYTES == 64 * 1024
+
+
+def test_known_products():
+    # 2*2=4, 2*128 wraps through the primitive polynomial 0x11d
+    assert gf_mul(2, 2) == 4
+    assert gf_mul(2, 128) == 0x1D
+    assert gf_mul(7, 3) == 9  # carry-less product below the modulus
+
+
+def test_exp_log_are_inverse_bijections():
+    for a in range(1, 256):
+        assert EXP_TABLE[LOG_TABLE[a]] == a
+    # exp over 0..254 hits every nonzero element exactly once
+    assert len(set(int(EXP_TABLE[i]) for i in range(255))) == 255
+
+
+@given(elements, elements)
+def test_mul_commutative(a, b):
+    assert gf_mul(a, b) == gf_mul(b, a)
+
+
+@given(elements, elements, elements)
+def test_mul_associative(a, b, c):
+    assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+
+@given(elements, elements, elements)
+def test_distributive(a, b, c):
+    assert gf_mul(a, gf_add(b, c)) == gf_add(gf_mul(a, b), gf_mul(a, c))
+
+
+@given(elements)
+def test_identities(a):
+    assert gf_mul(a, 1) == a
+    assert gf_mul(a, 0) == 0
+    assert gf_add(a, a) == 0  # characteristic 2
+    assert gf_add(a, 0) == a
+
+
+@given(nonzero)
+def test_inverse(a):
+    assert gf_mul(a, gf_inv(a)) == 1
+
+
+@given(elements, nonzero)
+def test_div_mul_roundtrip(a, b):
+    assert gf_mul(gf_div(a, b), b) == a
+
+
+def test_zero_inverse_rejected():
+    with pytest.raises(ZeroDivisionError):
+        gf_inv(0)
+    with pytest.raises(ZeroDivisionError):
+        gf_div(5, 0)
+
+
+@given(nonzero, st.integers(min_value=-10, max_value=10))
+def test_pow_matches_repeated_mul(a, n):
+    expected = 1
+    base = a if n >= 0 else gf_inv(a)
+    for _ in range(abs(n)):
+        expected = gf_mul(expected, base)
+    assert gf_pow(a, n) == expected
+
+
+def test_pow_zero_cases():
+    assert gf_pow(0, 0) == 1
+    assert gf_pow(0, 5) == 0
+    with pytest.raises(ZeroDivisionError):
+        gf_pow(0, -1)
+
+
+# ----------------------------------------------------------- vector forms
+def test_mul_scalar_vec_matches_scalar():
+    rng = np.random.default_rng(1)
+    vec = rng.integers(0, 256, size=1000, dtype=np.uint8)
+    for s in [0, 1, 2, 0x53, 255]:
+        out = gf_mul_scalar_vec(s, vec)
+        assert out.dtype == np.uint8
+        assert all(int(out[i]) == gf_mul(s, int(vec[i])) for i in range(0, 1000, 97))
+
+
+def test_mul_scalar_vec_rejects_wrong_dtype():
+    with pytest.raises(TypeError):
+        gf_mul_scalar_vec(3, np.zeros(4, dtype=np.int32))
+
+
+def test_mulvec_accumulate_in_place():
+    rng = np.random.default_rng(2)
+    acc = rng.integers(0, 256, size=512, dtype=np.uint8)
+    vec = rng.integers(0, 256, size=512, dtype=np.uint8)
+    expected = np.bitwise_xor(acc, gf_mul_scalar_vec(7, vec))
+    view = acc  # gf_mulvec_accumulate must mutate in place
+    gf_mulvec_accumulate(acc, 7, vec)
+    assert np.array_equal(acc, expected)
+    assert view is acc
+
+
+def test_mulvec_accumulate_shape_mismatch():
+    with pytest.raises(ValueError):
+        gf_mulvec_accumulate(np.zeros(3, np.uint8), 1, np.zeros(4, np.uint8))

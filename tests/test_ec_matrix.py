@@ -1,0 +1,123 @@
+"""GF(2^8) matrix algebra tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ec import (
+    SingularMatrixError,
+    gf_mat_inv,
+    gf_matmul,
+    gf_mul,
+    systematic_encoding_matrix,
+    vandermonde,
+)
+
+
+def rand_matrix(rng, rows, cols):
+    return rng.integers(0, 256, size=(rows, cols), dtype=np.uint8)
+
+
+def naive_matmul(a, b):
+    m, n = a.shape
+    n2, p = b.shape
+    out = np.zeros((m, p), dtype=np.uint8)
+    for i in range(m):
+        for j in range(p):
+            acc = 0
+            for k in range(n):
+                acc ^= gf_mul(int(a[i, k]), int(b[k, j]))
+            out[i, j] = acc
+    return out
+
+
+def test_matmul_matches_naive():
+    rng = np.random.default_rng(3)
+    a = rand_matrix(rng, 4, 5)
+    b = rand_matrix(rng, 5, 3)
+    assert np.array_equal(gf_matmul(a, b), naive_matmul(a, b))
+
+
+def test_matmul_identity():
+    rng = np.random.default_rng(4)
+    a = rand_matrix(rng, 6, 6)
+    eye = np.eye(6, dtype=np.uint8)
+    assert np.array_equal(gf_matmul(a, eye), a)
+    assert np.array_equal(gf_matmul(eye, a), a)
+
+
+def test_matmul_shape_check():
+    with pytest.raises(ValueError):
+        gf_matmul(np.zeros((2, 3), np.uint8), np.zeros((4, 2), np.uint8))
+
+
+def test_matmul_with_zero_rows():
+    a = np.zeros((3, 3), dtype=np.uint8)
+    b = np.arange(9, dtype=np.uint8).reshape(3, 3)
+    assert not gf_matmul(a, b).any()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=2**31 - 1))
+def test_inverse_roundtrip(n, seed):
+    """Random invertible matrices invert correctly."""
+    rng = np.random.default_rng(seed)
+    eye = np.eye(n, dtype=np.uint8)
+    for _ in range(50):
+        m = rand_matrix(rng, n, n)
+        try:
+            inv = gf_mat_inv(m)
+        except SingularMatrixError:
+            continue
+        assert np.array_equal(gf_matmul(m, inv), eye)
+        assert np.array_equal(gf_matmul(inv, m), eye)
+        return
+    pytest.skip("no invertible matrix drawn")  # pragma: no cover
+
+
+def test_singular_detected():
+    m = np.array([[1, 2], [1, 2]], dtype=np.uint8)
+    with pytest.raises(SingularMatrixError):
+        gf_mat_inv(m)
+    with pytest.raises(SingularMatrixError):
+        gf_mat_inv(np.zeros((3, 3), dtype=np.uint8))
+
+
+def test_inverse_requires_square():
+    with pytest.raises(ValueError):
+        gf_mat_inv(np.zeros((2, 3), dtype=np.uint8))
+
+
+def test_vandermonde_structure():
+    v = vandermonde(5, 3)
+    assert v.shape == (5, 3)
+    assert (v[:, 0] == 1).all()            # i**0 == 1
+    assert v[1, 1] == 1 and v[2, 1] == 2   # i**1 == i
+    assert v[0, 1] == 0 and v[0, 2] == 0   # 0**j == 0 for j>0
+    with pytest.raises(ValueError):
+        vandermonde(257, 2)
+
+
+@pytest.mark.parametrize("k,m", [(1, 1), (2, 1), (3, 2), (4, 2), (6, 3), (10, 4)])
+def test_systematic_matrix_properties(k, m):
+    enc = systematic_encoding_matrix(k, m)
+    assert enc.shape == (k + m, k)
+    assert np.array_equal(enc[:k], np.eye(k, dtype=np.uint8))
+    # MDS property: every k x k submatrix is invertible (checked on all
+    # C(k+m, k) row subsets for these small codes).
+    import itertools
+
+    for rows in itertools.combinations(range(k + m), k):
+        gf_mat_inv(enc[list(rows), :])  # must not raise
+
+
+def test_systematic_matrix_validation():
+    with pytest.raises(ValueError):
+        systematic_encoding_matrix(0, 2)
+    with pytest.raises(ValueError):
+        systematic_encoding_matrix(-1, 2)
+    with pytest.raises(ValueError):
+        systematic_encoding_matrix(2, -1)
+    with pytest.raises(ValueError):
+        systematic_encoding_matrix(250, 10)

@@ -1,0 +1,195 @@
+"""Reed-Solomon codec tests: encode/decode/repair + hypothesis invariants."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ec import DecodeError, RSCode, pad_to_chunks
+
+
+def _data(n, seed=0):
+    return np.random.default_rng(seed).integers(0, 256, size=n, dtype=np.uint8)
+
+
+# ------------------------------------------------------------------ split
+def test_split_pads_to_equal_chunks():
+    rs = RSCode(3, 2)
+    chunks = rs.split(np.arange(10, dtype=np.uint8))
+    assert len(chunks) == 3
+    assert all(c.nbytes == 4 for c in chunks)
+    assert chunks[2][2] == 0 and chunks[2][3] == 0  # padding
+
+
+def test_split_empty_input():
+    chunks = pad_to_chunks(np.zeros(0, dtype=np.uint8), 4)
+    assert len(chunks) == 4 and all(c.nbytes == 1 for c in chunks)
+
+
+def test_join_trims_padding():
+    rs = RSCode(3, 2)
+    data = _data(10)
+    chunks = rs.split(data)
+    assert np.array_equal(rs.join(chunks, length=10), data)
+
+
+# ----------------------------------------------------------------- encode
+def test_encode_is_systematic():
+    rs = RSCode(4, 2)
+    chunks = rs.split(_data(64))
+    enc = rs.encode(chunks)
+    assert len(enc) == 6
+    for i in range(4):
+        assert np.array_equal(enc[i], chunks[i])
+
+
+def test_encode_rs_1_m_is_replication():
+    """RS(1, m) degenerates to (m+1)-way replication."""
+    rs = RSCode(1, 3)
+    data = _data(32)
+    enc = rs.encode([data])
+    for c in enc:
+        assert np.array_equal(c, data)
+
+
+def test_encode_chunk_count_mismatch():
+    rs = RSCode(3, 2)
+    with pytest.raises(ValueError):
+        rs.encode([np.zeros(4, np.uint8)] * 2)
+
+
+def test_encode_chunk_length_mismatch():
+    rs = RSCode(2, 1)
+    with pytest.raises(ValueError):
+        rs.encode([np.zeros(4, np.uint8), np.zeros(5, np.uint8)])
+
+
+# ----------------------------------------------------------------- decode
+@pytest.mark.parametrize("k,m", [(2, 1), (3, 2), (6, 3)])
+def test_decode_all_erasure_patterns(k, m):
+    """Any k of k+m chunks reconstruct the data (MDS property)."""
+    rs = RSCode(k, m)
+    data = _data(k * 40, seed=k * 17 + m)
+    chunks = rs.split(data)
+    enc = rs.encode(chunks)
+    for keep in itertools.combinations(range(k + m), k):
+        got = rs.decode({i: enc[i] for i in keep})
+        for a, b in zip(got, chunks):
+            assert np.array_equal(a, b), f"pattern {keep} failed"
+
+
+def test_decode_too_few_chunks():
+    rs = RSCode(3, 2)
+    enc = rs.encode(rs.split(_data(30)))
+    with pytest.raises(DecodeError):
+        rs.decode({0: enc[0], 1: enc[1]})
+
+
+def test_decode_bad_index():
+    rs = RSCode(2, 1)
+    enc = rs.encode(rs.split(_data(8)))
+    with pytest.raises(DecodeError):
+        rs.decode({0: enc[0], 7: enc[1]})
+
+
+def test_decode_length_mismatch():
+    rs = RSCode(2, 1)
+    enc = rs.encode(rs.split(_data(8)))
+    with pytest.raises(DecodeError):
+        rs.decode({0: enc[0], 1: enc[1][:2]})
+
+
+def test_repair_rebuilds_parity_and_data():
+    rs = RSCode(3, 2)
+    enc = rs.encode(rs.split(_data(60)))
+    available = {i: enc[i] for i in (0, 2, 4)}
+    repaired = rs.repair(available, missing=[1, 3])
+    assert np.array_equal(repaired[1], enc[1])
+    assert np.array_equal(repaired[3], enc[3])
+
+
+# -------------------------------------------------- incremental (TriEC) path
+def test_intermediate_parity_accumulation_matches_full_encode():
+    """The sPIN-TriEC dataflow (per-data-node intermediate parities,
+    XOR-folded at the parity node — Fig. 14) equals direct encoding."""
+    rs = RSCode(3, 2)
+    chunks = rs.split(_data(96, seed=5))
+    enc = rs.encode(chunks)
+    for p in range(rs.m):
+        acc = np.zeros_like(chunks[0])
+        for j, c in enumerate(chunks):
+            RSCode.accumulate(acc, rs.intermediate_parity(p, j, c))
+        assert np.array_equal(acc, enc[rs.k + p])
+        assert np.array_equal(rs.parity_from_intermediates(p, chunks), enc[rs.k + p])
+
+
+def test_accumulation_order_independent():
+    rs = RSCode(4, 2)
+    chunks = rs.split(_data(64, seed=9))
+    ref = rs.parity_from_intermediates(0, chunks)
+    acc = np.zeros_like(chunks[0])
+    for j in [2, 0, 3, 1]:  # arbitrary arrival order
+        RSCode.accumulate(acc, rs.intermediate_parity(0, j, chunks[j]))
+    assert np.array_equal(acc, ref)
+
+
+# ---------------------------------------------------------------- misc
+def test_storage_overhead():
+    assert RSCode(3, 2).storage_overhead == pytest.approx(2 / 3)
+    assert RSCode(6, 3).storage_overhead == pytest.approx(0.5)
+
+
+def test_invalid_params():
+    with pytest.raises(ValueError):
+        RSCode(0, 1)
+    with pytest.raises(ValueError):
+        RSCode(3, -1)
+    with pytest.raises(ValueError):
+        RSCode(200, 100)
+
+
+# ------------------------------------------------------------- properties
+@settings(max_examples=40, deadline=None)
+@given(
+    k=st.integers(min_value=1, max_value=8),
+    m=st.integers(min_value=0, max_value=4),
+    nbytes=st.integers(min_value=0, max_value=500),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_roundtrip_random_erasures(k, m, nbytes, seed):
+    """Drop up to m random chunks; decode always round-trips."""
+    rng = np.random.default_rng(seed)
+    rs = RSCode(k, m)
+    data = rng.integers(0, 256, size=nbytes, dtype=np.uint8)
+    chunks = rs.split(data)
+    enc = rs.encode(chunks)
+    drop = rng.choice(k + m, size=min(m, k + m - k), replace=False)
+    available = {i: enc[i] for i in range(k + m) if i not in set(int(d) for d in drop)}
+    got = rs.decode(available)
+    assert np.array_equal(rs.join(got, length=nbytes), data)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    k=st.integers(min_value=2, max_value=6),
+    m=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_parity_detects_single_chunk_corruption(k, m, seed):
+    """Corrupting one surviving data chunk changes decoded output
+    (i.e. parity actually binds the data)."""
+    rng = np.random.default_rng(seed)
+    rs = RSCode(k, m)
+    data = rng.integers(0, 256, size=k * 16, dtype=np.uint8)
+    chunks = rs.split(data)
+    enc = rs.encode(chunks)
+    # decode from parity chunks plus k - m data chunks, then corrupt one
+    keep = list(range(m, k)) + list(range(k, k + m))
+    available = {i: enc[i].copy() for i in keep[: rs.k]}
+    corrupt_idx = keep[0]
+    available[corrupt_idx] = available[corrupt_idx].copy()
+    available[corrupt_idx][0] ^= 0xFF
+    got = rs.decode(available)
+    assert not all(np.array_equal(a, b) for a, b in zip(got, chunks))

@@ -1,0 +1,172 @@
+"""Unit tests for the host models: memory target, PCIe, CPU."""
+
+import numpy as np
+import pytest
+
+from repro.hostsim import AddressError, Cpu, MemoryTarget, Pcie
+from repro.params import HostParams
+from repro.simnet import Simulator
+
+
+# ------------------------------------------------------------ MemoryTarget
+def test_memory_write_read_roundtrip():
+    m = MemoryTarget(1024)
+    data = np.arange(100, dtype=np.uint8)
+    m.write(10, data)
+    assert np.array_equal(m.read(10, 100), data)
+    assert m.bytes_written == 100 and m.write_ops == 1
+
+
+def test_memory_read_returns_copy():
+    m = MemoryTarget(64)
+    m.write(0, np.ones(8, dtype=np.uint8))
+    r = m.read(0, 8)
+    r[:] = 0
+    assert (m.view(0, 8) == 1).all()
+
+
+def test_memory_view_is_zero_copy():
+    m = MemoryTarget(64)
+    v = m.view(0, 8)
+    m.write(0, np.full(8, 9, dtype=np.uint8))
+    assert (v == 9).all()
+
+
+def test_memory_bounds_checked():
+    m = MemoryTarget(16)
+    with pytest.raises(AddressError):
+        m.write(10, np.zeros(8, dtype=np.uint8))
+    with pytest.raises(AddressError):
+        m.read(-1, 4)
+    with pytest.raises(AddressError):
+        m.read(0, 17)
+
+
+def test_memory_bad_capacity():
+    with pytest.raises(ValueError):
+        MemoryTarget(0)
+
+
+def test_memory_overlapping_writes_last_wins():
+    m = MemoryTarget(32)
+    m.write(0, np.full(16, 1, dtype=np.uint8))
+    m.write(8, np.full(16, 2, dtype=np.uint8))
+    assert (m.view(0, 8) == 1).all()
+    assert (m.view(8, 16) == 2).all()
+
+
+# ------------------------------------------------------------------ Pcie
+def _pcie(sim, lat=200.0, bw=512.0):
+    return Pcie(sim, HostParams(pcie_latency_ns=lat, pcie_bandwidth_gbps=bw))
+
+
+def test_pcie_latency_plus_serialization():
+    sim = Simulator()
+    p = _pcie(sim)
+    done_at = []
+
+    def proc():
+        yield p.dma(6400)  # 6400 B * 8/512 = 100 ns + 200 ns latency
+        done_at.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert done_at == [pytest.approx(300.0)]
+    assert p.transactions == 1 and p.bytes_transferred == 6400
+
+
+def test_pcie_serializes_transfers():
+    """Two DMAs share the channel: second completes one serialization
+    later (latency overlaps)."""
+    sim = Simulator()
+    p = _pcie(sim)
+    done = []
+
+    def proc(tag):
+        yield p.dma(6400)
+        done.append((tag, sim.now))
+
+    sim.process(proc("a"))
+    sim.process(proc("b"))
+    sim.run()
+    assert done[0] == ("a", pytest.approx(300.0))
+    assert done[1] == ("b", pytest.approx(400.0))
+
+
+def test_pcie_on_complete_fires_at_durability():
+    sim = Simulator()
+    p = _pcie(sim)
+    m = MemoryTarget(64)
+    data = np.full(8, 5, dtype=np.uint8)
+    p.dma(8, on_complete=lambda: m.write(0, data))
+    sim.run(until=100)
+    assert not m.view(0, 8).any()  # not yet durable
+    sim.run()
+    assert (m.view(0, 8) == 5).all()
+
+
+def test_pcie_zero_byte_transaction():
+    sim = Simulator()
+    p = _pcie(sim)
+    fired = []
+
+    def proc():
+        yield p.dma(0)
+        fired.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert fired == [pytest.approx(200.0)]  # latency only
+
+
+def test_pcie_negative_rejected():
+    sim = Simulator()
+    p = _pcie(sim)
+    with pytest.raises(ValueError):
+        p.dma(-1)
+
+
+def test_pcie_utilisation():
+    sim = Simulator()
+    p = _pcie(sim)
+    p.dma(6400)
+    sim.run()
+    assert 0 < p.utilisation() <= 1
+
+
+# ------------------------------------------------------------------- Cpu
+def test_cpu_cycles_and_memcpy_costs():
+    sim = Simulator()
+    cpu = Cpu(sim, HostParams(cpu_freq_ghz=3.0, memcpy_gbps=160.0))
+    assert cpu.cycles_ns(300) == pytest.approx(100.0)
+    assert cpu.memcpy_ns(2000) == pytest.approx(2000 * 8 / 160.0)
+
+
+def test_cpu_core_contention():
+    sim = Simulator()
+    cpu = Cpu(sim, HostParams(cpu_cores=1))
+    order = []
+
+    def worker(tag):
+        yield from cpu.run(100)
+        order.append((tag, sim.now))
+
+    sim.process(worker("a"))
+    sim.process(worker("b"))
+    sim.run()
+    assert order == [("a", 100.0), ("b", 200.0)]
+
+
+def test_cpu_parallel_cores():
+    sim = Simulator()
+    cpu = Cpu(sim, HostParams(cpu_cores=4))
+    done = []
+
+    def worker():
+        yield from cpu.run(100)
+        done.append(sim.now)
+
+    for _ in range(4):
+        sim.process(worker())
+    sim.run()
+    assert done == [100.0] * 4

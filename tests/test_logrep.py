@@ -1,0 +1,143 @@
+"""Replicated-log extension tests (§VII)."""
+
+import numpy as np
+import pytest
+
+from repro import DfsClient, Rights, build_testbed
+from repro.core.policies.logrep import LogDescriptor
+from repro.protocols import install_log_targets, install_spin_targets, log_append
+from repro.protocols.base import WriteContext
+
+KiB = 1024
+
+
+def make(capacity=256 * KiB, k=3, n_clients=2, preinstall_dfs=False):
+    tb = build_testbed(n_storage=6, n_clients=n_clients)
+    if preinstall_dfs:
+        install_spin_targets(tb)
+    log = install_log_targets(tb, "/log", capacity=capacity, k=k)
+    ctxs = []
+    for i in range(n_clients):
+        c = DfsClient(tb, client_index=i, principal=f"p{i}")
+        c._tickets["/log"] = tb.metadata.issue_ticket(c.client_id, "/log", Rights.RW)
+        ctxs.append(WriteContext(c.node, c.client_id, c.ticket("/log")))
+    return tb, log, ctxs
+
+
+# ------------------------------------------------------------- descriptor
+def test_descriptor_reserve_monotonic():
+    d = LogDescriptor(1, 0, 100)
+    assert d.reserve(40) == 0
+    assert d.reserve(40) == 40
+    assert d.reserve(40) is None  # would overflow
+    assert d.reserve(20) == 80
+    assert d.rejected == 1 and d.appends == 3
+
+
+# ------------------------------------------------------------ single append
+def test_single_append_ok_and_durable():
+    tb, log, (ctx, _) = make()
+    rec = np.arange(2000, dtype=np.int64).view(np.uint8)
+    res = tb.run_until(log_append(ctx, log, rec))
+    assert res.ok and res.info["offset"] == 0
+    tb.run(until=tb.sim.now + 50_000)
+    for ext in log.layout.extents:
+        got = tb.node(ext.node).memory.view(ext.addr, rec.nbytes)
+        assert np.array_equal(got, rec)
+
+
+def test_appends_are_sequential():
+    tb, log, (ctx, _) = make()
+    offs = []
+    for i in range(5):
+        res = tb.run_until(log_append(ctx, log, np.zeros(100 + i, np.uint8)))
+        offs.append(res.info["offset"])
+    assert offs == [0, 100, 201, 303, 406]
+
+
+def test_concurrent_appends_disjoint_and_ordered():
+    tb, log, ctxs = make()
+    events, sizes = [], []
+    for i in range(20):
+        n = 64 + 97 * i
+        sizes.append(n)
+        events.append(log_append(ctxs[i % 2], log, np.full(n, i, np.uint8)))
+    results = [tb.run_until(ev) for ev in events]
+    assert all(r.ok for r in results)
+    regions = sorted((r.info["offset"], n) for r, n in zip(results, sizes))
+    assert regions[0][0] == 0
+    for (o1, n1), (o2, _) in zip(regions, regions[1:]):
+        assert o1 + n1 == o2, "log must be gap-free and non-overlapping"
+
+
+def test_replicas_converge_bytewise():
+    tb, log, ctxs = make()
+    recs = [np.random.default_rng(i).integers(0, 256, 500 + i * 61, dtype=np.uint8)
+            for i in range(8)]
+    results = [tb.run_until(log_append(ctxs[i % 2], log, r)) for i, r in enumerate(recs)]
+    tb.run(until=tb.sim.now + 100_000)
+    used = max(r.info["offset"] + rec.nbytes for r, rec in zip(results, recs))
+    images = [
+        tb.node(e.node).memory.view(e.addr, used).copy() for e in log.layout.extents
+    ]
+    for img in images[1:]:
+        assert np.array_equal(img, images[0])
+
+
+def test_overflow_nacked():
+    tb, log, (ctx, _) = make(capacity=4 * KiB)
+    assert tb.run_until(log_append(ctx, log, np.zeros(3 * KiB, np.uint8))).ok
+    res = tb.run_until(log_append(ctx, log, np.zeros(2 * KiB, np.uint8)))
+    assert not res.ok and res.nacks[0]["reason"] == "log_full"
+    # the log still accepts records that fit
+    res2 = tb.run_until(log_append(ctx, log, np.zeros(1 * KiB, np.uint8)))
+    assert res2.ok
+
+
+def test_unknown_log_rejected():
+    tb, log, (ctx, _) = make()
+    fake = type(log)(log_id=999, layout=log.layout, capacity=log.capacity)
+    res = tb.run_until(log_append(ctx, fake, np.zeros(64, np.uint8)))
+    assert not res.ok and res.nacks[0]["reason"] == "auth"
+
+
+def test_forged_capability_rejected():
+    tb, log, (ctx, _) = make()
+    bad_sig = bytes(b ^ 0xFF for b in ctx.capability.signature)
+    from repro.dfs.capability import Capability
+
+    forged = Capability(
+        ctx.capability.client_id, ctx.capability.object_id, ctx.capability.addr,
+        ctx.capability.length, ctx.capability.rights, ctx.capability.expiry_ns, bad_sig,
+    )
+    bad_ctx = WriteContext(ctx.client, ctx.client_id, forged)
+    res = tb.run_until(log_append(bad_ctx, log, np.zeros(64, np.uint8)))
+    assert not res.ok and res.nacks[0]["reason"] == "auth"
+
+
+def test_log_coexists_with_dfs_context():
+    """A NIC can host the DFS write context and a log context at once."""
+    tb, log, (ctx, _) = make(preinstall_dfs=True)
+    res = tb.run_until(log_append(ctx, log, np.zeros(128, np.uint8)))
+    assert res.ok
+    # plain DFS writes still work on the same nodes
+    c = DfsClient(tb, client_index=1, principal="other")
+    c.create("/plain", size=4 * KiB)
+    out = c.write_sync("/plain", np.ones(1 * KiB, np.uint8), protocol="spin")
+    assert out.ok
+
+
+def test_two_logs_share_policy_state():
+    tb = build_testbed(n_storage=6)
+    log1 = install_log_targets(tb, "/l1", capacity=64 * KiB, k=2)
+    log2 = install_log_targets(tb, "/l2", capacity=64 * KiB, k=2)
+    assert log1.log_id != log2.log_id
+    c = DfsClient(tb, principal="p")
+    for path in ("/l1", "/l2"):
+        c._tickets[path] = tb.metadata.issue_ticket(c.client_id, path, Rights.RW)
+    ctx1 = WriteContext(c.node, c.client_id, c.ticket("/l1"))
+    ctx2 = WriteContext(c.node, c.client_id, c.ticket("/l2"))
+    r1 = tb.run_until(log_append(ctx1, log1, np.zeros(100, np.uint8)))
+    r2 = tb.run_until(log_append(ctx2, log2, np.zeros(100, np.uint8)))
+    assert r1.ok and r2.ok
+    assert r1.info["offset"] == 0 and r2.info["offset"] == 0

@@ -1,0 +1,63 @@
+"""Parameter bundle tests."""
+
+import pytest
+
+from repro.params import HostParams, InecParams, MiB, PsPinParams, SimParams
+from repro.simnet.network import NetConfig
+
+
+def test_defaults_match_paper():
+    p = SimParams()
+    assert p.net.bandwidth_gbps == 400.0        # §III-D
+    assert p.net.mtu == 2048                    # §III-D
+    assert p.net.link_latency_ns == 20.0        # §III-D
+    assert p.pspin.n_hpus == 32                 # §II-B1
+    assert p.pspin.freq_ghz == 1.0
+    assert p.pspin.l1_bytes_per_cluster == 1 * MiB
+    assert p.pspin.l2_bytes == 4 * MiB
+    assert p.pspin.request_descriptor_bytes == 77   # §III-B2
+    assert p.pspin.dfs_wide_state_bytes == 2 * MiB  # §III-B2
+
+
+def test_pspin_derived_values():
+    p = PsPinParams()
+    assert p.cycle_ns == 1.0
+    assert PsPinParams(freq_ghz=2.0).cycle_ns == 0.5
+    assert PsPinParams(n_clusters=16).n_hpus == 128
+
+
+def test_scaled_network_preserves_everything_else():
+    p = SimParams().scaled_network(100.0)
+    assert p.net.bandwidth_gbps == 100.0
+    assert p.net.mtu == 2048
+    assert p.pspin.n_hpus == 32
+    # original untouched (frozen dataclasses)
+    assert SimParams().net.bandwidth_gbps == 400.0
+
+
+def test_with_helpers():
+    p = SimParams().with_pspin(n_clusters=8).with_net(mtu=4096).with_host(cpu_cores=2)
+    assert p.pspin.n_clusters == 8
+    assert p.net.mtu == 4096
+    assert p.host.cpu_cores == 2
+
+
+def test_frozen():
+    with pytest.raises(Exception):
+        SimParams().net.mtu = 1  # type: ignore[misc]
+    with pytest.raises(Exception):
+        PsPinParams().freq_ghz = 2  # type: ignore[misc]
+
+
+def test_inec_params_present():
+    p = InecParams()
+    assert p.block_overhead_ns > 0 and p.engine_gbps > 0
+
+
+def test_fig7_stage_arithmetic():
+    """The Fig. 7 numbers fall out of the parameter choices."""
+    p = PsPinParams()
+    assert -(-2048 // p.pkt_buffer_bytes_per_cycle) == 32
+    assert -(-2048 // p.l1_copy_bytes_per_cycle) == 43
+    assert p.sched_cycles == 2
+    assert p.hpu_dispatch_ns == 1.0

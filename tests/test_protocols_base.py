@@ -1,0 +1,127 @@
+"""Unit tests for protocol-driver plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.core.request import ReplicationParams
+from repro.dfs.capability import CapabilityAuthority, Rights
+from repro.dfs.layout import Extent, FileLayout, ReplicationSpec
+from repro.dfs.nodes import ClientNode
+from repro.protocols.base import (
+    WriteContext,
+    WriteOutcome,
+    as_uint8,
+    make_dfs_header,
+    replication_params_for,
+    wrap_result,
+)
+from repro.simnet import Simulator
+
+
+# ------------------------------------------------------------ WriteOutcome
+def test_write_outcome_latency_and_goodput():
+    out = WriteOutcome(ok=True, t_start=100.0, t_end=1100.0, size=125_000, protocol="x")
+    assert out.latency_ns == 1000.0
+    assert out.goodput_gbps() == pytest.approx(1000.0)
+
+
+def test_write_outcome_zero_duration():
+    out = WriteOutcome(ok=True, t_start=5.0, t_end=5.0, size=10, protocol="x")
+    assert out.goodput_gbps() == 0.0
+
+
+# ---------------------------------------------------------------- as_uint8
+def test_as_uint8_accepts_many_types():
+    assert as_uint8(b"\x01\x02").tolist() == [1, 2]
+    assert as_uint8(bytearray(b"\x03")).tolist() == [3]
+    assert as_uint8(memoryview(b"\x04")).tolist() == [4]
+    arr = np.array([[1, 2], [3, 4]], dtype=np.uint8)
+    assert as_uint8(arr).shape == (4,)
+    wide = np.array([300], dtype=np.int64)
+    assert as_uint8(wide).dtype == np.uint8  # cast, truncating
+    assert as_uint8([5, 6]).tolist() == [5, 6]
+
+
+def test_as_uint8_zero_copy_for_uint8():
+    arr = np.arange(8, dtype=np.uint8)
+    assert np.shares_memory(as_uint8(arr), arr)
+
+
+# ------------------------------------------------------------- dfs headers
+def test_make_dfs_header_binds_client_identity():
+    class FakeNode:
+        name = "clientX"
+
+    cap = CapabilityAuthority(key=b"k").issue(7, 1, 0, 10, Rights.RW)
+    ctx = WriteContext(client=FakeNode(), client_id=7, capability=cap)
+    h = make_dfs_header(ctx, greq_id=42)
+    assert h.greq_id == 42
+    assert h.client_id == 7
+    assert h.reply_to == "clientX"
+    assert h.capability is cap
+    r = ctx.dfs_header(43, op="read")
+    assert r.op == "read"
+
+
+# ------------------------------------------------- replication_params_for
+def test_replication_params_for_builds_coords():
+    lay = FileLayout(
+        object_id=1,
+        size=100,
+        extents=(Extent("a", 0, 100), Extent("b", 16, 100), Extent("c", 32, 100)),
+        resiliency="replication",
+        replication=ReplicationSpec(k=3, strategy="pbt"),
+    )
+    rp = replication_params_for(lay)
+    assert isinstance(rp, ReplicationParams)
+    assert rp.strategy == "pbt" and rp.virtual_rank == 0
+    assert [c.node for c in rp.coords] == ["b", "c"]
+    assert [c.addr for c in rp.coords] == [16, 32]
+
+
+# -------------------------------------------------------------- wrap_result
+def test_wrap_result_converts_opresult():
+    from repro.rdma.nic import OpResult
+
+    sim = Simulator()
+    done = sim.event()
+    out_ev = wrap_result(sim, done, size=100, protocol="p")
+    done.succeed(OpResult(ok=True, t_start=1.0, t_end=2.0, greq_id=9))
+    sim.run()
+    out = out_ev.value
+    assert isinstance(out, WriteOutcome)
+    assert out.ok and out.size == 100 and out.protocol == "p" and out.greq_id == 9
+
+
+def test_wrap_result_propagates_failure():
+    sim = Simulator()
+    done = sim.event()
+    out_ev = wrap_result(sim, done, size=1, protocol="p")
+    seen = []
+    out_ev.add_callback(lambda ev: seen.append(ev.exception))
+    done.fail(RuntimeError("transport died"))
+    sim.run()
+    assert isinstance(seen[0], RuntimeError)
+
+
+# -------------------------------------------------- goodput ceiling helper
+def test_achievable_line_rate():
+    from repro.experiments.fig09_goodput import achievable_line_rate
+
+    # 400 * 2048/2112 = 387.9
+    assert achievable_line_rate() == pytest.approx(387.9, abs=0.1)
+
+
+# ------------------------------------------------------------ handler stats
+def test_handler_stats_math():
+    from repro.pspin.accelerator import HandlerStats
+
+    st = HandlerStats()
+    assert st.mean_duration() == 0.0 and st.mean_ipc(1.0) == 0.0
+    st.record(100.0, 60)
+    st.record(200.0, 60)
+    assert st.n == 2
+    assert st.mean_duration() == 150.0
+    assert st.mean_instructions() == 60
+    assert st.mean_ipc(1.0) == pytest.approx(0.4)
+    assert st.mean_ipc(2.0) == pytest.approx(0.2)

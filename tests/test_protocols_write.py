@@ -1,0 +1,295 @@
+"""Integration tests: every write protocol, end to end.
+
+Each test checks both *function* (bytes land where they should, with the
+right redundancy) and *plausibility* (latency ordering between
+protocols where the paper pins it down).
+"""
+
+import numpy as np
+import pytest
+
+from repro.dfs.client import DfsClient
+from repro.dfs.cluster import build_testbed
+from repro.dfs.layout import EcSpec, ReplicationSpec
+from repro.protocols import (
+    install_cpu_replication_targets,
+    install_hyperloop_targets,
+    install_inec_targets,
+    install_rpc_rdma_targets,
+    install_rpc_targets,
+    install_spin_targets,
+)
+
+KiB = 1024
+
+
+def make(installer=None, n_storage=8, n_clients=1, **kw):
+    tb = build_testbed(n_storage=n_storage, n_clients=n_clients)
+    if installer:
+        installer(tb, **kw)
+    return tb, DfsClient(tb)
+
+
+def data_of(n, seed=0):
+    return np.random.default_rng(seed).integers(0, 256, n, dtype=np.uint8)
+
+
+def assert_replicas(tb, layout, data):
+    for e in layout.extents:
+        got = tb.node(e.node).memory.view(e.addr, data.nbytes)
+        assert np.array_equal(got, data), f"replica diverged on {e.node}"
+
+
+# ------------------------------------------------------------------- raw
+def test_raw_write_no_validation():
+    tb, c = make()
+    lay = c.create("/f", size=64 * KiB)
+    d = data_of(32 * KiB)
+    out = c.write_sync("/f", d, protocol="raw")
+    assert out.ok and out.protocol == "raw"
+    tb.run(until=tb.sim.now + 50_000)
+    assert np.array_equal(tb.node(lay.primary.node).memory.view(lay.primary.addr, d.nbytes), d)
+
+
+def test_raw_write_exceeding_extent_rejected():
+    tb, c = make()
+    c.create("/f", size=1 * KiB)
+    with pytest.raises(ValueError):
+        c.write("/f", data_of(64 * KiB), protocol="raw")
+
+
+# ------------------------------------------------------------------ spin
+def test_spin_plain_write_durable_before_ack():
+    """sPIN acks only after the PCIe flush (§III-B1): at ack time the
+    bytes are already in the storage target."""
+    tb, c = make(install_spin_targets)
+    lay = c.create("/f", size=64 * KiB)
+    d = data_of(16 * KiB, 1)
+    out = c.write_sync("/f", d, protocol="spin")
+    assert out.ok
+    got = tb.node(lay.primary.node).memory.view(lay.primary.addr, d.nbytes)
+    assert np.array_equal(got, d)  # no extra draining needed
+
+
+def test_spin_write_rejected_without_ticket():
+    tb, c = make(install_spin_targets)
+    c.create("/f", size=4 * KiB)
+    out = c.write_sync("/f", data_of(1 * KiB), protocol="spin", capability=None)
+    # DfsClient auto-attaches the ticket; force-remove it
+    tb2, c2 = make(install_spin_targets)
+    c2.create("/g", size=4 * KiB)
+    c2._tickets.clear()
+    out2 = c2.write_sync("/g", data_of(1 * KiB), protocol="spin")
+    assert not out2.ok and out2.nacks[0]["reason"] == "auth"
+
+
+def test_spin_write_forged_ticket_rejected_and_data_dropped():
+    tb, c = make(install_spin_targets)
+    lay = c.create("/f", size=64 * KiB)
+    d = data_of(16 * KiB, 2)
+    out = c.write_sync("/f", d, protocol="spin", capability=c.forge_ticket("/f"))
+    assert not out.ok
+    assert not tb.node(lay.primary.node).memory.view(lay.primary.addr, d.nbytes).any()
+
+
+@pytest.mark.parametrize("strategy", ["ring", "pbt"])
+@pytest.mark.parametrize("k", [2, 3, 5])
+def test_spin_replication_all_replicas_identical(strategy, k):
+    tb, c = make(install_spin_targets)
+    lay = c.create("/f", size=128 * KiB, replication=ReplicationSpec(k=k, strategy=strategy))
+    d = data_of(100 * KiB, k)
+    out = c.write_sync("/f", d, protocol="spin")
+    assert out.ok
+    assert_replicas(tb, lay, d)
+
+
+def test_spin_ec_parity_correct():
+    """On-NIC streamed parity equals a direct RS encode."""
+    from repro.core.policies.erasure import rs_for
+
+    tb, c = make(install_spin_targets)
+    lay = c.create("/f", size=96 * KiB, ec=EcSpec(k=3, m=2))
+    d = data_of(96 * KiB, 5)
+    out = c.write_sync("/f", d, protocol="spin")
+    assert out.ok
+    rs = rs_for(3, 2)
+    chunks = rs.split(d)
+    enc = rs.encode(chunks)
+    for i, ext in enumerate(lay.extents):
+        got = tb.node(ext.node).memory.view(ext.addr, chunks[0].nbytes)
+        assert np.array_equal(got, enc[i])
+    for i, ext in enumerate(lay.parity_extents):
+        got = tb.node(ext.node).memory.view(ext.addr, chunks[0].nbytes)
+        assert np.array_equal(got, enc[3 + i]), f"parity {i} wrong"
+
+
+def test_spin_ec_recovery_all_two_node_failures():
+    tb, c = make(install_spin_targets)
+    lay = c.create("/f", size=30 * KiB, ec=EcSpec(k=3, m=2))
+    d = data_of(30 * KiB, 6)
+    assert c.write_sync("/f", d, protocol="spin").ok
+    import itertools
+
+    nodes = [e.node for e in list(lay.extents) + list(lay.parity_extents)]
+    for failed in itertools.combinations(nodes, 2):
+        rec = c.recover("/f", set(failed))
+        assert np.array_equal(rec, d), f"recovery failed for {failed}"
+
+
+# ------------------------------------------------------------------- rpc
+def test_rpc_write_validates_and_stores():
+    tb, c = make(install_rpc_targets)
+    lay = c.create("/f", size=64 * KiB)
+    d = data_of(48 * KiB, 7)
+    out = c.write_sync("/f", d, protocol="rpc")
+    assert out.ok
+    assert np.array_equal(tb.node(lay.primary.node).memory.view(lay.primary.addr, d.nbytes), d)
+
+
+def test_rpc_write_forged_ticket_rejected():
+    tb, c = make(install_rpc_targets)
+    c.create("/f", size=4 * KiB)
+    out = c.write_sync("/f", data_of(2 * KiB), protocol="rpc",
+                       capability=c.forge_ticket("/f"))
+    assert not out.ok
+
+
+def test_rpc_rdma_write_stores():
+    tb, c = make(install_rpc_rdma_targets)
+    lay = c.create("/f", size=64 * KiB)
+    d = data_of(20 * KiB, 8)
+    out = c.write_sync("/f", d, protocol="rpc+rdma")
+    assert out.ok
+    assert np.array_equal(tb.node(lay.primary.node).memory.view(lay.primary.addr, d.nbytes), d)
+
+
+def test_rpc_rdma_slower_than_spin_small():
+    """The extra round trip (Fig. 5) costs latency at small sizes."""
+    _, c1 = make(install_spin_targets)
+    c1.create("/f", size=8 * KiB)
+    spin = c1.write_sync("/f", data_of(1 * KiB), protocol="spin").latency_ns
+    _, c2 = make(install_rpc_rdma_targets)
+    c2.create("/f", size=8 * KiB)
+    rr = c2.write_sync("/f", data_of(1 * KiB), protocol="rpc+rdma").latency_ns
+    assert rr > spin * 1.5
+
+
+# ------------------------------------------------------- cpu replication
+@pytest.mark.parametrize("strategy,k", [("ring", 3), ("pbt", 4)])
+def test_cpu_replication_replicas_identical(strategy, k):
+    tb, c = make(install_cpu_replication_targets)
+    lay = c.create("/f", size=256 * KiB, replication=ReplicationSpec(k=k, strategy=strategy))
+    d = data_of(200 * KiB, 9)
+    out = c.write_sync("/f", d, protocol="cpu", chunk_bytes=64 * KiB)
+    assert out.ok
+    assert_replicas(tb, lay, d)
+
+
+def test_cpu_replication_occupies_cpu():
+    tb, c = make(install_cpu_replication_targets)
+    c.create("/f", size=128 * KiB, replication=ReplicationSpec(k=3))
+    c.write_sync("/f", data_of(128 * KiB), protocol="cpu", chunk_bytes=32 * KiB)
+    primary = tb.node(c.open("/f").primary.node)
+    assert primary.cpu.busy_ns > 0
+    assert primary.rpcs_served >= 4  # one per chunk
+
+
+def test_spin_replication_leaves_cpu_idle():
+    tb, c = make(install_spin_targets)
+    c.create("/f", size=128 * KiB, replication=ReplicationSpec(k=3))
+    c.write_sync("/f", data_of(128 * KiB), protocol="spin")
+    primary = tb.node(c.open("/f").primary.node)
+    assert primary.cpu.busy_ns == 0  # the whole point of offloading
+    assert primary.rpcs_served == 0
+
+
+# ------------------------------------------------------------- rdma-flat
+def test_rdma_flat_replicas_identical():
+    tb, c = make()
+    lay = c.create("/f", size=64 * KiB, replication=ReplicationSpec(k=3))
+    d = data_of(64 * KiB, 10)
+    out = c.write_sync("/f", d, protocol="rdma-flat")
+    assert out.ok
+    tb.run(until=tb.sim.now + 100_000)
+    assert_replicas(tb, lay, d)
+
+
+def test_rdma_flat_latency_grows_with_k_large_writes():
+    def lat(k):
+        _, c = make()
+        c.create("/f", size=512 * KiB, replication=ReplicationSpec(k=k))
+        return c.write_sync("/f", data_of(512 * KiB), protocol="rdma-flat").latency_ns
+
+    assert lat(4) > 1.6 * lat(2)
+
+
+# -------------------------------------------------------------- hyperloop
+def test_hyperloop_replicas_identical():
+    tb, c = make(install_hyperloop_targets)
+    lay = c.create("/f", size=256 * KiB, replication=ReplicationSpec(k=3))
+    d = data_of(256 * KiB, 11)
+    out = c.write_sync("/f", d, protocol="rdma-hyperloop", chunk_bytes=64 * KiB)
+    assert out.ok
+    tb.run(until=tb.sim.now + 100_000)
+    assert_replicas(tb, lay, d)
+    assert out.details["config_acks"] == 3
+
+
+def test_hyperloop_config_overhead_hurts_small_writes():
+    _, c1 = make(install_hyperloop_targets)
+    c1.create("/f", size=4 * KiB, replication=ReplicationSpec(k=2))
+    hl = c1.write_sync("/f", data_of(2 * KiB), protocol="rdma-hyperloop").latency_ns
+    _, c2 = make()
+    c2.create("/f", size=4 * KiB, replication=ReplicationSpec(k=2))
+    flat = c2.write_sync("/f", data_of(2 * KiB), protocol="rdma-flat").latency_ns
+    assert hl > 1.5 * flat
+
+
+def test_hyperloop_cpu_stays_idle():
+    tb, c = make(install_hyperloop_targets)
+    c.create("/f", size=64 * KiB, replication=ReplicationSpec(k=3))
+    c.write_sync("/f", data_of(64 * KiB), protocol="rdma-hyperloop")
+    for e in c.open("/f").extents:
+        assert tb.node(e.node).cpu.busy_ns == 0
+
+
+# ------------------------------------------------------------------ inec
+def test_inec_parity_matches_rs_encode():
+    from repro.core.policies.erasure import rs_for
+
+    tb, c = make(install_inec_targets)
+    lay = c.create("/f", size=60 * KiB, ec=EcSpec(k=3, m=2))
+    d = data_of(60 * KiB, 12)
+    out = c.write_sync("/f", d, protocol="inec")
+    assert out.ok
+    tb.run(until=tb.sim.now + 200_000)
+    rs = rs_for(3, 2)
+    enc = rs.encode(rs.split(d))
+    for i, ext in enumerate(list(lay.extents) + list(lay.parity_extents)):
+        got = tb.node(ext.node).memory.view(ext.addr, enc[0].nbytes)
+        assert np.array_equal(got, enc[i])
+
+
+def test_spin_and_inec_produce_identical_bytes():
+    """Two different datapaths, same algebra."""
+    d = data_of(90 * KiB, 13)
+    results = {}
+    for proto, installer in [("spin", install_spin_targets), ("inec", install_inec_targets)]:
+        tb, c = make(installer)
+        lay = c.create("/f", size=90 * KiB, ec=EcSpec(k=3, m=2))
+        assert c.write_sync("/f", d, protocol=proto).ok
+        tb.run(until=tb.sim.now + 200_000)
+        results[proto] = [
+            tb.node(e.node).memory.view(e.addr, lay.chunk_length()).copy()
+            for e in list(lay.extents) + list(lay.parity_extents)
+        ]
+    for a, b in zip(results["spin"], results["inec"]):
+        assert np.array_equal(a, b)
+
+
+# ------------------------------------------------------------------- api
+def test_unknown_protocol_rejected():
+    _, c = make()
+    c.create("/f", size=1 * KiB)
+    with pytest.raises(ValueError):
+        c.write("/f", data_of(10), protocol="carrier-pigeon")

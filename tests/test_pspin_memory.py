@@ -1,0 +1,102 @@
+"""NIC memory accounting tests (§III-B2)."""
+
+import pytest
+
+from repro.params import MiB, PsPinParams
+from repro.pspin.memory import NicMemory
+from repro.simnet import Simulator
+
+
+@pytest.fixture
+def nicmem():
+    return NicMemory(Simulator(), PsPinParams())
+
+
+def test_capacity_matches_paper(nicmem):
+    # 4 x 1 MiB L1 + 4 MiB L2 - 2 MiB wide state = 6 MiB for requests
+    assert nicmem.request_capacity_bytes == 6 * MiB
+    # ~82 K concurrent 77-byte descriptors
+    assert nicmem.max_concurrent_requests() == 6 * MiB // 77
+
+
+def test_alloc_prefers_l1(nicmem):
+    a = nicmem.alloc(cluster=0, nbytes=77)
+    assert a is not None and a.tier == "l1" and a.cluster == 0
+    assert nicmem.in_use_bytes() == 77
+
+
+def test_l1_spills_to_l2(nicmem):
+    big = PsPinParams().l1_bytes_per_cluster
+    a1 = nicmem.alloc(0, big)  # fills cluster 0's L1
+    assert a1.tier == "l1"
+    a2 = nicmem.alloc(0, 77)
+    assert a2.tier == "l2"
+    assert nicmem.l2_spills == 1
+
+
+def test_denial_when_full():
+    p = PsPinParams()
+    sim = Simulator()
+    nm = NicMemory(sim, p)
+    for c in range(p.n_clusters):
+        assert nm.alloc(c, p.l1_bytes_per_cluster).tier == "l1"
+    assert nm.alloc(0, p.l2_bytes - p.dfs_wide_state_bytes).tier == "l2"
+    assert nm.alloc(0, 77) is None
+    assert nm.denials == 1
+
+
+def test_free_returns_capacity(nicmem):
+    a = nicmem.alloc(1, 1000)
+    nicmem.free(a)
+    assert nicmem.in_use_bytes() == 0
+    with pytest.raises(ValueError):
+        nicmem.free(a)  # double free
+
+
+def test_free_l2_allocation(nicmem):
+    big = PsPinParams().l1_bytes_per_cluster
+    nicmem.alloc(2, big)
+    spill = nicmem.alloc(2, 500)
+    assert spill.tier == "l2"
+    before = nicmem.l2.level
+    nicmem.free(spill)
+    assert nicmem.l2.level == before + 500
+
+
+def test_wide_state_allocation(nicmem):
+    w = nicmem.alloc_wide(64 * 1024)  # the GF table
+    assert w is not None and w.tier == "wide"
+    nicmem.free(w)
+
+
+def test_wide_state_exhaustion(nicmem):
+    assert nicmem.alloc_wide(2 * MiB) is not None
+    assert nicmem.alloc_wide(1) is None
+
+
+def test_peak_tracking(nicmem):
+    a = nicmem.alloc(0, 5000)
+    nicmem.free(a)
+    nicmem.alloc(0, 100)
+    assert nicmem.peak_in_use_bytes() >= 5000
+
+
+def test_invalid_allocs(nicmem):
+    with pytest.raises(ValueError):
+        nicmem.alloc(0, 0)
+    with pytest.raises(ValueError):
+        nicmem.alloc(0, -5)
+
+
+def test_wide_reserve_must_fit():
+    with pytest.raises(ValueError):
+        NicMemory(Simulator(), PsPinParams(dfs_wide_state_bytes=5 * MiB))
+
+
+def test_per_cluster_l1_isolated(nicmem):
+    big = PsPinParams().l1_bytes_per_cluster
+    nicmem.alloc(0, big)
+    # other clusters' L1 still available
+    assert nicmem.alloc(1, 77).tier == "l1"
+    assert nicmem.alloc(2, 77).tier == "l1"
+    assert nicmem.alloc(3, 77).tier == "l1"

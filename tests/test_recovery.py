@@ -1,0 +1,122 @@
+"""Network-timed EC recovery tests (degraded reads + rebuild)."""
+
+import numpy as np
+import pytest
+
+from repro import DfsClient, EcSpec, build_testbed
+from repro.ec import DecodeError
+from repro.protocols import install_spin_targets
+from repro.protocols.recovery import degraded_read, rebuild_object
+
+KiB = 1024
+
+
+@pytest.fixture
+def env():
+    tb = build_testbed(n_storage=10)
+    install_spin_targets(tb)
+    c = DfsClient(tb)
+    lay = c.create("/obj", size=120 * KiB, ec=EcSpec(k=4, m=2))
+    data = np.random.default_rng(0).integers(0, 256, 120 * KiB, dtype=np.uint8)
+    assert c.write_sync("/obj", data, protocol="spin").ok
+    tb.run(until=tb.sim.now + 100_000)
+    return tb, c, lay, data
+
+
+def _fail(tb, nodes):
+    for n in nodes:
+        tb.node(n).fail()
+    return set(nodes)
+
+
+def test_degraded_read_matches_data(env):
+    tb, c, lay, data = env
+    failed = _fail(tb, [lay.extents[0].node, lay.extents[2].node])
+    d, lat = tb.run_until(degraded_read(tb, "/obj", failed))
+    assert np.array_equal(d, data)
+    assert lat > 0
+
+
+def test_degraded_read_slower_than_healthy_read(env):
+    tb, c, lay, data = env
+    healthy = c.read_sync("/obj", length=lay.size, protocol="raw").latency_ns
+    failed = _fail(tb, [lay.extents[0].node])
+    _, degraded = tb.run_until(degraded_read(tb, "/obj", failed))
+    assert degraded > healthy  # extra chunks + decode
+
+
+def test_rebuild_restores_placement_and_bytes(env):
+    tb, c, lay, data = env
+    failed = _fail(tb, [lay.extents[1].node, lay.parity_extents[0].node])
+    report = tb.run_until(rebuild_object(tb, "/obj", failed))
+    tb.run(until=tb.sim.now + 100_000)
+    assert report.bytes_rebuilt == 2 * lay.chunk_length()
+    assert report.bytes_read == 4 * lay.chunk_length()
+    new = c.open("/obj")
+    assert all(
+        e.node not in failed for e in list(new.extents) + list(new.parity_extents)
+    )
+    assert np.array_equal(c.read_back("/obj"), data)
+
+
+def test_rebuilt_object_survives_further_failures(env):
+    tb, c, lay, data = env
+    failed = _fail(tb, [lay.extents[0].node, lay.extents[3].node])
+    tb.run_until(rebuild_object(tb, "/obj", failed))
+    tb.run(until=tb.sim.now + 100_000)
+    new = c.open("/obj")
+    again = {new.extents[1].node, new.parity_extents[0].node}
+    rec = c.recover("/obj", again)
+    assert np.array_equal(rec, data)
+
+
+def test_rebuild_reports_failed_nodes_to_management(env):
+    tb, c, lay, data = env
+    failed = _fail(tb, [lay.extents[0].node])
+    tb.run_until(rebuild_object(tb, "/obj", failed))
+    assert set(tb.mgmt.failed_nodes()) == failed
+
+
+def test_too_many_failures_unrecoverable(env):
+    tb, c, lay, data = env
+    victims = [e.node for e in lay.extents[:3]]  # 3 > m=2
+    failed = _fail(tb, victims)
+    with pytest.raises(DecodeError):
+        rebuild_object(tb, "/obj", failed)
+    with pytest.raises(DecodeError):
+        degraded_read(tb, "/obj", failed)
+
+
+def test_rebuild_requires_ec_object(env):
+    tb, c, lay, data = env
+    c.create("/plain", size=1 * KiB)
+    with pytest.raises(DecodeError):
+        rebuild_object(tb, "/plain", set())
+
+
+def test_rebuild_with_explicit_coordinator(env):
+    tb, c, lay, data = env
+    failed = _fail(tb, [lay.parity_extents[1].node])
+    healthy = next(n for n in tb.storage if n not in failed)
+    report = tb.run_until(rebuild_object(tb, "/obj", failed, coordinator=healthy))
+    assert report.rebuilt_extents
+    tb.run(until=tb.sim.now + 100_000)
+    assert np.array_equal(c.read_back("/obj"), data)
+
+
+def test_rebuild_scales_with_chunk_size(env):
+    """Bigger objects take longer to rebuild (network + decode bound)."""
+    tb, c, lay, data = env
+
+    def rebuild_time(size):
+        tb2 = build_testbed(n_storage=10)
+        install_spin_targets(tb2)
+        c2 = DfsClient(tb2)
+        lay2 = c2.create("/o", size=size, ec=EcSpec(k=4, m=2))
+        d = np.zeros(size, dtype=np.uint8)
+        assert c2.write_sync("/o", d, protocol="spin").ok
+        tb2.run(until=tb2.sim.now + 200_000)
+        failed = _fail(tb2, [lay2.extents[0].node])
+        return tb2.run_until(rebuild_object(tb2, "/o", failed)).duration_ns
+
+    assert rebuild_time(512 * KiB) > 1.5 * rebuild_time(64 * KiB)

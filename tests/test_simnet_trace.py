@@ -1,0 +1,57 @@
+"""Tracer / Timeline / summarize tests."""
+
+import pytest
+
+from repro.simnet.trace import Timeline, Tracer, summarize
+
+
+def test_timeline_accumulates():
+    tl = Timeline("x")
+    tl.add(1.0, "a")
+    tl.add(2.0, "b")
+    assert len(tl) == 2
+    assert list(tl) == [(1.0, "a"), (2.0, "b")]
+
+
+def test_tracer_emit_and_get():
+    t = Tracer()
+    t.emit("lat", 1.0, 100)
+    t.emit("lat", 2.0, 200)
+    t.emit("other", 5.0)
+    assert t.values("lat") == [100, 200]
+    assert len(t.get("other")) == 1
+    assert len(t.get("missing")) == 0
+
+
+def test_tracer_counters():
+    t = Tracer()
+    t.count("drops")
+    t.count("drops", 4)
+    assert t.counters["drops"] == 5
+
+
+def test_tracer_disabled_is_noop():
+    t = Tracer(enabled=False)
+    t.emit("lat", 1.0, 100)
+    t.count("drops")
+    assert t.values("lat") == []
+    assert t.counters == {}
+
+
+def test_summarize_empty():
+    s = summarize([])
+    assert s["n"] == 0 and s["mean"] == 0.0
+
+
+def test_summarize_stats():
+    s = summarize([1.0, 2.0, 3.0, 4.0, 100.0])
+    assert s["n"] == 5
+    assert s["min"] == 1.0 and s["max"] == 100.0
+    assert s["mean"] == pytest.approx(22.0)
+    assert s["median"] == 3.0
+    assert s["p99"] == 100.0
+
+
+def test_summarize_single():
+    s = summarize([7.0])
+    assert s["min"] == s["max"] == s["median"] == s["p99"] == 7.0

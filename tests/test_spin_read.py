@@ -1,0 +1,125 @@
+"""sPIN authenticated-read path tests (§III-A read request format)."""
+
+import numpy as np
+import pytest
+
+from repro import DfsClient, build_testbed
+from repro.protocols import install_spin_targets
+from repro.protocols.base import WriteContext
+from repro.protocols.spin_write import spin_read
+
+KiB = 1024
+
+
+@pytest.fixture
+def env():
+    tb = build_testbed(n_storage=4)
+    install_spin_targets(tb)
+    c = DfsClient(tb, principal="reader")
+    c.create("/f", size=256 * KiB)
+    data = np.random.default_rng(0).integers(0, 256, 200 * KiB, dtype=np.uint8)
+    assert c.write_sync("/f", data, protocol="spin").ok
+    return tb, c, data
+
+
+def test_full_read_roundtrip(env):
+    tb, c, data = env
+    res = c.read_sync("/f", length=200 * KiB, protocol="spin")
+    assert res.ok
+    assert np.array_equal(res.data, data)
+
+
+def test_partial_range_read(env):
+    tb, c, data = env
+    res = c.read_sync("/f", addr=10_000, length=5_000, protocol="spin")
+    assert res.ok
+    assert np.array_equal(res.data, data[10_000:15_000])
+
+
+def test_read_latency_plausible(env):
+    tb, c, data = env
+    res = c.read_sync("/f", length=1 * KiB, protocol="spin")
+    # request RTT + handler chain + PCIe fetch
+    assert 1_000 < res.latency_ns < 20_000
+
+
+def test_spin_read_close_to_raw_read(env):
+    tb, c, data = env
+    spin = c.read_sync("/f", length=64 * KiB, protocol="spin").latency_ns
+    raw = c.read_sync("/f", length=64 * KiB, protocol="raw").latency_ns
+    # on-NIC validation adds only the handler chain
+    assert spin < raw * 1.5
+
+
+def test_read_exceeding_extent_rejected(env):
+    tb, c, _ = env
+    with pytest.raises(ValueError):
+        c.read("/f", addr=0, length=10 << 20, protocol="spin")
+
+
+def test_forged_read_capability_nacked(env):
+    tb, c, _ = env
+    ctx = WriteContext(c.node, c.client_id, c.forge_ticket("/f"))
+    res = tb.run_until(spin_read(ctx, c.open("/f"), 0, 1 * KiB))
+    assert not res.ok and res.nacks[0]["reason"] == "auth"
+
+
+def test_write_only_capability_cannot_read(env):
+    tb, c, _ = env
+    from repro.dfs.capability import Rights
+
+    lay = c.open("/f")
+    wo_cap = tb.metadata.authority.issue(
+        c.client_id, lay.object_id, 0, 1 << 30, Rights.WRITE
+    )
+    ctx = WriteContext(c.node, c.client_id, wo_cap)
+    res = tb.run_until(spin_read(ctx, lay, 0, 1 * KiB))
+    assert not res.ok and res.nacks[0]["reason"] == "auth"
+
+
+def test_read_protocol_validation(env):
+    _, c, _ = env
+    with pytest.raises(ValueError):
+        c.read("/f", protocol="rpc")
+
+
+def test_concurrent_reads(env):
+    tb, c, data = env
+    evs = [c.read("/f", addr=i * 8 * KiB, length=8 * KiB, protocol="spin") for i in range(8)]
+    results = [tb.run_until(ev) for ev in evs]
+    assert all(r.ok for r in results)
+    for i, r in enumerate(results):
+        assert np.array_equal(r.data, data[i * 8 * KiB : (i + 1) * 8 * KiB])
+
+
+def test_read_from_secondary_replica():
+    from repro import ReplicationSpec
+
+    tb = build_testbed(n_storage=6)
+    install_spin_targets(tb)
+    c = DfsClient(tb, principal="r")
+    lay = c.create("/rep", size=64 * KiB, replication=ReplicationSpec(k=3))
+    data = np.random.default_rng(5).integers(0, 256, 64 * KiB, dtype=np.uint8)
+    assert c.write_sync("/rep", data, protocol="spin").ok
+    for r in range(3):
+        res = c.read_sync("/rep", length=64 * KiB, protocol="spin", replica=r)
+        assert res.ok and np.array_equal(res.data, data), f"replica {r}"
+
+
+def test_read_failover_after_primary_death():
+    from repro import ReplicationSpec
+
+    tb = build_testbed(n_storage=6)
+    install_spin_targets(tb)
+    c = DfsClient(tb, principal="r")
+    lay = c.create("/rep", size=32 * KiB, replication=ReplicationSpec(k=2))
+    data = np.random.default_rng(6).integers(0, 256, 32 * KiB, dtype=np.uint8)
+    assert c.write_sync("/rep", data, protocol="spin").ok
+    tb.node(lay.primary.node).fail()
+    # the primary is dead: reading replica 0 times out ...
+    ev = c.read("/rep", length=32 * KiB, protocol="spin", replica=0)
+    with pytest.raises(Exception):
+        tb.run_until(ev, timeout_ns=tb.sim.now + 1_000_000)
+    # ... but the secondary serves the same bytes
+    res = c.read_sync("/rep", length=32 * KiB, protocol="spin", replica=1)
+    assert res.ok and np.array_equal(res.data, data)

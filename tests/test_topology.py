@@ -1,0 +1,118 @@
+"""Leaf–spine fabric tests."""
+
+import numpy as np
+import pytest
+
+from repro.simnet import NetConfig, Simulator
+from repro.simnet.packet import Packet
+from repro.simnet.topology import LeafSpineNetwork
+
+
+class Sink:
+    def __init__(self, sim, name):
+        self.sim = sim
+        self.name = name
+        self.received = []
+        self.times = []
+
+    def receive(self, pkt):
+        self.received.append(pkt)
+        self.times.append(self.sim.now)
+
+
+def _pkt(src, dst, nbytes=2048 - 64):
+    return Packet(src=src, dst=dst, op="write", msg_id=1, seq=0, nseq=1,
+                  payload=np.zeros(nbytes, dtype=np.uint8))
+
+
+def build(n_leaves=2, n_spines=1, uplink_gbps=None, **cfg_kw):
+    sim = Simulator()
+    cfg = NetConfig(link_latency_ns=20, switch_latency_ns=100, **cfg_kw)
+    net = LeafSpineNetwork(sim, cfg, n_leaves=n_leaves, n_spines=n_spines,
+                           uplink_gbps=uplink_gbps)
+    return sim, net
+
+
+def test_intra_leaf_one_switch_hop():
+    sim, net = build()
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    pa = net.register(a, leaf=0)
+    net.register(b, leaf=0)
+    pa.send(_pkt("a", "b"))
+    sim.run()
+    assert len(b.received) == 1
+    intra = b.times[0]
+
+    # cross-leaf costs two extra hops (leaf->spine->leaf)
+    sim2, net2 = build()
+    c, d = Sink(sim2, "c"), Sink(sim2, "d")
+    pc = net2.register(c, leaf=0)
+    net2.register(d, leaf=1)
+    pc.send(_pkt("c", "d"))
+    sim2.run()
+    inter = d.times[0]
+    assert inter > intra + 100  # at least 2 extra links + 2 switch stages
+
+
+def test_routing_reaches_every_leaf():
+    sim, net = build(n_leaves=3, n_spines=2)
+    sinks = {}
+    ports = {}
+    for i in range(6):
+        s = Sink(sim, f"n{i}")
+        sinks[s.name] = s
+        ports[s.name] = net.register(s, leaf=i % 3)
+    for src in sinks:
+        for dst in sinks:
+            if src != dst:
+                ports[src].send(_pkt(src, dst))
+    sim.run()
+    for name, s in sinks.items():
+        assert len(s.received) == 5, name
+
+
+def test_unknown_destination_raises():
+    sim, net = build()
+    a = Sink(sim, "a")
+    pa = net.register(a, leaf=0)
+    pa.send(_pkt("a", "ghost"))
+    with pytest.raises(KeyError):
+        sim.run()
+
+
+def test_duplicate_name_rejected():
+    sim, net = build()
+    net.register(Sink(sim, "a"))
+    with pytest.raises(ValueError):
+        net.register(Sink(sim, "a"))
+
+
+def test_oversubscription_throttles_cross_leaf():
+    """A 4:1 oversubscribed uplink caps cross-leaf throughput."""
+
+    def drain_time(uplink):
+        sim, net = build(uplink_gbps=uplink)
+        src, dst = Sink(sim, "s"), Sink(sim, "d")
+        ps = net.register(src, leaf=0)
+        net.register(dst, leaf=1)
+        for _ in range(64):
+            ps.send(_pkt("s", "d"))
+        sim.run()
+        return max(dst.times)
+
+    full = drain_time(400.0)
+    quarter = drain_time(100.0)
+    assert quarter > 3.0 * full
+
+
+def test_ecmp_spreads_over_spines():
+    sim, net = build(n_leaves=2, n_spines=2)
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    pa = net.register(a, leaf=0)
+    net.register(b, leaf=1)
+    for i in range(10):
+        pa.send(_pkt("a", "b"))
+    sim.run()
+    assert len(b.received) == 10
+    # both spines carried traffic
+    assert all(sp.rx_packets > 0 for sp in net.spines)
