@@ -5,6 +5,8 @@ Subcommands:
 * ``info``   — print the library version and the calibrated defaults;
 * ``demo``   — run a 30-second end-to-end self-test (one write per
   protocol, with functional verification);
+* ``trace``  — run one traced write and export a Chrome/Perfetto
+  ``.trace.json`` (open it at https://ui.perfetto.dev);
 * ``bench``  — alias pointing at the experiment runner.
 """
 
@@ -51,7 +53,7 @@ def _demo() -> int:
     rows = []
 
     def run(protocol, installer, **create_kw):
-        tb = build_testbed(n_storage=8)
+        tb = build_testbed(n_storage=8, telemetry=True)
         if installer:
             installer(tb)
         c = DfsClient(tb)
@@ -67,7 +69,13 @@ def _demo() -> int:
             label += f" k={create_kw['replication'].k}"
         if create_kw.get("ec"):
             label += f" RS({create_kw['ec'].k},{create_kw['ec'].m})"
-        rows.append((label, out.latency_ns))
+        from repro.telemetry import utilization_report
+
+        p = tb.params.pspin
+        util = utilization_report(
+            tb.telemetry, tb.sim.now, n_hpus_per_node=p.n_clusters * p.hpus_per_cluster
+        )
+        rows.append((label, out.latency_ns, util))
 
     run("raw", None)
     run("spin", install_spin_targets)
@@ -77,22 +85,95 @@ def _demo() -> int:
     run("cpu", install_cpu_replication_targets, replication=ReplicationSpec(k=3))
     run("spin", install_spin_targets, ec=EcSpec(k=3, m=2))
 
-    width = max(len(p) for p, _ in rows)
-    for proto, lat in rows:
-        print(f"  {proto:<{width}}  {lat:10.0f} ns")
+    width = max(len(p) for p, _, _ in rows)
+    print(f"  {'protocol':<{width}}  {'latency':>10}  {'HPU busy':>8}  {'link busy':>9}")
+    for proto, lat, util in rows:
+        print(f"  {proto:<{width}}  {lat:7.0f} ns  "
+              f"{util['max_hpu_busy']:7.1%}  {util['max_link_busy']:8.1%}")
     print("\nall writes verified byte-identical on the storage targets")
+    print("utilization: busiest node over each demo's whole run (telemetry registry)")
     return 0
+
+
+def _trace(argv) -> int:
+    import numpy as np
+
+    from repro.dfs.client import DfsClient
+    from repro.dfs.layout import EcSpec, ReplicationSpec
+    from repro.experiments.common import installer_for
+    from repro.dfs.cluster import build_testbed
+    from repro.telemetry import dump_metrics, write_chrome_trace
+
+    ap = argparse.ArgumentParser(prog="repro trace",
+                                 description="Run one traced write and export a "
+                                             "Chrome/Perfetto trace (ui.perfetto.dev)")
+    ap.add_argument("--protocol", default="spin",
+                    choices=["spin", "raw", "rpc", "rpc+rdma", "cpu", "rdma-flat",
+                             "rdma-hyperloop", "inec"])
+    ap.add_argument("--replication", type=int, metavar="K", default=None,
+                    help="replicate across K nodes")
+    ap.add_argument("--ec", type=int, nargs=2, metavar=("K", "M"), default=None,
+                    help="erasure-code as RS(K, M)")
+    ap.add_argument("--size", type=int, default=64 * 1024, help="write size in bytes")
+    ap.add_argument("--storage", type=int, default=8, help="number of storage nodes")
+    ap.add_argument("--out", default=None, help="output path (default <protocol>.trace.json)")
+    ap.add_argument("--metrics", default=None,
+                    help="also dump the metrics registry (json or csv by extension)")
+    args = ap.parse_args(argv)
+    if args.replication and args.ec:
+        ap.error("--replication and --ec are mutually exclusive")
+
+    tb = build_testbed(n_storage=args.storage, telemetry=True)
+    installer = installer_for(args.protocol)
+    if installer is not None:
+        installer(tb)
+    client = DfsClient(tb)
+    create_kw = {}
+    if args.replication:
+        create_kw["replication"] = ReplicationSpec(k=args.replication)
+    if args.ec:
+        create_kw["ec"] = EcSpec(k=args.ec[0], m=args.ec[1])
+    client.create("/traced", size=max(args.size, 1) * 2, **create_kw)
+    data = np.random.default_rng(7).integers(0, 256, args.size, dtype=np.uint8)
+    out = client.write_sync("/traced", data, protocol=args.protocol)
+    # let trailing DMAs / acks / parity traffic land in the trace
+    tb.run(until=tb.sim.now + 200_000)
+
+    tel = tb.telemetry
+    path = args.out or f"{args.protocol.replace('+', '-')}.trace.json"
+    write_chrome_trace(tel, path)
+    if args.metrics:
+        fmt = "csv" if args.metrics.endswith(".csv") else "json"
+        dump_metrics(tel, args.metrics, fmt=fmt, now=tb.sim.now)
+
+    spans = tel.finished_spans()
+    cats = {}
+    for s in spans:
+        cats[s.cat] = cats.get(s.cat, 0) + 1
+    prof = tb.sim.profile()
+    print(f"{args.protocol} write of {args.size} B: "
+          f"{'ok' if out.ok else 'DENIED'}, latency {out.latency_ns:.0f} ns")
+    print(f"trace: {path}  (open at https://ui.perfetto.dev)")
+    print("  spans: " + ", ".join(f"{k}={v}" for k, v in sorted(cats.items())))
+    if args.metrics:
+        print(f"  metrics: {args.metrics}")
+    print(f"  simulator: {prof['events_dispatched']} events, "
+          f"heap high-water {prof['heap_high_water']}, "
+          f"{prof['wall_ns_per_sim_ns']:.1f} wall-ns/sim-ns")
+    return 0 if out.ok else 1
 
 
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(prog="repro")
-    ap.add_argument("command", choices=["info", "demo", "bench"], nargs="?",
+    ap.add_argument("command", choices=["info", "demo", "trace", "bench"], nargs="?",
                     default="info")
     args, rest = ap.parse_known_args(argv)
     if args.command == "info":
         return _info()
     if args.command == "demo":
         return _demo()
+    if args.command == "trace":
+        return _trace(rest)
     from repro.experiments.__main__ import main as exp_main
 
     return exp_main(rest or ["list"])

@@ -45,9 +45,13 @@ class Testbed:
 
     def __init__(self, params: SimParams, n_storage: int, n_clients: int,
                  storage_backend: str = "nvmm", topology: str = "star",
-                 uplink_gbps: Optional[float] = None):
+                 uplink_gbps: Optional[float] = None, telemetry: bool = False):
         self.params = params
         self.sim = Simulator()
+        # span/metric collection is off by default (zero overhead); flip
+        # ``sim.telemetry.enabled`` at any time to start recording
+        self.sim.telemetry.enabled = telemetry
+        self.telemetry = self.sim.telemetry
         if topology == "star":
             self.net = Network(self.sim, params.net)
         elif topology == "leafspine":
@@ -106,10 +110,13 @@ def build_testbed(
     storage_backend: str = "nvmm",
     topology: str = "star",
     uplink_gbps: Optional[float] = None,
+    telemetry: bool = False,
 ) -> Testbed:
     """Construct a testbed.  Defaults to the paper's flat network
     (§III-D); ``topology="leafspine"`` puts clients and storage on
-    separate leaves with configurable uplink bandwidth."""
+    separate leaves with configurable uplink bandwidth.
+    ``telemetry=True`` turns on span/metric collection (see
+    :mod:`repro.telemetry`)."""
     return Testbed(
         params or SimParams(),
         n_storage=n_storage,
@@ -117,4 +124,5 @@ def build_testbed(
         storage_backend=storage_backend,
         topology=topology,
         uplink_gbps=uplink_gbps,
+        telemetry=telemetry,
     )

@@ -27,6 +27,7 @@ __all__ = [
     "KiB",
     "MiB",
     "fresh_client",
+    "installer_for",
     "measure_latency",
     "render_rows",
     "size_label",
@@ -35,10 +36,11 @@ __all__ = [
 KiB = 1024
 MiB = 1024 * 1024
 
-INSTALLERS: dict[str, Optional[Callable[[Testbed], None]]] = {}
 
-
-def _installer_for(protocol: str):
+def installer_for(protocol: str) -> Optional[Callable[[Testbed], None]]:
+    """Target-personality installer for a protocol name (None when the
+    protocol needs no storage-side setup).  Shared by experiments and
+    the ``python -m repro`` CLI."""
     # local imports keep experiments importable without cycles
     from ..protocols import (
         install_cpu_replication_targets,
@@ -61,14 +63,19 @@ def _installer_for(protocol: str):
     }[protocol]
 
 
+# retained alias for older call sites
+_installer_for = installer_for
+
+
 def fresh_client(
     protocol: str,
     params: Optional[SimParams] = None,
     n_storage: int = 10,
+    telemetry: bool = False,
 ) -> tuple[Testbed, DfsClient]:
     """A new testbed configured for ``protocol`` plus a client."""
-    tb = build_testbed(n_storage=n_storage, params=params)
-    installer = _installer_for(protocol)
+    tb = build_testbed(n_storage=n_storage, params=params, telemetry=telemetry)
+    installer = installer_for(protocol)
     if installer is not None:
         installer(tb)
     return tb, DfsClient(tb)

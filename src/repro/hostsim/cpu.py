@@ -23,6 +23,7 @@ class Cpu:
         self.sim = sim
         self.params = params
         self.name = name
+        self._pid = f"host:{name.rsplit('.', 1)[0]}" if "." in name else "host"
         self.cores = Resource(sim, capacity=params.cpu_cores, name=f"{name}.cores")
         self._memcpy_ns_per_byte = gbps_to_ns_per_byte(params.memcpy_gbps)
         self.busy_ns = 0.0
@@ -42,11 +43,25 @@ class Cpu:
         """
         req = self.cores.request()
         yield req
+        t0 = self.sim.now
         try:
             yield self.sim.timeout(duration_ns)
             self.busy_ns += duration_ns
         finally:
             self.cores.release(req)
+        tel = self.sim.telemetry
+        if tel.enabled:
+            tel.span(
+                f"cpu {duration_ns:.0f}ns",
+                pid=self._pid,
+                tid="cpu",
+                t0=t0,
+                t1=self.sim.now,
+                cat="host",
+            )
+            m = tel.metrics
+            m.counter(f"cpu.{self.name}.busy_ns").inc(duration_ns)
+            m.gauge(f"cpu.{self.name}.cores_busy").set(self.sim.now, self.cores.count)
 
     def run_cycles(self, cycles: float):
         yield from self.run(self.cycles_ns(cycles))

@@ -92,6 +92,7 @@ class NvmeTarget(MemoryTarget):
         # delays completion without blocking the channel.
         req = self._channels.request()
         yield req
+        t0 = self.sim.now
         try:
             yield self.sim.timeout(data.nbytes * self._ns_per_byte)
         finally:
@@ -99,6 +100,22 @@ class NvmeTarget(MemoryTarget):
         yield self.sim.timeout(self.params.write_latency_ns)
         super().write(addr, data)
         self.commands_completed += 1
+        tel = self.sim.telemetry
+        if tel.enabled:
+            pid = f"host:{self.name.rsplit('.', 1)[0]}" if "." in self.name else "host"
+            tel.span(
+                f"nvme program {data.nbytes}B",
+                pid=pid,
+                tid="nvme",
+                t0=t0,
+                t1=self.sim.now,
+                cat="host",
+                args={"bytes": int(data.nbytes), "addr": addr},
+            )
+            m = tel.metrics
+            m.counter(f"nvme.{self.name}.bytes").inc(data.nbytes)
+            m.counter(f"nvme.{self.name}.commands").inc()
+            m.gauge(f"nvme.{self.name}.sq_depth").set(self.sim.now, len(self._sq))
         done.succeed(None)
 
     def submission_queue_depth(self) -> int:

@@ -34,6 +34,9 @@ class Pcie:
         self.sim = sim
         self.params = params
         self.name = name
+        # telemetry track: group under the owning node ("sn0.pcie" ->
+        # process "host:sn0", thread "pcie")
+        self._pid = f"host:{name.rsplit('.', 1)[0]}" if "." in name else "host"
         self._ns_per_byte = gbps_to_ns_per_byte(params.pcie_bandwidth_gbps)
         self._queue: Store = Store(sim, name=f"{name}.q")
         self.bytes_transferred = 0
@@ -45,26 +48,45 @@ class Pcie:
         self,
         nbytes: int,
         on_complete: Optional[Callable[[], None]] = None,
+        trace=None,
     ) -> Event:
         """Move ``nbytes`` across the interconnect; event fires when the
-        transfer is durable (flushed) at the far side."""
+        transfer is durable (flushed) at the far side.  ``trace`` is an
+        optional request trace context attached to the emitted span."""
         if nbytes < 0:
             raise ValueError("negative DMA size")
         done = self.sim.event(name=f"{self.name}.dma")
-        self._queue.put((nbytes, on_complete, done))
+        self._queue.put((nbytes, on_complete, done, trace))
         return done
 
     def _serve(self):
         sim = self.sim
+        tel = sim.telemetry
         lat = self.params.pcie_latency_ns
         while True:
-            nbytes, on_complete, done = yield self._queue.get()
+            nbytes, on_complete, done, trace = yield self._queue.get()
             ser = nbytes * self._ns_per_byte
+            t0 = sim.now
             if ser > 0:
                 yield sim.timeout(ser)
             self.busy_ns += ser
             self.bytes_transferred += nbytes
             self.transactions += 1
+            if tel.enabled:
+                tel.span(
+                    f"dma {nbytes}B",
+                    pid=self._pid,
+                    tid="pcie",
+                    t0=t0,
+                    t1=sim.now + lat,
+                    cat="host",
+                    trace=trace,
+                    args={"bytes": nbytes},
+                )
+                m = tel.metrics
+                m.counter(f"pcie.{self.name}.busy_ns").inc(ser)
+                m.counter(f"pcie.{self.name}.bytes").inc(nbytes)
+                m.gauge(f"pcie.{self.name}.queue_depth").set(sim.now, len(self._queue))
 
             def finish(cb=on_complete, ev=done):
                 if cb is not None:

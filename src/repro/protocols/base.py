@@ -20,7 +20,14 @@ from ..dfs.layout import FileLayout
 from ..dfs.nodes import ClientNode
 from ..simnet.engine import Event
 
-__all__ = ["WriteOutcome", "make_dfs_header", "replication_params_for", "WriteContext"]
+__all__ = [
+    "WriteOutcome",
+    "make_dfs_header",
+    "replication_params_for",
+    "WriteContext",
+    "begin_request",
+    "wrap_result",
+]
 
 
 @dataclass
@@ -88,10 +95,37 @@ def as_uint8(data) -> np.ndarray:
     return np.asarray(data, dtype=np.uint8).ravel()
 
 
+def begin_request(ctx: WriteContext, protocol: str, op: str, size: int):
+    """Open a root telemetry span for one logical DFS request.
+
+    Returns ``(span, trace_context)`` — or ``(None, None)`` when telemetry
+    is disabled, so drivers can pass the results straight through to
+    message headers and :func:`wrap_result` unconditionally.
+    """
+    sim = ctx.client.sim
+    tel = sim.telemetry
+    if not tel.enabled:
+        return None, None
+    return tel.root(
+        f"{protocol} {op} {size}B",
+        pid="requests",
+        tid=ctx.client.name,
+        t0=sim.now,
+        args={"protocol": protocol, "op": op, "bytes": size},
+    )
+
+
 def wrap_result(
-    sim, done: Event, size: int, protocol: str
+    sim, done: Event, size: int, protocol: str, span=None
 ) -> Event:
-    """Adapt a NIC completion event (OpResult) into a WriteOutcome event."""
+    """Adapt a NIC completion event (OpResult) into a WriteOutcome event.
+
+    When telemetry is enabled this is also the single choke point for
+    per-protocol request metrics: the root ``span`` (from
+    :func:`begin_request`) is closed at the outcome's ``t_end`` and the
+    request latency lands in the ``protocol.<name>.latency_ns``
+    histogram.
+    """
     out = sim.event(name=f"outcome({protocol})")
 
     def convert(ev):
@@ -99,17 +133,26 @@ def wrap_result(
         if ev.exception is not None:
             out.fail(ev.exception)
             return
-        out.succeed(
-            WriteOutcome(
-                ok=res.ok,
-                t_start=res.t_start,
-                t_end=res.t_end,
-                size=size,
-                protocol=protocol,
-                greq_id=res.greq_id,
-                nacks=list(res.nacks),
-            )
+        outcome = WriteOutcome(
+            ok=res.ok,
+            t_start=res.t_start,
+            t_end=res.t_end,
+            size=size,
+            protocol=protocol,
+            greq_id=res.greq_id,
+            nacks=list(res.nacks),
         )
+        tel = sim.telemetry
+        if tel.enabled:
+            if span is not None:
+                tel.end(span, outcome.t_end)
+                span.args["ok"] = outcome.ok
+            m = tel.metrics
+            m.histogram(f"protocol.{protocol}.latency_ns").observe(outcome.latency_ns)
+            m.counter(f"protocol.{protocol}.requests").inc()
+            if not outcome.ok:
+                m.counter(f"protocol.{protocol}.nacked").inc()
+        out.succeed(outcome)
 
     done.add_callback(convert)
     return out

@@ -32,7 +32,7 @@ from ..ec.gf256 import gf_mul_scalar_vec
 from ..ec.reed_solomon import pad_to_chunks
 from ..simnet.engine import Event
 from ..simnet.packet import Packet
-from .base import WriteContext, as_uint8, wrap_result
+from .base import WriteContext, as_uint8, begin_request, wrap_result
 
 __all__ = ["install_inec_targets", "inec_write"]
 
@@ -180,6 +180,7 @@ def inec_write(ctx: WriteContext, layout: FileLayout, data) -> Event:
     greq, done = nic.open_transaction(expected_acks=k + m)
     parity_coords = [(e.node, e.addr) for e in layout.parity_extents]
     block = layout.object_id * 1_000_003 + greq
+    span, tctx = begin_request(ctx, f"inec-triec-rs({k},{m})", "write", data.nbytes)
     for j, (chunk, ext) in enumerate(zip(chunks, layout.extents)):
         nic.send_message(
             dst=ext.node,
@@ -195,10 +196,13 @@ def inec_write(ctx: WriteContext, layout: FileLayout, data) -> Event:
                     "parity_coords": parity_coords,
                     "client": ctx.client.name,
                     "greq_id": greq,
-                }
+                },
+                "trace": tctx,
             },
             data=chunk,
             header_bytes=64,
             post_overhead=(j == 0),
         )
-    return wrap_result(ctx.client.sim, done, data.nbytes, f"inec-triec-rs({k},{m})")
+    return wrap_result(
+        ctx.client.sim, done, data.nbytes, f"inec-triec-rs({k},{m})", span=span
+    )

@@ -28,7 +28,7 @@ from ..dfs.layout import FileLayout
 from ..dfs.nodes import StorageNode
 from ..simnet.engine import Event
 from ..simnet.packet import Packet
-from .base import WriteContext, WriteOutcome, as_uint8
+from .base import WriteContext, WriteOutcome, as_uint8, begin_request
 from .replication import DEFAULT_CHUNK_BYTES
 
 __all__ = ["install_hyperloop_targets", "hyperloop_write"]
@@ -154,6 +154,7 @@ def hyperloop_write(
 
     def driver():
         t0 = sim.now
+        span, tctx = begin_request(ctx, "rdma-hyperloop", "write", data.nbytes)
         # ---- configuration phase: write WQEs to each storage node ----
         cfg_greq, cfg_done = nic.open_transaction(expected_acks=k)
         for i, ext in enumerate(extents):
@@ -169,6 +170,7 @@ def hyperloop_write(
                     "addr": ext.addr,
                     "client": ctx.client.name,
                     "n_wqes": n_chunks,
+                    "trace": tctx,
                 },
                 header_bytes=48,
                 post_overhead=(i == 0),
@@ -187,6 +189,7 @@ def hyperloop_write(
                     "chunk_off": off,
                     "addr": extents[0].addr + off,
                     "greq_id": data_greq,
+                    "trace": tctx,
                 },
                 data=chunk,
                 header_bytes=24,
@@ -194,6 +197,15 @@ def hyperloop_write(
             )
             off += chunk.nbytes
         yield data_done
+        tel = sim.telemetry
+        if tel.enabled:
+            # this driver owns its outcome, so it closes its own root
+            # span (every wrap_result-based driver gets this for free)
+            if span is not None:
+                tel.end(span, sim.now)
+            m = tel.metrics
+            m.histogram("protocol.rdma-hyperloop.latency_ns").observe(sim.now - t0)
+            m.counter("protocol.rdma-hyperloop.requests").inc()
         return WriteOutcome(
             ok=True,
             t_start=t0,

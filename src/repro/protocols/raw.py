@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from ..dfs.layout import FileLayout
 from ..simnet.engine import Event
-from .base import WriteContext, as_uint8, wrap_result
+from .base import WriteContext, as_uint8, begin_request, wrap_result
 
 __all__ = ["raw_write"]
 
@@ -21,11 +21,12 @@ def raw_write(ctx: WriteContext, layout: FileLayout, data) -> Event:
     ext = layout.primary
     if data.nbytes > ext.length:
         raise ValueError(f"write of {data.nbytes} B exceeds extent {ext.length} B")
+    span, tctx = begin_request(ctx, "raw", "write", data.nbytes)
     done = ctx.client.nic.post_write(
         dst=ext.node,
         data=data,
-        headers={"addr": ext.addr, "reply_to": ctx.client.name},
+        headers={"addr": ext.addr, "reply_to": ctx.client.name, "trace": tctx},
         header_bytes=8,
         expected_acks=1,
     )
-    return wrap_result(ctx.client.sim, done, data.nbytes, "raw")
+    return wrap_result(ctx.client.sim, done, data.nbytes, "raw", span=span)

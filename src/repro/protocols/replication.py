@@ -27,7 +27,7 @@ from ..dfs.layout import FileLayout
 from ..dfs.nodes import StorageNode
 from ..rdma.nic import fresh_greq_id
 from ..simnet.engine import Event
-from .base import WriteContext, as_uint8, replication_params_for, wrap_result
+from .base import WriteContext, as_uint8, begin_request, replication_params_for, wrap_result
 
 __all__ = [
     "install_cpu_replication_targets",
@@ -104,6 +104,8 @@ def cpu_replicated_write(
     rp = replication_params_for(layout, virtual_rank=0)
     greq, done = ctx.client.nic.open_transaction(expected_acks=k * len(chunks))
     dfs = ctx.dfs_header(greq)
+    name = f"cpu-{layout.replication.strategy}"
+    span, tctx = begin_request(ctx, name, "write", data.nbytes)
     off = 0
     for idx, chunk in enumerate(chunks):
         ctx.client.nic.send_message(
@@ -119,14 +121,14 @@ def cpu_replicated_write(
                 "chunk_idx": idx,
                 "reply_to_client": ctx.client.name,
                 "authority": testbed.authority,
+                "trace": tctx,
             },
             data=chunk,
             header_bytes=64,
             post_overhead=(idx == 0),
         )
         off += chunk.nbytes
-    name = f"cpu-{layout.replication.strategy}"
-    return wrap_result(ctx.client.sim, done, data.nbytes, name)
+    return wrap_result(ctx.client.sim, done, data.nbytes, name, span=span)
 
 
 def rdma_flat_write(ctx: WriteContext, layout: FileLayout, data) -> Event:
@@ -135,13 +137,14 @@ def rdma_flat_write(ctx: WriteContext, layout: FileLayout, data) -> Event:
     assert layout.replication is not None
     sim = ctx.client.sim
     greq, done = ctx.client.nic.open_transaction(expected_acks=len(layout.extents))
+    span, tctx = begin_request(ctx, "rdma-flat", "write", data.nbytes)
     for ext in layout.extents:
         ctx.client.nic.post_write(
             dst=ext.node,
             data=data,
-            headers={"addr": ext.addr, "reply_to": ctx.client.name},
+            headers={"addr": ext.addr, "reply_to": ctx.client.name, "trace": tctx},
             header_bytes=8,
             greq_id=greq,
             expected_acks=0,  # the shared transaction counts the acks
         )
-    return wrap_result(sim, done, data.nbytes, "rdma-flat")
+    return wrap_result(sim, done, data.nbytes, "rdma-flat", span=span)

@@ -19,7 +19,7 @@ from ..dfs.layout import FileLayout
 from ..dfs.nodes import StorageNode
 from ..rdma.nic import fresh_greq_id
 from ..simnet.engine import Event
-from .base import WriteContext, as_uint8, wrap_result
+from .base import WriteContext, as_uint8, begin_request, wrap_result
 
 __all__ = ["install_rpc_targets", "rpc_write"]
 
@@ -74,6 +74,7 @@ def rpc_write(ctx: WriteContext, layout: FileLayout, data, testbed: Testbed) -> 
     greq = fresh_greq_id()
     dfs = ctx.dfs_header(greq)
     wrh = WriteRequestHeader(addr=layout.primary.addr)
+    span, tctx = begin_request(ctx, "rpc", "write", data.nbytes)
     done = ctx.client.nic.post_rpc(
         dst=layout.primary.node,
         headers={
@@ -83,8 +84,9 @@ def rpc_write(ctx: WriteContext, layout: FileLayout, data, testbed: Testbed) -> 
             "wrh": wrh,
             "write_len": data.nbytes,
             "authority": testbed.authority,
+            "trace": tctx,
         },
         data=data,
         header_bytes=request_header_bytes(dfs, wrh) + 8,
     )
-    return wrap_result(ctx.client.sim, done, data.nbytes, "rpc")
+    return wrap_result(ctx.client.sim, done, data.nbytes, "rpc", span=span)

@@ -17,7 +17,7 @@ from ..dfs.layout import FileLayout
 from ..dfs.nodes import StorageNode
 from ..rdma.nic import fresh_greq_id
 from ..simnet.engine import Event
-from .base import WriteContext, as_uint8, wrap_result
+from .base import WriteContext, as_uint8, begin_request, wrap_result
 from .rpc import _validate_on_cpu
 
 __all__ = ["install_rpc_rdma_targets", "rpc_rdma_write"]
@@ -60,6 +60,7 @@ def rpc_rdma_write(ctx: WriteContext, layout: FileLayout, data, testbed: Testbed
     greq = fresh_greq_id()
     dfs = ctx.dfs_header(greq)
     wrh = WriteRequestHeader(addr=layout.primary.addr)
+    span, tctx = begin_request(ctx, "rpc+rdma", "write", data.nbytes)
     done = ctx.client.nic.post_rpc(
         dst=layout.primary.node,
         headers={
@@ -70,7 +71,8 @@ def rpc_rdma_write(ctx: WriteContext, layout: FileLayout, data, testbed: Testbed
             "write_len": data.nbytes,
             "src_addr": CLIENT_STAGING_ADDR,
             "authority": testbed.authority,
+            "trace": tctx,
         },
         header_bytes=request_header_bytes(dfs, wrh) + 16,
     )
-    return wrap_result(ctx.client.sim, done, data.nbytes, "rpc+rdma")
+    return wrap_result(ctx.client.sim, done, data.nbytes, "rpc+rdma", span=span)

@@ -29,7 +29,7 @@ from ..dfs.layout import FileLayout
 from ..ec.reed_solomon import pad_to_chunks
 from ..rdma.nic import fresh_greq_id
 from ..simnet.engine import Event
-from .base import WriteContext, as_uint8, replication_params_for, wrap_result
+from .base import WriteContext, as_uint8, begin_request, replication_params_for, wrap_result
 
 __all__ = ["install_spin_targets", "spin_write", "spin_read"]
 
@@ -83,15 +83,16 @@ def spin_write(
         )
         greq = fresh_greq_id()
         dfs = ctx.dfs_header(greq)
+        span, tctx = begin_request(ctx, f"spin-{rp.strategy}", "write", data.nbytes)
         done = nic.post_write(
             dst=layout.primary.node,
             data=data,
-            headers={"dfs": dfs, "wrh": wrh, "write_len": data.nbytes},
+            headers={"dfs": dfs, "wrh": wrh, "write_len": data.nbytes, "trace": tctx},
             header_bytes=request_header_bytes(dfs, wrh),
             greq_id=greq,
             expected_acks=k,
         )
-        return wrap_result(sim, done, data.nbytes, f"spin-{rp.strategy}")
+        return wrap_result(sim, done, data.nbytes, f"spin-{rp.strategy}", span=span)
 
     if layout.resiliency == "ec":
         ec_spec = layout.ec
@@ -102,6 +103,7 @@ def spin_write(
         )
         greq, done = nic.open_transaction(expected_acks=k + m)
         dfs = ctx.dfs_header(greq)
+        span, tctx = begin_request(ctx, f"spin-triec-rs({k},{m})", "write", data.nbytes)
         for j, (chunk, ext) in enumerate(zip(chunks, layout.extents)):
             wrh = WriteRequestHeader(
                 addr=ext.addr,
@@ -123,31 +125,32 @@ def spin_write(
                 nic.send_message(
                     dst=ext.node,
                     op="write",
-                    headers={"dfs": dfs, "wrh": wrh, "write_len": chunk.nbytes},
+                    headers={"dfs": dfs, "wrh": wrh, "write_len": chunk.nbytes, "trace": tctx},
                     data=chunk,
                     header_bytes=hb,
                 )
             else:
                 # Ablation: chunks injected back to back.
                 sim.process(
-                    _sequential_send(ctx, ext.node, dfs, wrh, chunk, hb, j),
+                    _sequential_send(ctx, ext.node, dfs, wrh, chunk, hb, j, tctx),
                     name="seq-send",
                 )
-        return wrap_result(sim, done, data.nbytes, f"spin-triec-rs({k},{m})")
+        return wrap_result(sim, done, data.nbytes, f"spin-triec-rs({k},{m})", span=span)
 
     # plain authenticated write
     wrh = WriteRequestHeader(addr=layout.primary.addr)
     greq = fresh_greq_id()
     dfs = ctx.dfs_header(greq)
+    span, tctx = begin_request(ctx, "spin", "write", data.nbytes)
     done = nic.post_write(
         dst=layout.primary.node,
         data=data,
-        headers={"dfs": dfs, "wrh": wrh, "write_len": data.nbytes},
+        headers={"dfs": dfs, "wrh": wrh, "write_len": data.nbytes, "trace": tctx},
         header_bytes=request_header_bytes(dfs, wrh),
         greq_id=greq,
         expected_acks=1,
     )
-    return wrap_result(sim, done, data.nbytes, "spin")
+    return wrap_result(sim, done, data.nbytes, "spin", span=span)
 
 
 def spin_read(
@@ -180,7 +183,7 @@ def spin_read(
     return done
 
 
-def _sequential_send(ctx: WriteContext, dst, dfs, wrh, chunk, header_bytes, index):
+def _sequential_send(ctx: WriteContext, dst, dfs, wrh, chunk, header_bytes, index, tctx=None):
     """Non-interleaved EC transmission: delay chunk j by the full
     serialization time of chunks 0..j-1 (§VI-B1 ablation)."""
     sim = ctx.client.sim
@@ -189,7 +192,7 @@ def _sequential_send(ctx: WriteContext, dst, dfs, wrh, chunk, header_bytes, inde
     ctx.client.nic.send_message(
         dst=dst,
         op="write",
-        headers={"dfs": dfs, "wrh": wrh, "write_len": chunk.nbytes},
+        headers={"dfs": dfs, "wrh": wrh, "write_len": chunk.nbytes, "trace": tctx},
         data=chunk,
         header_bytes=header_bytes,
     )

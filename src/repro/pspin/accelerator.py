@@ -95,6 +95,7 @@ class _MessageRun:
         "dma_events",
         "last_activity",
         "finished",
+        "trace",
     )
 
     def __init__(self, sim: Simulator, msg_id: int, ctx: "ExecutionContext", cluster: int):
@@ -112,6 +113,7 @@ class _MessageRun:
         self.dma_events: List[Event] = []
         self.last_activity = 0.0
         self.finished = False
+        self.trace = None  # request TraceContext (telemetry)
 
 
 class HandlerApi:
@@ -155,6 +157,7 @@ class HandlerApi:
             payload=None,
             headers=headers,
             header_bytes=16,
+            trace=self._run.trace,
         )
         return self._accel._egress.put(pkt)
 
@@ -168,6 +171,21 @@ class HandlerApi:
         """
         ev = self._accel.dma_fn(addr, payload)
         self._run.dma_events.append(ev)
+        tel = self._accel.sim.telemetry
+        if tel.enabled:
+            # The host-commit span covers issue -> durability (PCIe
+            # crossing plus, for NVMe backends, the flash program).
+            span = tel.begin(
+                f"commit {int(payload.nbytes)}B",
+                pid=f"host:{self._accel.node_name}",
+                tid="commit",
+                t0=self._accel.sim.now,
+                cat="host",
+                trace=self._run.trace,
+                args={"addr": addr, "bytes": int(payload.nbytes)},
+            )
+            sim = self._accel.sim
+            ev.add_callback(lambda _e, s=span: tel.end(s, sim.now))
         return ev
 
     def dma_timing(self, nbytes: int) -> Event:
@@ -327,6 +345,9 @@ class PsPinAccelerator:
             reply = (dfs.reply_to if dfs is not None else None) or pkt.src
             greq = dfs.greq_id if dfs is not None else pkt.headers.get("greq_id")
             self.nacks_sent += 1
+            tel = self.sim.telemetry
+            if tel.enabled:
+                tel.metrics.counter(f"pspin.{self.node_name}.overload_nacks").inc()
             self.send_fn(
                 Packet(
                     src=self.node_name,
@@ -345,6 +366,13 @@ class PsPinAccelerator:
         if pkt.is_completion:
             self._admitted.discard(pkt.msg_id)
         self._queued += 1
+        tel = self.sim.telemetry
+        if tel.enabled:
+            m = tel.metrics
+            m.counter(f"pspin.{self.node_name}.packets_ingested").inc()
+            m.gauge(f"pspin.{self.node_name}.ingress_queued").set(
+                self.sim.now, self._queued
+            )
         self.sim.process(self._pipeline(ctx, pkt))
         return True
 
@@ -368,6 +396,8 @@ class PsPinAccelerator:
             self._next_cluster = (self._next_cluster + 1) % p.n_clusters
             run = _MessageRun(sim, pkt.msg_id, ctx, cluster)
             self._runs[pkt.msg_id] = run
+        if run.trace is None and pkt.trace is not None:
+            run.trace = pkt.trace
         run.expected = pkt.nseq
         run.last_activity = sim.now
         # Packet-level parallelism (§II-B1): payload packets of one
@@ -429,7 +459,12 @@ class PsPinAccelerator:
         yield req
         yield sim.timeout(p.hpu_dispatch_ns)
         t0 = sim.now
+        tel = sim.telemetry
         cluster.active += 1
+        if tel.enabled:
+            tel.metrics.gauge(
+                f"pspin.{self.node_name}.cluster{cluster.idx}.active"
+            ).set(sim.now, cluster.active)
         try:
             cost = handler.cost(run.task, pkt)
             contention = 1.0 + p.l1_contention_per_hpu * max(0, cluster.active - 1)
@@ -443,6 +478,25 @@ class PsPinAccelerator:
             if quota is not None:
                 quota.release(qreq)
         self.stats[f"{htype}:{run.ctx.name}"].record(sim.now - t0, cost.instructions)
+        if tel.enabled:
+            dur = sim.now - t0
+            tel.span(
+                f"{htype}:{run.ctx.name} m{run.msg_id}",
+                pid=f"pspin:{self.node_name}",
+                tid=f"cluster{cluster.idx}",
+                t0=t0,
+                t1=sim.now,
+                cat="hpu",
+                trace=run.trace,
+                args={"instructions": cost.instructions, "handler": htype},
+            )
+            m = tel.metrics
+            m.counter(f"pspin.{self.node_name}.hpu_busy_ns").inc(dur)
+            m.counter(f"pspin.{self.node_name}.handler.{htype}.invocations").inc()
+            m.histogram(f"pspin.{self.node_name}.handler.{htype}.latency_ns").observe(dur)
+            m.gauge(
+                f"pspin.{self.node_name}.cluster{cluster.idx}.active"
+            ).set(sim.now, cluster.active)
 
     def _finish(self, run: _MessageRun) -> None:
         run.finished = True

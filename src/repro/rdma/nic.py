@@ -224,7 +224,7 @@ class RdmaNic:
         assert self.port is not None, f"{self.name} not attached to a network"
         return self.port.send(pkt)
 
-    def send_control(self, dst: str, op: str, headers: dict) -> Event:
+    def send_control(self, dst: str, op: str, headers: dict, trace=None) -> Event:
         pkt = Packet(
             src=self.name,
             dst=dst,
@@ -234,11 +234,13 @@ class RdmaNic:
             nseq=1,
             headers=headers,
             header_bytes=16,
+            trace=trace,
         )
         return self.send_raw(pkt)
 
     def _tx_message(self, msg: Message, post_overhead: bool):
         sim = self.sim
+        t0 = sim.now
         if post_overhead:
             # WQE construction + doorbell on the initiating host.
             yield sim.timeout(self.params.client_post_ns)
@@ -249,6 +251,21 @@ class RdmaNic:
         pkts = segment_message(msg, self.params.net.mtu)
         for pkt in pkts:
             yield self.port.send(pkt)
+        tel = sim.telemetry
+        if tel.enabled:
+            nbytes = msg.data.nbytes if msg.data is not None else 0
+            tel.span(
+                f"tx {msg.op} {nbytes}B",
+                pid="net",
+                tid=self.name,
+                t0=t0,
+                t1=sim.now,
+                cat="net",
+                trace=msg.headers.get("trace"),
+                args={"bytes": nbytes, "packets": len(pkts), "dst": msg.dst},
+            )
+            tel.metrics.counter(f"nic.{self.name}.tx_messages").inc()
+            tel.metrics.counter(f"nic.{self.name}.tx_bytes").inc(nbytes)
 
     # ==================================================== target side
     def receive(self, pkt: Packet) -> None:
@@ -307,6 +324,7 @@ class RdmaNic:
                 self.host.pcie.dma(
                     payload.nbytes,
                     on_complete=lambda a=addr, p=payload: self.host.memory.write(a, p),
+                    trace=pkt.trace,
                 )
             else:
                 self.host.memory.write(addr, payload)
@@ -317,7 +335,9 @@ class RdmaNic:
             # RDMA semantics: ack once the last packet is received; the
             # data may still sit in PCIe buffers (§III-B1).
             self.acks_sent += 1
-            self.send_control(reply, "ack", {"ack_for": greq, "node": self.name})
+            self.send_control(
+                reply, "ack", {"ack_for": greq, "node": self.name}, trace=pkt.trace
+            )
 
     # --------------------------------------------------------- reads
     def _serve_read(self, pkt: Packet):
@@ -327,7 +347,7 @@ class RdmaNic:
         greq = pkt.headers["greq_id"]
         # DMA the data from host memory into the NIC (PCIe read).
         if self.host.pcie is not None:
-            yield self.host.pcie.dma(length)
+            yield self.host.pcie.dma(length, trace=pkt.trace)
         data = (
             self.host.memory.read(addr, length)
             if self.host.memory is not None
@@ -338,7 +358,7 @@ class RdmaNic:
             dst=reply_to,
             op="read_resp",
             data=data,
-            headers={"greq_id": greq, "offset": 0},
+            headers={"greq_id": greq, "offset": 0, "trace": pkt.trace},
             header_bytes=16,
         )
         yield sim.timeout(self.params.nic_tx_ns)
@@ -384,7 +404,7 @@ class RdmaNic:
                 self.host.on_rpc(st["headers"], payload, st["src"])
 
             if self.host.pcie is not None:
-                self.host.pcie.dma(payload.nbytes + 64, on_complete=deliver)
+                self.host.pcie.dma(payload.nbytes + 64, on_complete=deliver, trace=pkt.trace)
             else:
                 deliver()
 

@@ -30,7 +30,10 @@ Example
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Any, Callable, Generator, Iterable, Optional
+
+from ..telemetry import Telemetry
 
 __all__ = [
     "Event",
@@ -295,6 +298,13 @@ class Simulator:
         self._heap: list[tuple[float, int, object]] = []
         self._seq = 0
         self._running = False
+        #: per-simulation observability sink (disabled by default; flip
+        #: ``sim.telemetry.enabled`` to start recording spans/metrics)
+        self.telemetry = Telemetry(enabled=False)
+        # -- self-profile (always on: integer bookkeeping only) --------
+        self.events_dispatched = 0
+        self._heap_high_water = 0
+        self._wall_s = 0.0
 
     # -- construction helpers ------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -327,10 +337,14 @@ class Simulator:
 
     # -- running ---------------------------------------------------------
     def _step(self) -> None:
-        t, _, item = heapq.heappop(self._heap)
+        heap = self._heap
+        if len(heap) > self._heap_high_water:
+            self._heap_high_water = len(heap)
+        t, _, item = heapq.heappop(heap)
         if t < self.now - 1e-9:
             raise SimulationError("time went backwards")
         self.now = t
+        self.events_dispatched += 1
         if isinstance(item, Event):
             self._dispatch(item)
         else:
@@ -347,6 +361,7 @@ class Simulator:
         if self._running:
             raise SimulationError("run() called re-entrantly")
         self._running = True
+        wall0 = time.perf_counter()
         try:
             while self._heap:
                 if until is not None and self._heap[0][0] > until:
@@ -358,6 +373,7 @@ class Simulator:
                     self.now = max(self.now, until)
         finally:
             self._running = False
+            self._wall_s += time.perf_counter() - wall0
         return self.now
 
     def run_until_event(self, ev: Event, limit: Optional[float] = None) -> Any:
@@ -369,6 +385,7 @@ class Simulator:
         if self._running:
             raise SimulationError("run() called re-entrantly")
         self._running = True
+        wall0 = time.perf_counter()
         try:
             while not ev.triggered:
                 if not self._heap:
@@ -382,6 +399,7 @@ class Simulator:
                 self._step()
         finally:
             self._running = False
+            self._wall_s += time.perf_counter() - wall0
         if ev.exception is not None:
             raise ev.exception
         return ev.value
@@ -405,3 +423,29 @@ class Simulator:
     def peek(self) -> float:
         """Time of the next scheduled item, or +inf if the heap is empty."""
         return self._heap[0][0] if self._heap else float("inf")
+
+    # -- self-profile -----------------------------------------------------
+    @property
+    def heap_high_water(self) -> int:
+        return max(self._heap_high_water, len(self._heap))
+
+    @property
+    def wall_seconds(self) -> float:
+        """Wall-clock time spent inside run()/run_until_event()."""
+        return self._wall_s
+
+    def profile(self) -> dict:
+        """Simulator self-profile: tracks the *simulator's* performance
+        across PRs (events dispatched, heap high-water mark, wall-clock
+        per simulated nanosecond)."""
+        wall_ns = self._wall_s * 1e9
+        return {
+            "events_dispatched": self.events_dispatched,
+            "heap_high_water": self.heap_high_water,
+            "sim_ns": self.now,
+            "wall_s": self._wall_s,
+            "wall_ns_per_sim_ns": wall_ns / self.now if self.now > 0 else 0.0,
+            "events_per_wall_s": (
+                self.events_dispatched / self._wall_s if self._wall_s > 0 else 0.0
+            ),
+        }

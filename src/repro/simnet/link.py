@@ -75,6 +75,11 @@ class Port:
         """
         done = self.sim.event(name=f"tx_done(pkt={pkt.pkt_id})")
         pkt.enqueue_t = self.sim.now
+        tel = self.sim.telemetry
+        if tel.enabled:
+            tel.metrics.gauge(f"link.{self.owner_name}.queue_depth").set(
+                self.sim.now, len(self.queue) + 1
+            )
         put_ev = self.queue.put((pkt, done))
         if not put_ev.triggered:
             # Queue full: the *enqueue itself* must block.  Chain events so
@@ -96,13 +101,33 @@ class Port:
     # -- server ------------------------------------------------------------
     def _serve(self):
         sim = self.sim
+        tel = sim.telemetry
         while True:
             pkt, done = yield self.queue.get()
             ser = self.serialization_ns(pkt.size)
+            t0 = sim.now
             yield sim.timeout(ser)
             self.tx_packets += 1
             self.tx_bytes += pkt.size
             self.busy_ns += ser
+            if tel.enabled:
+                tel.span(
+                    f"{pkt.op} m{pkt.msg_id} {pkt.seq + 1}/{pkt.nseq}",
+                    pid="net",
+                    tid=self.owner_name,
+                    t0=t0,
+                    t1=sim.now,
+                    cat="net",
+                    trace=pkt.trace,
+                    args={"bytes": pkt.size, "queued_ns": t0 - pkt.enqueue_t},
+                )
+                m = tel.metrics
+                m.counter(f"link.{self.owner_name}.busy_ns").inc(ser)
+                m.counter(f"link.{self.owner_name}.tx_bytes").inc(pkt.size)
+                m.counter(f"link.{self.owner_name}.tx_packets").inc()
+                m.gauge(f"link.{self.owner_name}.queue_depth").set(
+                    sim.now, len(self.queue)
+                )
             done.succeed(pkt)
             peer = self.peer
             assert peer is not None

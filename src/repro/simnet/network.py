@@ -85,6 +85,12 @@ class Switch:
     def forward(self, pkt: Packet) -> None:
         self.rx_packets += 1
         out = self._out_ports.get(pkt.dst)
+        tel = self.sim.telemetry
+        if tel.enabled:
+            m = tel.metrics
+            m.counter(f"switch.{self.name}.rx_packets").inc()
+            if out is None:
+                m.counter(f"switch.{self.name}.no_route_drops").inc()
         if out is None:
             raise KeyError(f"{self.name}: no route to {pkt.dst!r}")
         # Fixed traversal latency, then output queueing.

@@ -54,6 +54,10 @@ class Packet:
     pkt_id: int = field(default_factory=lambda: next(_pkt_ids))
     # Filled in by the network while in flight:
     enqueue_t: float = 0.0
+    #: request trace context (:class:`repro.telemetry.TraceContext`) —
+    #: set when telemetry is enabled so spans emitted along the packet's
+    #: path (wire, handlers, host commit) link back to the DFS request
+    trace: Optional[Any] = None
 
     @property
     def payload_bytes(self) -> int:
@@ -84,6 +88,7 @@ class Packet:
             headers=dict(self.headers),
             header_bytes=self.header_bytes,
             payload_offset=self.payload_offset,
+            trace=self.trace,
         )
         kw.update(overrides)
         return Packet(**kw)
@@ -153,6 +158,10 @@ def segment_message(msg: Message, mtu: int) -> list[Packet]:
     else:
         nseq = 1 + -(-(total - first_budget) // rest_budget)
 
+    # Trace context travels on *every* packet (like per-packet transport
+    # headers) so spans deep in the stack can link to the request even
+    # when packets of one message take different paths.
+    tctx = msg.headers.get("trace")
     pkts: list[Packet] = []
     off = 0
     for seq in range(nseq):
@@ -173,6 +182,7 @@ def segment_message(msg: Message, mtu: int) -> list[Packet]:
                 headers=dict(msg.headers) if seq == 0 else {},
                 header_bytes=msg.header_bytes if seq == 0 else 0,
                 payload_offset=off,
+                trace=tctx,
             )
         )
         off += take

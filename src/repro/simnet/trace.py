@@ -12,7 +12,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-__all__ = ["Tracer", "Timeline", "summarize"]
+__all__ = ["Tracer", "Timeline", "summarize", "percentile"]
 
 
 @dataclass
@@ -55,28 +55,68 @@ class Tracer:
             self.counters[counter] += n
 
     def get(self, stream: str) -> Timeline:
-        return self.timelines.get(stream, Timeline(stream))
+        """Get-or-create the stream's timeline.
+
+        The returned timeline is registered, so samples added through it
+        are visible to later lookups (a fresh unregistered Timeline used
+        to be returned for unknown streams, silently dropping writes).
+        """
+        tl = self.timelines.get(stream)
+        if tl is None:
+            tl = self.timelines[stream] = Timeline(stream)
+        return tl
+
+    def peek(self, stream: str) -> Timeline:
+        """Read-only lookup: unknown streams yield an empty, *unregistered*
+        timeline (the tracer is not mutated)."""
+        return self.timelines.get(stream) or Timeline(stream)
 
     def values(self, stream: str) -> List[Any]:
-        return list(self.get(stream).values)
+        return list(self.peek(stream).values)
+
+
+def percentile(sorted_samples: List[float], p: float) -> float:
+    """Linear-interpolation percentile (numpy's default method) over an
+    already-sorted sample list; ``p`` in [0, 1]."""
+    n = len(sorted_samples)
+    if n == 0:
+        return 0.0
+    if n == 1:
+        return sorted_samples[0]
+    rank = p * (n - 1)
+    lo = int(rank)
+    hi = min(lo + 1, n - 1)
+    frac = rank - lo
+    return sorted_samples[lo] * (1.0 - frac) + sorted_samples[hi] * frac
 
 
 def summarize(samples: List[float]) -> Dict[str, float]:
-    """min/median/mean/p99/max summary for a list of durations."""
+    """Distribution summary for a list of durations.
+
+    Percentiles use linear interpolation between order statistics (the
+    nearest-rank rule previously used here collapses every tail
+    percentile onto the max for small n).  ``std`` is the population
+    standard deviation.
+    """
+    keys = ("min", "mean", "median", "p50", "p90", "p99", "p999", "max", "std")
     if not samples:
-        return {"n": 0, "min": 0.0, "mean": 0.0, "median": 0.0, "p99": 0.0, "max": 0.0}
+        out = {k: 0.0 for k in keys}
+        out["n"] = 0
+        return out
     s = sorted(samples)
     n = len(s)
-
-    def pct(p: float) -> float:
-        idx = min(n - 1, int(round(p * (n - 1))))
-        return s[idx]
-
+    mean = sum(s) / n
+    var = sum((x - mean) ** 2 for x in s) / n
+    p50 = percentile(s, 0.5)
     return {
         "n": n,
         "min": s[0],
-        "mean": sum(s) / n,
-        "median": pct(0.5),
-        "p99": pct(0.99),
+        "mean": mean,
+        "median": p50,
+        "p50": p50,
+        "p90": percentile(s, 0.90),
+        "p99": percentile(s, 0.99),
+        "p999": percentile(s, 0.999),
         "max": s[-1],
+        "std": var**0.5,
     }

@@ -1,0 +1,83 @@
+"""Flat metrics export (JSON / CSV) and utilization summaries.
+
+The JSON dump is the machine-readable side of the BENCH tables: a
+single object with ``counters`` / ``gauges`` / ``histograms`` sections
+plus the simulator self-profile.  The CSV form is long-format
+(kind, name, stat, value) so spreadsheet pivoting works without custom
+parsing.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Any, Dict, Optional
+
+from .spans import Telemetry
+
+__all__ = ["metrics_snapshot", "dump_metrics", "utilization_report"]
+
+
+def metrics_snapshot(
+    tel: Telemetry,
+    now: Optional[float] = None,
+    profile: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """JSON-ready snapshot of the metrics registry (+ optional simulator
+    self-profile from :meth:`repro.simnet.engine.Simulator.profile`)."""
+    snap = tel.metrics.to_dict(now)
+    snap["sim_now_ns"] = now
+    snap["n_spans"] = len(tel.spans)
+    if profile is not None:
+        snap["simulator_profile"] = profile
+    return snap
+
+
+def dump_metrics(
+    tel: Telemetry,
+    path: str,
+    fmt: str = "json",
+    now: Optional[float] = None,
+    profile: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Write the metrics snapshot as JSON or long-form CSV."""
+    if fmt == "json":
+        with open(path, "w") as fh:
+            json.dump(metrics_snapshot(tel, now, profile), fh, indent=2, sort_keys=True)
+    elif fmt == "csv":
+        rows = tel.metrics.csv_rows(now)
+        with open(path, "w", newline="") as fh:
+            w = csv.DictWriter(fh, fieldnames=["kind", "name", "stat", "value"])
+            w.writeheader()
+            w.writerows(rows)
+    else:
+        raise ValueError(f"unknown metrics format {fmt!r} (json or csv)")
+    return path
+
+
+def utilization_report(
+    tel: Telemetry, now: float, n_hpus_per_node: int
+) -> Dict[str, float]:
+    """Headline utilization fractions from the standard instrument names.
+
+    * ``max_hpu_busy`` — busiest accelerator's mean HPU occupancy
+      (``pspin.<node>.hpu_busy_ns`` over ``now * n_hpus``);
+    * ``max_link_busy`` — busiest port's wire occupancy
+      (``link.<owner>.busy_ns`` over ``now``);
+    * ``max_pcie_busy`` — busiest host interconnect occupancy.
+
+    Zero when the corresponding subsystem emitted nothing (e.g. a
+    protocol that never touches an accelerator).
+    """
+    m = tel.metrics
+    if now <= 0:
+        return {"max_hpu_busy": 0.0, "max_link_busy": 0.0, "max_pcie_busy": 0.0}
+    return {
+        "max_hpu_busy": (
+            m.max_matching("pspin.", ".hpu_busy_ns") / (now * n_hpus_per_node)
+            if n_hpus_per_node > 0
+            else 0.0
+        ),
+        "max_link_busy": m.max_matching("link.", ".busy_ns") / now,
+        "max_pcie_busy": m.max_matching("pcie.", ".busy_ns") / now,
+    }

@@ -1,0 +1,120 @@
+"""Chrome / Perfetto ``trace_event`` export.
+
+Converts a :class:`~repro.telemetry.spans.Telemetry` sink into the JSON
+Trace Event Format understood by ``ui.perfetto.dev`` and
+``chrome://tracing``:
+
+* every distinct span ``pid`` becomes a *process* (with a
+  ``process_name`` metadata record), every distinct ``(pid, tid)`` a
+  *thread* — so the timeline groups as
+  ``requests / net / pspin:sn0 / host:sn0 / ...``;
+* finished spans become complete (``"ph": "X"``) events.  Timestamps
+  are microseconds in the wire format, so simulated nanoseconds are
+  divided by 1000 (fractional µs are legal and preserved);
+* gauges become counter (``"ph": "C"``) tracks, one per gauge name.
+
+The exporter is pure data-out: it never mutates the telemetry sink, and
+the produced object is ``json.dumps``-able as-is.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from .spans import Telemetry
+
+__all__ = ["trace_events", "chrome_trace", "write_chrome_trace"]
+
+_NS_PER_US = 1000.0
+
+
+def trace_events(
+    tel: Telemetry, include_counters: bool = True
+) -> List[Dict[str, Any]]:
+    """The ``traceEvents`` list: metadata + slices (+ counter tracks)."""
+    pids: Dict[str, int] = {}
+    tids: Dict[tuple, int] = {}
+    meta: List[Dict[str, Any]] = []
+    events: List[Dict[str, Any]] = []
+
+    def pid_of(name: str) -> int:
+        p = pids.get(name)
+        if p is None:
+            p = pids[name] = len(pids) + 1
+            meta.append({
+                "ph": "M", "name": "process_name", "pid": p, "tid": 0,
+                "args": {"name": name},
+            })
+        return p
+
+    def tid_of(pid_name: str, tid_name: str) -> tuple:
+        key = (pid_name, tid_name)
+        t = tids.get(key)
+        if t is None:
+            p = pid_of(pid_name)
+            t = tids[key] = (p, len(tids) + 1)
+            meta.append({
+                "ph": "M", "name": "thread_name", "pid": p, "tid": t[1],
+                "args": {"name": tid_name},
+            })
+        return t
+
+    for span in tel.spans:
+        if span.t1 is None:
+            continue  # still open: no duration to draw
+        p, t = tid_of(span.pid, span.tid)
+        args: Dict[str, Any] = dict(span.args) if span.args else {}
+        if span.trace_id is not None:
+            args["trace_id"] = span.trace_id
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        events.append({
+            "ph": "X",
+            "name": span.name,
+            "cat": span.cat,
+            "pid": p,
+            "tid": t,
+            "ts": span.t0 / _NS_PER_US,
+            "dur": (span.t1 - span.t0) / _NS_PER_US,
+            "args": args,
+        })
+
+    if include_counters:
+        for name, gauge in sorted(tel.metrics.gauges.items()):
+            p = pid_of("metrics")
+            for ts, v in zip(gauge.times, gauge.values):
+                events.append({
+                    "ph": "C",
+                    "name": name,
+                    "pid": p,
+                    "tid": 0,
+                    "ts": ts / _NS_PER_US,
+                    "args": {"value": v},
+                })
+
+    events.sort(key=lambda e: e["ts"])
+    return meta + events
+
+
+def chrome_trace(tel: Telemetry, include_counters: bool = True) -> Dict[str, Any]:
+    """The complete JSON-object form of the trace file."""
+    return {
+        "traceEvents": trace_events(tel, include_counters=include_counters),
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "generator": "repro.telemetry",
+            "time_unit_note": "ts/dur are microseconds of simulated time",
+        },
+    }
+
+
+def write_chrome_trace(
+    tel: Telemetry, path: str, include_counters: bool = True
+) -> str:
+    """Write the trace file; returns the path for chaining."""
+    doc = chrome_trace(tel, include_counters=include_counters)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    return path

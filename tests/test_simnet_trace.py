@@ -23,6 +23,25 @@ def test_tracer_emit_and_get():
     assert len(t.get("missing")) == 0
 
 
+def test_tracer_get_registers_timeline():
+    # Regression: get() used to return a fresh unregistered Timeline for
+    # unknown streams, so samples added through it were silently lost.
+    t = Tracer()
+    tl = t.get("new-stream")
+    tl.add(1.0, 42)
+    assert t.values("new-stream") == [42]
+    assert t.get("new-stream") is tl
+
+
+def test_tracer_peek_does_not_register():
+    t = Tracer()
+    tl = t.peek("ghost")
+    assert len(tl) == 0
+    assert "ghost" not in t.timelines
+    tl.add(1.0, 1)  # mutating the ephemeral timeline leaves the tracer alone
+    assert t.values("ghost") == []
+
+
 def test_tracer_counters():
     t = Tracer()
     t.count("drops")
@@ -41,17 +60,35 @@ def test_tracer_disabled_is_noop():
 def test_summarize_empty():
     s = summarize([])
     assert s["n"] == 0 and s["mean"] == 0.0
+    assert s["p90"] == s["p999"] == s["std"] == 0.0
 
 
 def test_summarize_stats():
+    # Linear-interpolation percentiles (numpy default method), not
+    # nearest-rank: p99 of 5 samples interpolates toward the max rather
+    # than collapsing onto it.
     s = summarize([1.0, 2.0, 3.0, 4.0, 100.0])
     assert s["n"] == 5
     assert s["min"] == 1.0 and s["max"] == 100.0
     assert s["mean"] == pytest.approx(22.0)
     assert s["median"] == 3.0
-    assert s["p99"] == 100.0
+    assert s["p50"] == s["median"]
+    assert s["p90"] == pytest.approx(61.6)
+    assert s["p99"] == pytest.approx(96.16)
+    assert s["p999"] == pytest.approx(99.616)
+    assert s["std"] == pytest.approx(1522.0**0.5)  # population std
+
+
+def test_summarize_matches_numpy():
+    np = pytest.importorskip("numpy")
+    samples = [float(x) for x in (5, 1, 9, 2, 7, 3, 8, 4, 6, 100)]
+    s = summarize(samples)
+    for key, q in (("p50", 50), ("p90", 90), ("p99", 99), ("p999", 99.9)):
+        assert s[key] == pytest.approx(float(np.percentile(samples, q)))
+    assert s["std"] == pytest.approx(float(np.std(samples)))
 
 
 def test_summarize_single():
     s = summarize([7.0])
     assert s["min"] == s["max"] == s["median"] == s["p99"] == 7.0
+    assert s["p999"] == 7.0 and s["std"] == 0.0

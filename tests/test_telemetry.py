@@ -1,0 +1,211 @@
+"""Telemetry subsystem: spans, trace propagation, metrics, self-profile.
+
+The cross-layer tests drive one replicated sPIN write through a real
+testbed and assert that every layer (request / net / hpu / host) emitted
+spans tied to the same trace — the end-to-end property the subsystem
+exists for.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dfs.client import DfsClient
+from repro.dfs.cluster import build_testbed
+from repro.dfs.layout import ReplicationSpec
+from repro.protocols import install_spin_targets
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Telemetry,
+    TraceContext,
+)
+
+
+def _traced_replicated_write(telemetry: bool = True):
+    tb = build_testbed(n_storage=4, telemetry=telemetry)
+    install_spin_targets(tb)
+    client = DfsClient(tb)
+    client.create("/f", size=128 * 1024, replication=ReplicationSpec(k=3))
+    data = np.arange(64 * 1024, dtype=np.uint8)
+    out = client.write_sync("/f", data, protocol="spin")
+    assert out.ok
+    # drain trailing DMAs / acks so late spans close
+    tb.run(until=tb.sim.now + 200_000)
+    return tb, out
+
+
+# ---------------------------------------------------------------- spans
+def test_span_begin_end_and_complete():
+    tel = Telemetry(enabled=True)
+    s = tel.begin("work", pid="p", tid="t", t0=10.0, cat="x")
+    assert s.t1 is None and s.duration_ns == 0.0
+    tel.end(s, 25.0)
+    assert s.duration_ns == 15.0
+    done = tel.span("done", pid="p", tid="t", t0=1.0, t1=2.5, cat="x")
+    assert done.duration_ns == 1.5
+    assert tel.finished_spans() == [s, done]
+
+
+def test_root_span_allocates_trace_and_children_link_to_it():
+    tel = Telemetry(enabled=True)
+    root, tctx = tel.root("req", pid="requests", tid="c0", t0=0.0)
+    assert isinstance(tctx, TraceContext)
+    assert tctx.trace_id == root.trace_id
+    assert tctx.span_id == root.span_id
+    child = tel.span("hop", pid="net", tid="port", t0=1.0, t1=2.0, trace=tctx)
+    assert child.trace_id == root.trace_id
+    assert child.parent_id == root.span_id
+    # a second request gets a distinct trace id
+    root2, tctx2 = tel.root("req2", pid="requests", tid="c0", t0=5.0)
+    assert tctx2.trace_id != tctx.trace_id
+    assert tel.spans_for_trace(tctx.trace_id) == [root, child]
+
+
+def test_reset_clears_data_but_keeps_enabled():
+    tel = Telemetry(enabled=True)
+    tel.span("s", pid="p", tid="t", t0=0.0, t1=1.0)
+    tel.metrics.counter("c").inc()
+    tel.reset()
+    assert tel.enabled
+    assert tel.spans == [] and tel.metrics.counters == {}
+
+
+# ----------------------------------------------------- cross-layer trace
+def test_replicated_write_spans_every_layer_one_trace():
+    tb, out = _traced_replicated_write()
+    tel = tb.telemetry
+    roots = tel.spans_by_cat("request")
+    assert len(roots) == 1
+    root = roots[0]
+    assert root.t1 is not None
+    # the root span closes exactly at the outcome's completion time
+    assert root.t1 == pytest.approx(out.t_end)
+    assert root.duration_ns == pytest.approx(out.latency_ns)
+
+    per_trace = tel.spans_for_trace(root.trace_id)
+    cats = {s.cat for s in per_trace}
+    # every protocol phase of Fig. 2 shows up on the request's trace:
+    # client issue (request), wire (net), NIC handlers (hpu), host
+    # commit (host)
+    assert {"request", "net", "hpu", "host"} <= cats
+    # all non-root spans on the trace are children of the root
+    for s in per_trace:
+        if s is not root:
+            assert s.parent_id == root.span_id
+    # replication k=3: handler spans appear on all three replica nodes
+    hpu_nodes = {s.pid for s in per_trace if s.cat == "hpu"}
+    assert len(hpu_nodes) == 3
+
+
+def test_nested_span_timestamps_are_ordered():
+    tb, _ = _traced_replicated_write()
+    for s in tb.telemetry.finished_spans():
+        assert s.t1 >= s.t0 >= 0.0
+
+
+def test_per_protocol_latency_histogram_recorded():
+    tb, out = _traced_replicated_write()
+    m = tb.telemetry.metrics
+    h = m.histogram("protocol.spin-ring.latency_ns")
+    assert h.n == 1
+    assert h.values[0] == pytest.approx(out.latency_ns)
+    assert m.counter("protocol.spin-ring.requests").value == 1
+
+
+def test_disabled_telemetry_emits_nothing():
+    tb, _ = _traced_replicated_write(telemetry=False)
+    tel = tb.telemetry
+    assert not tel.enabled
+    assert tel.spans == []
+    assert tel.metrics.counters == {}
+    assert tel.metrics.gauges == {}
+    assert tel.metrics.histograms == {}
+
+
+def test_enable_mid_run_starts_recording():
+    tb = build_testbed(n_storage=2)
+    install_spin_targets(tb)
+    client = DfsClient(tb)
+    client.create("/f", size=64 * 1024)
+    data = np.zeros(16 * 1024, np.uint8)
+    assert client.write_sync("/f", data, protocol="spin").ok
+    assert tb.telemetry.spans == []
+    tb.telemetry.enabled = True  # flip the one master switch
+    assert client.write_sync("/f", data, protocol="spin").ok
+    tb.run(until=tb.sim.now + 200_000)
+    assert len(tb.telemetry.spans) > 0
+    assert len(tb.telemetry.spans_by_cat("request")) == 1
+
+
+# --------------------------------------------------------------- metrics
+def test_counter_math():
+    c = Counter("x")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+
+
+def test_gauge_time_weighted_average_and_max():
+    g = Gauge("depth")
+    g.set(0.0, 2.0)   # level 2 over [0, 10)
+    g.set(10.0, 6.0)  # level 6 over [10, 20)
+    g.set(20.0, 0.0)
+    assert g.max == 6.0
+    assert g.last == 0.0
+    assert g.time_average(20.0) == pytest.approx((2 * 10 + 6 * 10) / 20)
+    # extrapolates the held level past the last sample
+    assert g.time_average(40.0) == pytest.approx((2 * 10 + 6 * 10) / 40)
+    d = g.to_dict(20.0)
+    assert d["max"] == 6.0 and d["n_samples"] == 3.0
+
+
+def test_histogram_summary_uses_interpolated_percentiles():
+    h = Histogram("lat")
+    for v in (1.0, 2.0, 3.0, 4.0, 100.0):
+        h.observe(v)
+    s = h.summary()
+    assert h.n == 5 and h.sum == 110.0
+    assert s["p90"] == pytest.approx(61.6)
+    assert s["p99"] == pytest.approx(96.16)
+    assert s["std"] == pytest.approx(1522.0**0.5)  # population std
+
+
+def test_registry_lazy_creation_and_matching():
+    m = MetricsRegistry()
+    m.counter("link.a.busy_ns").inc(10)
+    m.counter("link.b.busy_ns").inc(30)
+    m.counter("link.a.tx_bytes").inc(999)
+    assert m.sum_matching("link.", ".busy_ns") == 40.0
+    assert m.max_matching("link.", ".busy_ns") == 30.0
+    assert m.max_matching("pspin.", ".busy_ns") == 0.0
+    assert m.counter("link.a.busy_ns") is m.counter("link.a.busy_ns")
+    d = m.to_dict()
+    assert d["counters"]["link.a.tx_bytes"] == 999.0
+
+
+def test_subsystem_metrics_populated_by_real_run():
+    tb, _ = _traced_replicated_write()
+    m = tb.telemetry.metrics
+    assert m.sum_matching("link.", ".busy_ns") > 0
+    assert m.sum_matching("pspin.", ".hpu_busy_ns") > 0
+    assert m.sum_matching("pcie.", ".busy_ns") > 0
+    assert m.sum_matching("switch.", ".rx_packets") > 0
+    assert m.max_matching("pspin.", ".packets_ingested") > 0
+    # handler latency histograms carry per-invocation samples
+    hists = [n for n in m.histograms if ".handler." in n]
+    assert hists and all(m.histogram(n).n > 0 for n in hists)
+
+
+# ---------------------------------------------------------- self-profile
+def test_simulator_profile_keys_and_consistency():
+    tb, _ = _traced_replicated_write()
+    prof = tb.sim.profile()
+    for key in ("events_dispatched", "heap_high_water", "sim_ns", "wall_s",
+                "wall_ns_per_sim_ns", "events_per_wall_s"):
+        assert key in prof
+    assert prof["events_dispatched"] > 0
+    assert prof["heap_high_water"] >= 1
+    assert prof["sim_ns"] == tb.sim.now
+    assert prof["wall_s"] > 0
