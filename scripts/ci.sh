@@ -44,6 +44,12 @@ print(f"trace schema OK: {len(slices)} spans across {sorted(cats)}")
 PY
 
 echo
+echo "== fault-injection smoke (seeded loss, all protocols, quiesce) =="
+# seed 2 is known to drop packets at p=1e-3, so the retransmission
+# path is actually exercised, not just compiled
+python -m repro demo --loss 1e-3 --seed 2
+
+echo
 echo "== telemetry disabled-overhead guard (<3%) =="
 python -m pytest benchmarks/bench_simulator_perf.py::test_telemetry_disabled_overhead \
     -q --no-header -p no:cacheprovider

@@ -38,32 +38,89 @@ def _info() -> int:
     return 0
 
 
-def _demo() -> int:
+def _demo(argv=None) -> int:
     import numpy as np
 
     from repro import DfsClient, EcSpec, ReplicationSpec, build_testbed
-    from repro.protocols import (
-        install_cpu_replication_targets,
-        install_rpc_targets,
-        install_spin_targets,
-    )
+    from repro.experiments.common import installer_for
+    from repro.params import SimParams
 
-    print("running the protocol demo (one verified write per protocol)...\n")
+    ap = argparse.ArgumentParser(prog="repro demo",
+                                 description="End-to-end self-test: one verified "
+                                             "write per protocol, optionally under "
+                                             "seeded packet loss/corruption")
+    ap.add_argument("--loss", type=float, default=0.0, metavar="P",
+                    help="per-packet drop probability on every link")
+    ap.add_argument("--corrupt", type=float, default=0.0, metavar="P",
+                    help="per-packet corruption probability on every link")
+    ap.add_argument("--seed", type=int, default=0,
+                    help="fault-injection RNG seed (same seed = same drops)")
+    args = ap.parse_args(argv)
+
+    faulty = args.loss > 0 or args.corrupt > 0
+    params = SimParams()
+    if faulty:
+        params = params.with_faults(
+            loss_prob=args.loss, corrupt_prob=args.corrupt, seed=args.seed,
+            retransmit=True,
+        )
+        print(f"running the protocol demo under faults "
+              f"(loss={args.loss:g}, corrupt={args.corrupt:g}, seed={args.seed})...\n")
+    else:
+        print("running the protocol demo (one verified write per protocol)...\n")
     data = np.random.default_rng(0).integers(0, 256, 64 * 1024, dtype=np.uint8)
     rows = []
+    fault_totals = {"drops": 0, "corrupted": 0, "retransmits": 0, "timeouts": 0}
 
-    def run(protocol, installer, **create_kw):
-        tb = build_testbed(n_storage=8, telemetry=True)
+    def run(protocol, **create_kw):
+        tb = build_testbed(n_storage=8, params=params, telemetry=True)
+        installer = installer_for(protocol)
         if installer:
             installer(tb)
         c = DfsClient(tb)
-        lay = c.create("/demo", size=data.nbytes, **create_kw)
+        c.create("/demo", size=data.nbytes, **create_kw)
         kw = {"chunk_bytes": 32 * 1024} if protocol == "cpu" else {}
-        out = c.write_sync("/demo", data, protocol=protocol, **kw)
-        assert out.ok, out.nacks
+        # transport-level retransmits are bounded; if an op gives up
+        # (very lossy links), retry like a real application would
+        for _ in range(3):
+            out = c.write_sync("/demo", data, protocol=protocol, **kw)
+            if out.ok:
+                break
+        assert out.ok, (protocol, out.nacks)
+
+        def quiesced():
+            if any(h.nic.pending_count() for h in [tb.clients[0], *tb.storage_nodes]):
+                return False
+            for node in tb.storage_nodes:
+                acc = node.accelerator
+                if acc is not None and (
+                    acc.in_flight_messages or any(cl.hpus.users for cl in acc.clusters)
+                ):
+                    return False
+            return True
+
+        # drain trailing acks / parity traffic / retransmit watchdogs;
+        # under loss a server-side chain can need several RTO backoffs
         tb.run(until=tb.sim.now + 200_000)
+        deadline = tb.sim.now + 200_000_000
+        while faulty and not quiesced() and tb.sim.now < deadline:
+            tb.run(until=tb.sim.now + 1_000_000)
         got = c.read_back("/demo")
-        assert np.array_equal(got[: data.nbytes], data)
+        assert np.array_equal(got[: data.nbytes], data), protocol
+        # quiesce: no leaked ops, handler runs, or HPU slots anywhere
+        for host in [tb.clients[0], *tb.storage_nodes]:
+            assert host.nic.pending_count() == 0, (protocol, host.name)
+        for node in tb.storage_nodes:
+            if node.accelerator is not None:
+                assert node.accelerator.in_flight_messages == 0, (protocol, node.name)
+                for cl in node.accelerator.clusters:
+                    assert not cl.hpus.users, (protocol, node.name)
+        nics = [tb.clients[0].nic, *(n.nic for n in tb.storage_nodes)]
+        fault_totals["retransmits"] += sum(n.retransmits for n in nics)
+        fault_totals["timeouts"] += sum(n.timeouts for n in nics)
+        if tb.faults is not None:
+            fault_totals["drops"] += tb.faults.drops
+            fault_totals["corrupted"] += tb.faults.corrupted
         label = protocol
         if create_kw.get("replication"):
             label += f" k={create_kw['replication'].k}"
@@ -77,13 +134,16 @@ def _demo() -> int:
         )
         rows.append((label, out.latency_ns, util))
 
-    run("raw", None)
-    run("spin", install_spin_targets)
-    run("rpc", install_rpc_targets)
-    run("spin", install_spin_targets, replication=ReplicationSpec(k=3))
-    run("rdma-flat", None, replication=ReplicationSpec(k=3))
-    run("cpu", install_cpu_replication_targets, replication=ReplicationSpec(k=3))
-    run("spin", install_spin_targets, ec=EcSpec(k=3, m=2))
+    run("raw")
+    run("spin")
+    run("rpc")
+    run("rpc+rdma")
+    run("spin", replication=ReplicationSpec(k=3))
+    run("rdma-flat", replication=ReplicationSpec(k=3))
+    run("cpu", replication=ReplicationSpec(k=3))
+    run("rdma-hyperloop", replication=ReplicationSpec(k=3))
+    run("spin", ec=EcSpec(k=3, m=2))
+    run("inec", ec=EcSpec(k=3, m=2))
 
     width = max(len(p) for p, _, _ in rows)
     print(f"  {'protocol':<{width}}  {'latency':>10}  {'HPU busy':>8}  {'link busy':>9}")
@@ -92,6 +152,12 @@ def _demo() -> int:
               f"{util['max_hpu_busy']:7.1%}  {util['max_link_busy']:8.1%}")
     print("\nall writes verified byte-identical on the storage targets")
     print("utilization: busiest node over each demo's whole run (telemetry registry)")
+    if faulty:
+        print(f"faults: {fault_totals['drops']} packets dropped, "
+              f"{fault_totals['corrupted']} corrupted; clients recovered with "
+              f"{fault_totals['retransmits']} retransmits "
+              f"({fault_totals['timeouts']} ops gave up)")
+        print("quiesce verified: no pending ops, in-flight messages, or HPU leaks")
     return 0
 
 
@@ -171,7 +237,7 @@ def main(argv=None) -> int:
     if args.command == "info":
         return _info()
     if args.command == "demo":
-        return _demo()
+        return _demo(rest)
     if args.command == "trace":
         return _trace(rest)
     from repro.experiments.__main__ import main as exp_main

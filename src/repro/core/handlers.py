@@ -109,7 +109,14 @@ class DfsPolicy:
         yield api.send_control(
             entry.scratch["reply_to"],
             "ack",
-            {"ack_for": entry.greq_id, "node": api._accel.node_name},
+            {
+                "ack_for": entry.greq_id,
+                "node": api._accel.node_name,
+                # keyed by flow (message) id, not greq: one op may send
+                # several messages to the same node (striping), each of
+                # which earns its own ack; retransmits reuse the msg id
+                "dedup": (api._accel.node_name, "dfs", task.flow_id),
+            },
         )
 
 

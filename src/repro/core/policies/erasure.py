@@ -37,7 +37,7 @@ from ...pspin.isa import (
     ec_data_payload_cost,
     ec_parity_payload_cost,
 )
-from ...simnet.packet import Packet, fresh_msg_id
+from ...simnet.packet import Packet, derived_msg_id
 from ..handlers import DfsPolicy
 from ..request import EcParams, WriteRequestHeader
 from ..state import DfsState, RequestEntry
@@ -83,7 +83,9 @@ class EcDataPolicy(DfsPolicy):
             streams.append(
                 {
                     "coord": coord,
-                    "msg_id": fresh_msg_id(),
+                    # stable per (parent msg, parity index) so retransmits
+                    # re-forward the same stream ids (duplicate-suppressible)
+                    "msg_id": derived_msg_id(pkt.msg_id, ("ec", i)),
                     "coef": rs.parity_coefficient(i, ec.index),
                     "wrh": WriteRequestHeader(
                         addr=coord.addr,
@@ -140,16 +142,21 @@ class EcDataPolicy(DfsPolicy):
 class _BlockAgg:
     """Per (block, parity-index) aggregation state on a parity node."""
 
-    __slots__ = ("k", "addr", "contrib", "streams_done", "dma_events", "host_acc")
+    __slots__ = ("k", "addr", "contrib", "fini_streams", "dma_events", "host_acc", "seen")
 
     def __init__(self, k: int, addr: int):
         self.k = k
         self.addr = addr
         self.contrib: Dict[int, int] = {}
-        self.streams_done = 0
+        #: flow ids whose completion handler already ran (set, not a
+        #: counter: a retransmitted completion must not double-count)
+        self.fini_streams: set = set()
         self.dma_events: list = []
         #: host-side fallback accumulators (pool exhausted, §VI-B3)
         self.host_acc: Dict[int, np.ndarray] = {}
+        #: (msg_id, seq) pairs already XOR'd in — a re-run stream (full
+        #: end-to-end retransmit) must not contribute twice
+        self.seen: set = set()
 
 
 class EcParityPolicy(DfsPolicy):
@@ -184,7 +191,13 @@ class EcParityPolicy(DfsPolicy):
         if pkt.payload is None:
             return
         state: DfsState = task.mem
-        blk = self.blocks[entry.scratch["blk_key"]]
+        blk = self.blocks.get(entry.scratch["blk_key"])
+        if blk is None:
+            return  # block already completed (late duplicate packet)
+        pk = (pkt.msg_id, pkt.seq)
+        if pk in blk.seen:
+            return  # re-run stream: contribution already aggregated
+        blk.seen.add(pk)
         seq_key = entry.scratch["blk_key"] + (pkt.seq,)
         n = pkt.payload_bytes
         acc = state.accumulators.lookup(seq_key)
@@ -216,16 +229,27 @@ class EcParityPolicy(DfsPolicy):
 
     # --------------------------------------------------------- completion
     def request_fini(self, api: "HandlerApi", task: "Task", entry: RequestEntry, pkt: Packet):
-        blk = self.blocks[entry.scratch["blk_key"]]
-        blk.streams_done += 1
-        if blk.streams_done < blk.k:
+        key = entry.scratch["blk_key"]
+        dedup = (api._accel.node_name, "ecp") + key
+        blk = self.blocks.get(key)
+        if blk is None:
+            # block already aggregated + acked; the retransmit means the
+            # client never saw the ack — re-ack, don't re-aggregate
+            yield api.send_control(
+                entry.scratch["reply_to"],
+                "ack",
+                {"ack_for": entry.greq_id, "node": api._accel.node_name, "dedup": dedup},
+            )
+            return
+        blk.fini_streams.add(task.flow_id)
+        if len(blk.fini_streams) < blk.k:
             return  # ack only when the whole block's parity is durable
         pending = [e for e in blk.dma_events if not e.triggered]
         if pending:
             yield api.sim.all_of(pending)
-        self.blocks.pop(entry.scratch["blk_key"], None)
+        self.blocks.pop(key, None)
         yield api.send_control(
             entry.scratch["reply_to"],
             "ack",
-            {"ack_for": entry.greq_id, "node": api._accel.node_name},
+            {"ack_for": entry.greq_id, "node": api._accel.node_name, "dedup": dedup},
         )

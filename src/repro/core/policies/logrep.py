@@ -24,7 +24,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict
 
 from ...pspin.isa import HandlerCost, completion_handler_cost, forward_payload_cost
-from ...simnet.packet import Packet, fresh_msg_id
+from ...simnet.packet import Packet, derived_msg_id
 from ..handlers import DfsPolicy
 from ..state import DfsState, RequestEntry
 
@@ -38,7 +38,7 @@ __all__ = ["LogAppendPolicy", "LogDescriptor"]
 class LogDescriptor:
     """NIC-resident log metadata (tail pointer + bounds)."""
 
-    __slots__ = ("log_id", "base_addr", "capacity", "tail", "appends", "rejected")
+    __slots__ = ("log_id", "base_addr", "capacity", "tail", "appends", "rejected", "reserved")
 
     def __init__(self, log_id: int, base_addr: int, capacity: int):
         self.log_id = log_id
@@ -47,16 +47,23 @@ class LogDescriptor:
         self.tail = 0
         self.appends = 0
         self.rejected = 0
+        #: greq -> assigned offset: a retransmitted append must land in
+        #: its ORIGINAL slot, not consume fresh log space
+        self.reserved: Dict[int, int] = {}
 
-    def reserve(self, nbytes: int) -> int | None:
+    def reserve(self, nbytes: int, greq: int | None = None) -> int | None:
         """Atomic fetch-and-add of the tail (the HH runs this without
-        yielding, modelling the NIC's atomic)."""
+        yielding, modelling the NIC's atomic).  Idempotent per ``greq``."""
+        if greq is not None and greq in self.reserved:
+            return self.reserved[greq]
         if self.tail + nbytes > self.capacity:
             self.rejected += 1
             return None
         off = self.tail
         self.tail += nbytes
         self.appends += 1
+        if greq is not None:
+            self.reserved[greq] = off
         return off
 
 
@@ -107,7 +114,7 @@ class LogAppendPolicy(DfsPolicy):
         assigned = pkt.headers.get("assigned_offset")
         if assigned is None:
             # primary: reserve atomically
-            assigned = desc.reserve(nbytes)
+            assigned = desc.reserve(nbytes, greq=entry.greq_id)
             if assigned is None:
                 # log full: deny like any resource exhaustion (§III-B2)
                 entry.accept = False
@@ -120,9 +127,11 @@ class LogAppendPolicy(DfsPolicy):
                 return
         else:
             # replica: mirror the primary's assignment so all copies
-            # serialize identically
-            desc.tail = max(desc.tail, assigned + nbytes)
-            desc.appends += 1
+            # serialize identically (once per request, even retransmitted)
+            if entry.greq_id not in desc.reserved:
+                desc.tail = max(desc.tail, assigned + nbytes)
+                desc.appends += 1
+                desc.reserved[entry.greq_id] = assigned
         entry.scratch["offset"] = assigned
         entry.scratch["base"] = desc.base_addr
         entry.scratch["reply_to"] = pkt.headers["dfs"].reply_to or pkt.src
@@ -133,7 +142,8 @@ class LogAppendPolicy(DfsPolicy):
             nxt, rest = ring[0], tuple(ring[1:])
             entry.scratch["next"] = nxt
             entry.scratch["rest"] = rest
-            entry.scratch["fwd_msg"] = fresh_msg_id()
+            # stable id so a re-forwarded ring stream is dedup-able
+            entry.scratch["fwd_msg"] = derived_msg_id(pkt.msg_id, ("log",))
         else:
             entry.scratch["next"] = None
 
@@ -170,5 +180,6 @@ class LogAppendPolicy(DfsPolicy):
                 "ack_for": entry.greq_id,
                 "node": api._accel.node_name,
                 "offset": entry.scratch["offset"],
+                "dedup": (api._accel.node_name, "log", entry.greq_id),
             },
         )

@@ -22,7 +22,7 @@ from dataclasses import replace
 from typing import TYPE_CHECKING
 
 from ...pspin.isa import HandlerCost, completion_handler_cost, forward_payload_cost
-from ...simnet.packet import Packet, fresh_msg_id
+from ...simnet.packet import Packet, derived_msg_id
 from ..handlers import DfsPolicy
 from ..request import WriteRequestHeader
 from ..state import RequestEntry
@@ -58,7 +58,10 @@ class ReplicationPolicy(DfsPolicy):
                 coord_array.append(
                     {
                         "coord": coord,
-                        "msg_id": fresh_msg_id(),
+                        # stable per (parent msg, child): a retransmitted
+                        # parent re-forwards the SAME child stream, so
+                        # downstream duplicate suppression works
+                        "msg_id": derived_msg_id(pkt.msg_id, ("repl", child_rank)),
                         # the forwarded WRH: child's storage address and rank
                         "wrh": WriteRequestHeader(
                             addr=coord.addr,

@@ -137,6 +137,12 @@ class DfsState:
     def alloc_request(
         self, flow_id: int, greq_id: int, cluster: int, accept: bool, now_ns: float
     ) -> Optional[RequestEntry]:
+        existing = self.req_table.get(flow_id)
+        if existing is not None and existing.greq_id == greq_id:
+            # retransmitted header of a live request: reuse the entry
+            # rather than leaking its descriptor allocation
+            existing.last_activity_ns = now_ns
+            return existing
         alloc = self.nicmem.alloc(cluster, self.params.request_descriptor_bytes)
         if alloc is None:
             self.requests_denied_mem += 1

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..faults import install_faults
 from ..params import SimParams
 from ..simnet.engine import Event, Simulator
 from ..simnet.network import Network
@@ -52,6 +53,7 @@ class Testbed:
         # ``sim.telemetry.enabled`` at any time to start recording
         self.sim.telemetry.enabled = telemetry
         self.telemetry = self.sim.telemetry
+        self.faults = install_faults(self.sim, params.faults)
         if topology == "star":
             self.net = Network(self.sim, params.net)
         elif topology == "leafspine":

@@ -208,8 +208,11 @@ class StorageNode(Host):
             dst, "rpc_resp", {"ack_for": greq_id, "result": result, "error": error}
         )
 
-    def ack(self, dst: str, greq_id: int) -> Event:
-        return self.nic.send_control(dst, "ack", {"ack_for": greq_id, "node": self.name})
+    def ack(self, dst: str, greq_id: int, dedup=None) -> Event:
+        headers = {"ack_for": greq_id, "node": self.name}
+        if dedup is not None:
+            headers["dedup"] = dedup
+        return self.nic.send_control(dst, "ack", headers)
 
 
 class ClientNode(Host):

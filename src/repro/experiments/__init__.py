@@ -23,6 +23,7 @@ from . import (
     fig15_ec_latency,
     fig16_hpu_budget,
     fig16_table2_ec_handlers,
+    loss_sweep,
     table3_survey,
 )
 
@@ -40,6 +41,7 @@ REGISTRY: dict[str, ModuleType] = {
         fig15_ec_bandwidth,
         fig16_table2_ec_handlers,
         fig16_hpu_budget,
+        loss_sweep,
         table3_survey,
     )
 }

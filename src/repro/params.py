@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from .faults import FaultParams
 from .simnet.network import NetConfig
 
 __all__ = ["HostParams", "PsPinParams", "SimParams", "KiB", "MiB"]
@@ -123,6 +124,8 @@ class SimParams:
     client_completion_ns: float = 150.0
     #: Storage-node memory target capacity (functional store).
     storage_capacity_bytes: int = 64 * MiB
+    #: Fault injection + client reliability layer (defaults to none).
+    faults: FaultParams = field(default_factory=FaultParams)
 
     def scaled_network(self, bandwidth_gbps: float) -> "SimParams":
         """Same testbed at a different line rate (the paper drops to
@@ -137,6 +140,9 @@ class SimParams:
 
     def with_host(self, **kw) -> "SimParams":
         return replace(self, host=replace(self.host, **kw))
+
+    def with_faults(self, **kw) -> "SimParams":
+        return replace(self, faults=replace(self.faults, **kw))
 
 
 def default_params(mtu: Optional[int] = None) -> SimParams:

@@ -50,6 +50,9 @@ class _InecEngine:
         self._rx: dict = {}
         #: parity staging: (block, parity_idx) -> {"chunks": [..], "meta"}
         self._parity: dict = {}
+        #: (block, parity_idx) -> greq of blocks already acked, so a
+        #: retransmitted contribution re-acks instead of re-aggregating
+        self._acked: dict = {}
         #: the vendor EC engine processes one descriptor at a time — the
         #: serialization that sinks INEC's small-block bandwidth
         from ..simnet.resources import Resource
@@ -67,14 +70,18 @@ class _InecEngine:
 
     def _rx_chunk(self, pkt: Packet) -> None:
         if pkt.is_header:
-            self._rx[pkt.msg_id] = {"meta": pkt.headers["inec"], "chunks": []}
+            # a retransmitted header resets reassembly from scratch
+            self._rx[pkt.msg_id] = {"meta": pkt.headers["inec"], "chunks": [], "got": 0}
         st = self._rx.get(pkt.msg_id)
         if st is None:
             return
         if pkt.payload is not None:
             st["chunks"].append(pkt.payload)
+            st["got"] += pkt.payload_bytes
         if pkt.is_completion:
             self._rx.pop(pkt.msg_id)
+            if st["got"] != pkt.payload_offset + pkt.payload_bytes:
+                return  # lost payload packet: wait for the retransmit
             data = (
                 np.concatenate(st["chunks"])
                 if st["chunks"]
@@ -121,6 +128,9 @@ class _InecEngine:
                         "addr": paddr,
                         "client": meta["client"],
                         "greq_id": meta["greq_id"],
+                        # which data chunk this contribution came from —
+                        # lets the parity node drop duplicate forwards
+                        "src_index": meta["index"],
                     }
                 },
                 data=enc,
@@ -129,7 +139,13 @@ class _InecEngine:
             )
         # local ack once the systematic chunk is durable
         node.nic.send_control(
-            meta["client"], "ack", {"ack_for": meta["greq_id"], "node": node.name}
+            meta["client"],
+            "ack",
+            {
+                "ack_for": meta["greq_id"],
+                "node": node.name,
+                "dedup": (node.name, "inecd", meta["greq_id"]),
+            },
         )
 
     # ------------------------------------------------------ parity node
@@ -142,9 +158,30 @@ class _InecEngine:
         node = self.node
         inec = node.params.inec
         key = (meta["block"], meta["index"])
+        if key in self._acked:
+            # block already complete and acked; the retransmit means the
+            # client never saw the ack — re-ack, don't re-aggregate
+            node.nic.send_control(
+                meta["client"],
+                "ack",
+                {
+                    "ack_for": self._acked[key],
+                    "node": node.name,
+                    "dedup": (node.name, "inecp") + key,
+                },
+            )
+            return
         st = self._parity.get(key)
         if st is None:
-            st = self._parity[key] = {"acc": np.zeros_like(contribution), "count": 0}
+            st = self._parity[key] = {
+                "acc": np.zeros_like(contribution),
+                "seen": set(),
+                "count": 0,
+            }
+        src = meta.get("src_index")
+        if src in st["seen"]:
+            return  # duplicate forward of an already-aggregated chunk
+        st["seen"].add(src)
         # stage the intermediate chunk in host memory
         yield node.pcie.dma(contribution.nbytes)
         # triggered per-chunk engine pass
@@ -163,10 +200,17 @@ class _InecEngine:
         if st["count"] < meta["k"]:
             return
         self._parity.pop(key)
+        self._acked[key] = meta["greq_id"]
         yield node.pcie.dma(n)
         node.memory.write(meta["addr"], st["acc"][:n])
         node.nic.send_control(
-            meta["client"], "ack", {"ack_for": meta["greq_id"], "node": node.name}
+            meta["client"],
+            "ack",
+            {
+                "ack_for": meta["greq_id"],
+                "node": node.name,
+                "dedup": (node.name, "inecp") + key,
+            },
         )
 
 

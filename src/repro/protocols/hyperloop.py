@@ -77,25 +77,39 @@ class _HyperLoopEngine:
             "tail": h["next_node"] is None,
         }
         self.node.nic.send_control(
-            pkt.src, "ack", {"ack_for": h["greq_id"], "cfg": True, "node": self.node.name}
+            pkt.src,
+            "ack",
+            {
+                "ack_for": h["greq_id"],
+                "cfg": True,
+                "node": self.node.name,
+                # reconfiguring the same ring is idempotent, so a
+                # retransmitted config simply re-acks
+                "dedup": (self.node.name, "hlcfg", h["ring"]),
+            },
         )
 
     # -------------------------------------------------------------- data
     def _rx_data(self, pkt: Packet) -> None:
         if pkt.is_header:
+            # a retransmitted header resets reassembly from scratch
             self._rx[pkt.msg_id] = {
                 "ring": pkt.headers["hl_ring"],
                 "chunks": [],
                 "chunk_off": pkt.headers["chunk_off"],
                 "greq": pkt.headers.get("greq_id"),
+                "got": 0,
             }
         st = self._rx.get(pkt.msg_id)
         if st is None:
             return
         if pkt.payload is not None:
             st["chunks"].append(pkt.payload)
+            st["got"] += pkt.payload_bytes
         if pkt.is_completion:
             self._rx.pop(pkt.msg_id)
+            if st["got"] != pkt.payload_offset + pkt.payload_bytes:
+                return  # lost payload packet: wait for the retransmit
             self.node.sim.process(self._forward(st))
 
     def _forward(self, st: dict):
@@ -113,7 +127,13 @@ class _HyperLoopEngine:
         greq = st.get("greq") or ring["greq"]
         if ring["tail"]:
             node.nic.send_control(
-                ring["client"], "ack", {"ack_for": greq, "node": node.name}
+                ring["client"],
+                "ack",
+                {
+                    "ack_for": greq,
+                    "node": node.name,
+                    "dedup": (node.name, "hl", st["ring"], st["chunk_off"]),
+                },
             )
             return
         # 3. the NIC reads the data back out of host memory and forwards
@@ -175,7 +195,19 @@ def hyperloop_write(
                 header_bytes=48,
                 post_overhead=(i == 0),
             )
-        yield cfg_done
+        cfg_res = yield cfg_done
+        if cfg_res is not None and not cfg_res.ok:
+            # configuration gave up (e.g. timed out under loss): the
+            # write cannot proceed without WQEs in place
+            return WriteOutcome(
+                ok=False,
+                t_start=t0,
+                t_end=sim.now,
+                size=data.nbytes,
+                protocol="rdma-hyperloop",
+                greq_id=cfg_greq,
+                nacks=list(cfg_res.nacks),
+            )
         # ---- data phase: chunked ring broadcast, tail acks ----
         data_greq, data_done = nic.open_transaction(expected_acks=n_chunks)
         off = 0
@@ -196,7 +228,7 @@ def hyperloop_write(
                 post_overhead=(idx == 0),
             )
             off += chunk.nbytes
-        yield data_done
+        data_res = yield data_done
         tel = sim.telemetry
         if tel.enabled:
             # this driver owns its outcome, so it closes its own root
@@ -207,12 +239,13 @@ def hyperloop_write(
             m.histogram("protocol.rdma-hyperloop.latency_ns").observe(sim.now - t0)
             m.counter("protocol.rdma-hyperloop.requests").inc()
         return WriteOutcome(
-            ok=True,
+            ok=data_res.ok if data_res is not None else True,
             t_start=t0,
             t_end=sim.now,
             size=data.nbytes,
             protocol="rdma-hyperloop",
             greq_id=data_greq,
+            nacks=list(data_res.nacks) if data_res is not None else [],
             details={"config_acks": k, "chunks": n_chunks},
         )
 

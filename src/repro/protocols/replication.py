@@ -85,7 +85,9 @@ def _repl_write_handler(node: StorageNode, headers: dict, payload: np.ndarray, s
             post_overhead=False,  # CPU posting charged below
         )
         yield from node.cpu.run(p.rpc_dispatch_ns / 2)
-    node.ack(reply_to, greq)
+    # one ack per (node, chunk): unique within the transaction so the
+    # client can discard retransmit-induced duplicates
+    node.ack(reply_to, greq, dedup=(node.name, "cpu", headers["chunk_idx"]))
 
 
 def cpu_replicated_write(

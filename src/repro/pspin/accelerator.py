@@ -90,7 +90,7 @@ class _MessageRun:
         "hh_done",
         "phs_done",
         "expected",
-        "ph_completed",
+        "ph_seqs",
         "completion_seen",
         "dma_events",
         "last_activity",
@@ -108,7 +108,10 @@ class _MessageRun:
         self.hh_done: Event = sim.event(name=f"hh_done({msg_id})")
         self.phs_done: Event = sim.event(name=f"phs_done({msg_id})")
         self.expected: Optional[int] = None
-        self.ph_completed = 0
+        #: distinct packet seqs whose payload handler finished — a set,
+        #: not a counter: under retransmission, duplicate packets must
+        #: not stand in for a seq that never arrived
+        self.ph_seqs: set = set()
         self.completion_seen = False
         self.dma_events: List[Event] = []
         self.last_activity = 0.0
@@ -333,6 +336,12 @@ class PsPinAccelerator:
             if pkt.is_completion:
                 self._overloaded.discard(pkt.msg_id)
             return True
+        # NOTE: retransmitted packets of a live message are deliberately
+        # re-run, not dropped — forwarding policies (replication, EC,
+        # log) must regenerate child streams so a downstream node that
+        # lost a forwarded packet can fill its gap.  Handlers are
+        # idempotent (same-address DMA, policy-level duplicate memos),
+        # so re-execution only costs HPU cycles, like real retransmits.
         if (
             pkt.msg_id not in self._admitted
             and self._queued >= self.params.ingress_queue_packets
@@ -426,12 +435,12 @@ class PsPinAccelerator:
             run.completion_seen = True
 
         yield from self._exec(run, "payload", pkt, exec_cluster)
-        run.ph_completed += 1
+        run.ph_seqs.add(pkt.seq)
         run.last_activity = sim.now
         if (
             run.completion_seen
             and run.expected is not None
-            and run.ph_completed >= run.expected
+            and len(run.ph_seqs) >= run.expected
             and not run.phs_done.triggered
         ):
             run.phs_done.succeed(None)
@@ -439,6 +448,11 @@ class PsPinAccelerator:
         if pkt.is_completion:
             if not run.phs_done.triggered:
                 yield run.phs_done
+            if run.finished:
+                # the cleanup sweeper gave up on this message while we
+                # were parked on phs_done
+                self.packets_dropped += 1
+                return
             yield from self._exec(run, "completion", pkt, run.cluster)
             self._finish(run)
 
@@ -538,8 +552,12 @@ class PsPinAccelerator:
         finally:
             cluster.hpus.release(req)
         self.stats[f"cleanup:{run.ctx.name}"].record(sim.now - t0, cost.instructions)
+        # Release every pipeline parked on this run's gates, or packets
+        # that arrived before the sweep stay blocked forever.
         if not run.hh_done.triggered:
             run.hh_done.succeed(None)
+        if not run.phs_done.triggered:
+            run.phs_done.succeed(None)
         self._finish(run)
 
     # --------------------------------------------------------------- stats

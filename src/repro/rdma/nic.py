@@ -27,7 +27,7 @@ from typing import Callable, Dict, Optional
 import numpy as np
 
 from ..params import SimParams
-from ..simnet.engine import Event, Simulator
+from ..simnet.engine import Event, Interrupt, Simulator
 from ..simnet.link import Port
 from ..simnet.packet import Message, Packet, as_payload, fresh_msg_id, segment_message
 
@@ -68,6 +68,17 @@ class PendingOp:
     nacks: list = field(default_factory=list)
     data: Optional[np.ndarray] = None
     info: dict = field(default_factory=dict)
+    # -- reliability layer (used when FaultParams.retransmit is on) ----
+    #: wire messages of this op, kept for end-to-end retransmission
+    messages: list = field(default_factory=list)
+    #: transmission attempts so far (1 = the original send)
+    attempts: int = 1
+    #: dedup keys of acks already counted (duplicate acks are dropped)
+    ack_keys: set = field(default_factory=set)
+    #: the per-op retransmission-timer Process, interrupted on completion
+    watchdog: Optional[object] = None
+    #: last time an ack/progress for this op was observed
+    last_progress: float = 0.0
 
 
 class RdmaNic:
@@ -90,10 +101,19 @@ class RdmaNic:
         self._rx_writes: Dict[object, object] = {}
         #: hooks for protocol extensions (e.g. HyperLoop preposted WQEs)
         self.rx_hooks: list[Callable[[Packet], bool]] = []
+        #: writes already committed + acked: msg_id -> (reply_to, greq);
+        #: bounded memo so retransmitted completions re-ack, never re-DMA
+        self._done_writes: Dict[int, tuple] = {}
         # stats
         self.rx_packets = 0
         self.tx_messages = 0
         self.acks_sent = 0
+        self.retransmits = 0
+        self.timeouts = 0
+        self.dup_acks = 0
+        self.dup_completions = 0
+        self.incomplete_drops = 0
+        self.rx_dropped = 0
 
     # ------------------------------------------------------------ wiring
     def attach_port(self, port: Port) -> None:
@@ -141,6 +161,7 @@ class RdmaNic:
                 event=done, t_start=self.sim.now, greq_id=gid, expected_acks=expected_acks
             )
         self.sim.process(self._tx_message(msg, post_overhead), name=f"{self.name}.tx")
+        self._track_for_retry(gid, msg)
         return done
 
     def post_read(self, dst: str, addr: int, length: int, headers: Optional[dict] = None) -> Event:
@@ -155,6 +176,7 @@ class RdmaNic:
         op.acks = 0  # bytes received accumulate in op
         self._pending[gid] = op
         self.sim.process(self._tx_message(msg, True), name=f"{self.name}.tx")
+        self._track_for_retry(gid, msg)
         return done
 
     def post_rpc(
@@ -181,6 +203,7 @@ class RdmaNic:
         done = self.sim.event(name=f"rpc({gid})")
         self._pending[gid] = PendingOp(event=done, t_start=self.sim.now, greq_id=gid)
         self.sim.process(self._tx_message(msg, post_overhead), name=f"{self.name}.tx")
+        self._track_for_retry(gid, msg)
         return done
 
     def open_transaction(self, expected_acks: int, greq_id: Optional[int] = None) -> tuple[int, Event]:
@@ -217,6 +240,11 @@ class RdmaNic:
             header_bytes=header_bytes,
         )
         self.sim.process(self._tx_message(msg, post_overhead), name=f"{self.name}.tx")
+        gid = self._greq_of(msg.headers)
+        if gid is not None and gid in self._pending:
+            # Part of a tracked transaction (open_transaction): the
+            # message joins the op's retransmission set.
+            self._track_for_retry(gid, msg)
 
     def send_raw(self, pkt: Packet) -> Event:
         """NIC-level packet emission (used by the accelerator and by
@@ -237,6 +265,84 @@ class RdmaNic:
             trace=trace,
         )
         return self.send_raw(pkt)
+
+    # ------------------------------------------------ reliability layer
+    @staticmethod
+    def _greq_of(headers: dict) -> Optional[int]:
+        """Best-effort extraction of the logical request id a message
+        belongs to (plain, DFS, or INEC header shapes)."""
+        dfs = headers.get("dfs")
+        if dfs is not None:
+            return getattr(dfs, "greq_id", None)
+        gid = headers.get("greq_id")
+        if gid is not None:
+            return gid
+        inec = headers.get("inec")
+        if isinstance(inec, dict):
+            return inec.get("greq_id")
+        return None
+
+    def _track_for_retry(self, gid: int, msg: Message) -> None:
+        """Register ``msg`` for end-to-end retransmission of op ``gid``
+        and arm the per-op watchdog (when the reliability layer is on).
+
+        Retransmitting the stored :class:`Message` re-segments it with
+        the SAME msg_id, so targets can suppress duplicates.
+        """
+        fp = self.params.faults
+        if not (fp.retransmit and fp.active):
+            return
+        pending = self._pending.get(gid)
+        if pending is None or pending.event.triggered:
+            return
+        pending.messages.append(msg)
+        pending.last_progress = self.sim.now
+        if pending.watchdog is None:
+            wd = self.sim.process(self._watchdog(gid), name=f"{self.name}.rto({gid})")
+            wd._observed = True
+            pending.watchdog = wd
+
+    def _watchdog(self, gid: int):
+        """Per-op retransmission timer: capped exponential backoff,
+        bounded retransmit budget, interrupted via Process.interrupt when
+        the op completes."""
+        fp = self.params.faults
+        sim = self.sim
+        rto = fp.rto_ns
+        try:
+            while True:
+                yield sim.timeout(rto)
+                pending = self._pending.get(gid)
+                if pending is None or pending.event.triggered:
+                    return
+                if sim.now - pending.last_progress < rto:
+                    # acks arrived recently: the op is making progress,
+                    # hold fire for another interval
+                    continue
+                if pending.attempts > fp.max_retransmits:
+                    self.timeouts += 1
+                    tel = sim.telemetry
+                    if tel.enabled:
+                        tel.metrics.counter(f"nic.{self.name}.timeouts").inc()
+                    pending.nacks.append(
+                        {"reason": "timeout", "ack_for": gid, "attempts": pending.attempts}
+                    )
+                    # detach first so _complete does not interrupt *us*
+                    pending.watchdog = None
+                    self._complete(gid, ok=False)
+                    return
+                pending.attempts += 1
+                n = len(pending.messages)
+                self.retransmits += n
+                tel = sim.telemetry
+                if tel.enabled:
+                    tel.metrics.counter(f"nic.{self.name}.retransmits").inc(n)
+                for msg in pending.messages:
+                    sim.process(self._tx_message(msg, False), name=f"{self.name}.rtx")
+                pending.last_progress = sim.now
+                rto = min(rto * fp.rto_backoff, fp.rto_max_ns)
+        except Interrupt:
+            return
 
     def _tx_message(self, msg: Message, post_overhead: bool):
         sim = self.sim
@@ -270,6 +376,14 @@ class RdmaNic:
     # ==================================================== target side
     def receive(self, pkt: Packet) -> None:
         """Network delivery entry point (called by the link layer)."""
+        if pkt.corrupted:
+            # failed CRC: drop at the NIC, initiator will retransmit
+            self.rx_dropped += 1
+            return
+        faults = self.sim.faults
+        if faults is not None and faults.node_is_down(self.name):
+            faults.count_node_drop(self.name)
+            return
         self.rx_packets += 1
         # rx pipeline latency, then dispatch
         self.sim._call_soon(lambda: self._dispatch(pkt), delay=self.params.nic_rx_ns)
@@ -302,42 +416,81 @@ class RdmaNic:
         return pkt.headers["addr"]
 
     def _rx_write(self, pkt: Packet) -> None:
-        if pkt.is_header:
-            self._rx_writes[pkt.msg_id] = self._write_addr(pkt)
-            self._rx_writes[(pkt.msg_id, "reply")] = (
-                pkt.headers.get("dfs").reply_to
-                if pkt.headers.get("dfs") is not None
-                else pkt.headers.get("reply_to", pkt.src)
-            ) or pkt.src
-            self._rx_writes[(pkt.msg_id, "greq")] = (
-                pkt.headers.get("dfs").greq_id
-                if pkt.headers.get("dfs") is not None
-                else pkt.headers.get("greq_id")
-            )
-        base = self._rx_writes.get(pkt.msg_id)
-        if base is None:
-            return  # header lost/cleaned: drop silently
-        if pkt.payload is not None and self.host.memory is not None:
-            payload = pkt.payload
-            addr = base + pkt.payload_offset
-            if self.host.pcie is not None:
-                self.host.pcie.dma(
-                    payload.nbytes,
-                    on_complete=lambda a=addr, p=payload: self.host.memory.write(a, p),
+        done = self._done_writes.get(pkt.msg_id)
+        if done is not None:
+            # Retransmission of a write we already committed and acked:
+            # never re-DMA; re-ack on the completion packet in case the
+            # original ack was the packet that got lost.
+            if pkt.is_completion:
+                reply, greq = done
+                self.dup_completions += 1
+                self.acks_sent += 1
+                self.send_control(
+                    reply,
+                    "ack",
+                    {
+                        "ack_for": greq,
+                        "node": self.name,
+                        "dedup": (self.name, "w", pkt.msg_id),
+                    },
                     trace=pkt.trace,
                 )
-            else:
-                self.host.memory.write(addr, payload)
+            return
+        if pkt.is_header:
+            dfs = pkt.headers.get("dfs")
+            self._rx_writes[pkt.msg_id] = {
+                "addr": self._write_addr(pkt),
+                "reply": (
+                    dfs.reply_to
+                    if dfs is not None
+                    else pkt.headers.get("reply_to", pkt.src)
+                )
+                or pkt.src,
+                "greq": dfs.greq_id if dfs is not None else pkt.headers.get("greq_id"),
+                "got": 0,
+            }
+        st = self._rx_writes.get(pkt.msg_id)
+        if st is None:
+            return  # header lost/cleaned: drop silently
+        if pkt.payload is not None:
+            st["got"] += pkt.payload.nbytes
+            if self.host.memory is not None:
+                payload = pkt.payload
+                addr = st["addr"] + pkt.payload_offset
+                if self.host.pcie is not None:
+                    self.host.pcie.dma(
+                        payload.nbytes,
+                        on_complete=lambda a=addr, p=payload: self.host.memory.write(a, p),
+                        trace=pkt.trace,
+                    )
+                else:
+                    self.host.memory.write(addr, payload)
         if pkt.is_completion:
-            reply = self._rx_writes.pop((pkt.msg_id, "reply"))
-            greq = self._rx_writes.pop((pkt.msg_id, "greq"))
             self._rx_writes.pop(pkt.msg_id, None)
+            if st["got"] != pkt.payload_offset + pkt.payload_bytes:
+                # middle packets were lost: never ack a short delivery;
+                # drop the state and let the initiator retransmit
+                self.incomplete_drops += 1
+                return
+            self._remember_done(pkt.msg_id, (st["reply"], st["greq"]))
             # RDMA semantics: ack once the last packet is received; the
             # data may still sit in PCIe buffers (§III-B1).
             self.acks_sent += 1
             self.send_control(
-                reply, "ack", {"ack_for": greq, "node": self.name}, trace=pkt.trace
+                st["reply"],
+                "ack",
+                {
+                    "ack_for": st["greq"],
+                    "node": self.name,
+                    "dedup": (self.name, "w", pkt.msg_id),
+                },
+                trace=pkt.trace,
             )
+
+    def _remember_done(self, msg_id: int, val: tuple) -> None:
+        if len(self._done_writes) >= 4096:
+            self._done_writes.pop(next(iter(self._done_writes)))
+        self._done_writes[msg_id] = val
 
     # --------------------------------------------------------- reads
     def _serve_read(self, pkt: Packet):
@@ -366,18 +519,29 @@ class RdmaNic:
             yield self.port.send(p)
 
     def _rx_read_resp(self, pkt: Packet) -> None:
+        key = (pkt.msg_id, "rgreq")
         if pkt.is_header:
-            self._rx_writes[(pkt.msg_id, "rgreq")] = pkt.headers["greq_id"]
-        greq = self._rx_writes.get((pkt.msg_id, "rgreq"))
-        pending = self._pending.get(greq)
+            self._rx_writes[key] = {"greq": pkt.headers["greq_id"], "got": 0}
+        st = self._rx_writes.get(key)
+        if st is None:
+            return
+        pending = self._pending.get(st["greq"])
         if pending is None:
+            # op already completed (e.g. via a duplicate response stream)
+            if pkt.is_completion:
+                self._rx_writes.pop(key, None)
             return
         if pkt.payload is not None:
+            st["got"] += pkt.payload.nbytes
             off = pkt.payload_offset
             pending.data[off : off + pkt.payload.nbytes] = pkt.payload
+            pending.last_progress = self.sim.now
         if pkt.is_completion:
-            self._rx_writes.pop((pkt.msg_id, "rgreq"), None)
-            self._complete(greq, ok=True)
+            self._rx_writes.pop(key, None)
+            if st["got"] != pkt.payload_offset + pkt.payload_bytes:
+                self.incomplete_drops += 1
+                return
+            self._complete(st["greq"], ok=True)
 
     # ----------------------------------------------------------- rpc
     def _rx_rpc(self, pkt: Packet) -> None:
@@ -387,14 +551,19 @@ class RdmaNic:
                 "headers": pkt.headers,
                 "chunks": [],
                 "src": pkt.src,
+                "got": 0,
             }
         st = self._rx_writes.get(key)
         if st is None:
             return
         if pkt.payload is not None:
             st["chunks"].append(pkt.payload)
+            st["got"] += pkt.payload.nbytes
         if pkt.is_completion:
             self._rx_writes.pop(key)
+            if st["got"] != pkt.payload_offset + pkt.payload_bytes:
+                self.incomplete_drops += 1
+                return
             payload = (
                 np.concatenate(st["chunks"]) if st["chunks"] else np.zeros(0, np.uint8)
             )
@@ -422,9 +591,19 @@ class RdmaNic:
             pending.data = pkt.headers.get("result")
             self._complete(greq, ok=not pkt.headers.get("error", False))
             return
+        key = pkt.headers.get("dedup")
+        if key is not None:
+            if key in pending.ack_keys:
+                # a retransmission made the target re-ack: count it as
+                # progress but never towards completion
+                self.dup_acks += 1
+                pending.last_progress = self.sim.now
+                return
+            pending.ack_keys.add(key)
         pending.acks += 1
+        pending.last_progress = self.sim.now
         pending.info.update(
-            {k: v for k, v in pkt.headers.items() if k not in ("ack_for", "node")}
+            {k: v for k, v in pkt.headers.items() if k not in ("ack_for", "node", "dedup")}
         )
         if pending.acks >= pending.expected_acks:
             self._complete(greq, ok=True)
@@ -433,6 +612,10 @@ class RdmaNic:
         pending = self._pending.pop(greq, None)
         if pending is None or pending.event.triggered:
             return
+        wd = pending.watchdog
+        if wd is not None and wd.is_alive:
+            pending.watchdog = None
+            wd.interrupt("completed")
         res = OpResult(
             ok=ok,
             t_start=pending.t_start,

@@ -70,7 +70,7 @@ class Event:
     before triggering run when the event fires (in registration order).
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_exc", "triggered", "name")
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "triggered", "name", "_abandon")
 
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
@@ -79,6 +79,11 @@ class Event:
         self._exc: Optional[BaseException] = None
         self.triggered = False
         self.name = name
+        #: optional resource-cleanup hook: set by Resource/Store/Container
+        #: when this event is queued as a waiter, invoked by
+        #: Process.interrupt() when the waiter is detached untriggered so
+        #: the slot/credit is never granted to a dead process
+        self._abandon: Optional[Callable[[], None]] = None
 
     # -- state ---------------------------------------------------------
     @property
@@ -179,6 +184,12 @@ class Process(Event):
             # Detach from what we were waiting on; the stale callback
             # checks identity before resuming.
             self._waiting_on = None
+            abandon = target._abandon
+            if abandon is not None:
+                # Withdraw the queued resource claim so it is never
+                # granted to this (now dead) waiter.
+                target._abandon = None
+                abandon()
         self.sim._call_soon(lambda: self._throw(Interrupt(cause)))
 
     # -- kernel --------------------------------------------------------
@@ -301,6 +312,8 @@ class Simulator:
         #: per-simulation observability sink (disabled by default; flip
         #: ``sim.telemetry.enabled`` to start recording spans/metrics)
         self.telemetry = Telemetry(enabled=False)
+        #: fault oracle (see repro.faults.install_faults); None = no faults
+        self.faults = None
         # -- self-profile (always on: integer bookkeeping only) --------
         self.events_dispatched = 0
         self._heap_high_water = 0

@@ -75,16 +75,15 @@ class Port:
         """
         done = self.sim.event(name=f"tx_done(pkt={pkt.pkt_id})")
         pkt.enqueue_t = self.sim.now
+        # Store.put queues the item (or hands it straight to a waiting
+        # server); the server drains in order, so `done` fires once the
+        # packet has been serialized.
+        self.queue.put((pkt, done))
         tel = self.sim.telemetry
         if tel.enabled:
             tel.metrics.gauge(f"link.{self.owner_name}.queue_depth").set(
-                self.sim.now, len(self.queue) + 1
+                self.sim.now, len(self.queue)
             )
-        put_ev = self.queue.put((pkt, done))
-        if not put_ev.triggered:
-            # Queue full: the *enqueue itself* must block.  Chain events so
-            # the caller still waits for transmission completion.
-            pass  # Store.put queues the item; server will drain in order.
         return done
 
     def try_send(self, pkt: Packet) -> Optional[Event]:
@@ -131,6 +130,15 @@ class Port:
             done.succeed(pkt)
             peer = self.peer
             assert peer is not None
+            faults = sim.faults
+            if faults is not None:
+                # Wire faults strike after serialization (the sender paid
+                # the egress cost either way) and before propagation.
+                verdict = faults.egress_verdict(self.owner_name, pkt)
+                if verdict == "drop":
+                    continue
+                if verdict == "corrupt":
+                    pkt.corrupted = True
             # Propagation: deliver after link latency without blocking
             # the serializer (pipelined wire).
             sim._call_soon(_deliver(peer, pkt), delay=self.latency_ns)

@@ -54,6 +54,9 @@ class Packet:
     pkt_id: int = field(default_factory=lambda: next(_pkt_ids))
     # Filled in by the network while in flight:
     enqueue_t: float = 0.0
+    #: set by the fault injector: the packet arrives but fails the
+    #: receiving NIC's CRC check and is dropped there
+    corrupted: bool = False
     #: request trace context (:class:`repro.telemetry.TraceContext`) —
     #: set when telemetry is enabled so spans emitted along the packet's
     #: path (wire, handlers, host commit) link back to the DFS request
@@ -116,6 +119,24 @@ class Message:
 def fresh_msg_id() -> int:
     """Allocate a globally unique message id."""
     return next(_msg_ids)
+
+
+_derived_ids: dict = {}
+
+
+def derived_msg_id(parent: int, salt: Any) -> int:
+    """A msg id derived *stably* from ``(parent, salt)``.
+
+    Forwarding policies (replication fan-out, EC parity streams) need
+    fresh msg ids for the streams they originate — but when the parent
+    message is retransmitted end-to-end, the re-forwarded streams must
+    reuse the SAME ids so receiver-side duplicate suppression works.
+    """
+    key = (parent, salt)
+    mid = _derived_ids.get(key)
+    if mid is None:
+        mid = _derived_ids[key] = next(_msg_ids)
+    return mid
 
 
 def as_payload(data) -> np.ndarray:

@@ -70,6 +70,7 @@ class Resource:
             req.succeed(req)
         else:
             self.queue.append(req)
+            req._abandon = lambda: self.cancel(req)
             self._peak_queue = max(self._peak_queue, len(self.queue))
         return req
 
@@ -146,6 +147,7 @@ class Store:
             ev.succeed(None)
         else:
             self._putters.append((ev, item))
+            ev._abandon = lambda: self.cancel(ev)
         return ev
 
     def try_put(self, item: Any) -> bool:
@@ -167,7 +169,20 @@ class Store:
             ev.succeed(item)
         else:
             self._getters.append(ev)
+            ev._abandon = lambda: self.cancel(ev)
         return ev
+
+    def cancel(self, ev: Event) -> None:
+        """Withdraw a still-queued getter or putter (no-op otherwise)."""
+        try:
+            self._getters.remove(ev)
+            return
+        except ValueError:
+            pass
+        for pair in self._putters:
+            if pair[0] is ev:
+                self._putters.remove(pair)
+                return
 
     def _admit_putter(self) -> None:
         if self._putters:
@@ -220,7 +235,15 @@ class Container:
             ev.succeed(amount)
         else:
             self._getters.append((ev, amount))
+            ev._abandon = lambda: self.cancel(ev)
         return ev
+
+    def cancel(self, ev: Event) -> None:
+        """Withdraw a still-queued getter (no-op otherwise)."""
+        for pair in self._getters:
+            if pair[0] is ev:
+                self._getters.remove(pair)
+                return
 
     def try_get(self, amount: float) -> bool:
         """Non-blocking take, honouring FIFO waiters (fails if any queued)."""
@@ -233,7 +256,14 @@ class Container:
     def put(self, amount: float) -> None:
         if amount < 0:
             raise SimulationError("container put amount must be >= 0")
-        self.level = min(self.capacity, self.level + amount)
+        if self.level + amount > self.capacity + 1e-9:
+            # Over-returning credits is always an accounting bug in the
+            # caller; clamping here would silently mask it.
+            raise SimulationError(
+                f"container {self.name!r} over-returned: "
+                f"level {self.level} + put({amount}) exceeds capacity {self.capacity}"
+            )
+        self.level += amount
         while self._getters and self._getters[0][1] <= self.level:
             ev, amt = self._getters.popleft()
             self.level -= amt

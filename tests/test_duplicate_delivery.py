@@ -1,0 +1,183 @@
+"""Duplicate delivery is the normal case under retransmission: every
+target-side path must be idempotent (re-ack, never re-DMA, never
+double-count), and the completion/watchdog pair must tolerate the
+timeout-vs-ack race at the RTO boundary."""
+
+import numpy as np
+
+from repro.dfs.cluster import build_testbed
+from repro.dfs.client import DfsClient
+from repro.dfs.layout import ReplicationSpec
+from repro.experiments.common import installer_for
+from repro.faults import DownWindow
+from repro.params import SimParams
+from repro.simnet.packet import Message, Packet, fresh_msg_id, segment_message
+
+SIZE = 8 * 1024
+DATA = np.random.default_rng(1).integers(0, 256, SIZE, dtype=np.uint8)
+
+
+def _deliver_write(tb, sn, greq, msg_id=None):
+    """Inject one full raw-write packet stream into ``sn``'s NIC, as the
+    network would deliver it.  Reusing ``msg_id`` models a retransmit."""
+    msg = Message(
+        src="client0",
+        dst=sn.name,
+        op="write",
+        data=DATA,
+        headers={"addr": 0, "greq_id": greq, "reply_to": "client0"},
+        header_bytes=8,
+    )
+    if msg_id is not None:
+        msg.msg_id = msg_id
+    for pkt in segment_message(msg, tb.params.net.mtu):
+        sn.nic.receive(pkt)
+    return msg.msg_id
+
+
+# ----------------------------------------------------- duplicate writes
+def test_duplicate_write_reacks_without_redma():
+    tb = build_testbed(n_storage=1)
+    sn = tb.storage_nodes[0]
+    client = tb.clients[0]
+    greq, done = client.nic.open_transaction(expected_acks=2)
+
+    mid = _deliver_write(tb, sn, greq)
+    tb.run(until=tb.sim.now + 100_000)
+    assert sn.nic.acks_sent == 1
+    assert np.array_equal(sn.memory.view(0, SIZE), DATA)
+    dma_before = sn.pcie.bytes_transferred
+    written_before = sn.memory.bytes_written
+
+    # the full stream again with the SAME msg_id: a retransmission of a
+    # write already committed and acked
+    _deliver_write(tb, sn, greq, msg_id=mid)
+    tb.run(until=tb.sim.now + 100_000)
+
+    assert sn.nic.dup_completions == 1
+    assert sn.nic.acks_sent == 2          # re-ack in case the ack was lost
+    assert sn.pcie.bytes_transferred == dma_before   # never re-DMA'd
+    assert sn.memory.bytes_written == written_before
+    # the client saw both acks but counted the dedup key only once
+    op = client.nic._pending[greq]
+    assert op.acks == 1 and client.nic.dup_acks == 1
+    assert not done.triggered
+
+
+# -------------------------------------------------------- duplicate acks
+def test_duplicate_ack_same_dedup_key_counts_once():
+    tb = build_testbed(n_storage=1)
+    nic = tb.clients[0].nic
+    greq, done = nic.open_transaction(expected_acks=2)
+
+    def ack(dedup):
+        nic._dispatch(Packet(
+            src="sn0", dst="client0", op="ack", msg_id=fresh_msg_id(),
+            seq=0, nseq=1,
+            headers={"ack_for": greq, "node": "sn0", "dedup": dedup},
+        ))
+
+    ack(("sn0", "w", 1))
+    ack(("sn0", "w", 1))  # duplicate: same key, must not complete the op
+    tb.run(until=tb.sim.now + 1_000)
+    assert not done.triggered
+    assert nic.dup_acks == 1 and nic._pending[greq].acks == 1
+
+    ack(("sn0", "w", 2))  # a genuinely new ack completes it
+    tb.run(until=tb.sim.now + 1_000)
+    assert done.triggered and done.value.ok
+    assert nic.pending_count() == 0
+
+
+def test_ack_after_completion_is_ignored():
+    tb = build_testbed(n_storage=1)
+    nic = tb.clients[0].nic
+    greq, done = nic.open_transaction(expected_acks=1)
+    pkt = Packet(
+        src="sn0", dst="client0", op="ack", msg_id=fresh_msg_id(),
+        seq=0, nseq=1,
+        headers={"ack_for": greq, "node": "sn0", "dedup": ("sn0", "w", 1)},
+    )
+    nic._dispatch(pkt)
+    tb.run(until=tb.sim.now + 1_000)
+    assert done.triggered and nic.pending_count() == 0
+    # late duplicate for a finished op: no KeyError, no state resurrection
+    nic._dispatch(pkt)
+    tb.run(until=tb.sim.now + 1_000)
+    assert nic.pending_count() == 0
+
+
+# ---------------------------------------------------- duplicate read_resp
+def test_duplicate_read_resp_after_completion_is_ignored():
+    tb = build_testbed(n_storage=1)
+    sn = tb.storage_nodes[0]
+    client = tb.clients[0]
+    sn.memory.write(0, DATA)
+
+    done = client.nic.post_read(sn.name, addr=0, length=SIZE)
+    res = tb.run_until(done)
+    assert res.ok and np.array_equal(res.data, DATA)
+
+    # the same read_req again (e.g. a retransmitted request whose first
+    # response also arrived): the target serves a fresh response stream,
+    # which the client must discard because the op is gone
+    req = Packet(
+        src="client0", dst=sn.name, op="read_req", msg_id=fresh_msg_id(),
+        seq=0, nseq=1,
+        headers={"greq_id": res.greq_id, "addr": 0, "length": SIZE,
+                 "reply_to": "client0"},
+    )
+    sn.nic.receive(req)
+    tb.run(until=tb.sim.now + 200_000)
+    assert client.nic.pending_count() == 0
+    # no leaked reassembly state on the client
+    assert not client.nic._rx_writes
+
+
+# ------------------------------------------------ timeout-vs-ack race
+def test_watchdog_timeout_vs_ack_race_is_clean():
+    """An ack landing at exactly the watchdog's give-up instant must
+    yield exactly one completion, whichever side wins the tie."""
+    rto = 50_000.0
+    params = SimParams().with_faults(
+        node_down=(DownWindow("sn0", 0.0, 1e18),),  # target never answers
+        retransmit=True, rto_ns=rto, rto_max_ns=rto, max_retransmits=0,
+    )
+    tb = build_testbed(n_storage=1, params=params)
+    nic = tb.clients[0].nic
+    done = nic.post_write("sn0", DATA, headers={"addr": 0, "reply_to": "client0"})
+    greq = next(iter(nic._pending))
+
+    def racing_ack():
+        yield tb.sim.timeout(rto)  # same timestamp as the watchdog firing
+        nic._dispatch(Packet(
+            src="sn0", dst="client0", op="ack", msg_id=fresh_msg_id(),
+            seq=0, nseq=1,
+            headers={"ack_for": greq, "node": "sn0", "dedup": ("sn0", "w", 1)},
+        ))
+
+    tb.sim.process(racing_ack())
+    res = tb.run_until(done)
+    tb.run(until=tb.sim.now + 500_000)
+    # exactly one outcome, no crash, no pending state either way
+    if res.ok:
+        assert not res.nacks
+    else:
+        assert res.nacks[0]["reason"] == "timeout"
+    assert nic.pending_count() == 0
+    assert nic.timeouts + int(res.ok) == 1
+
+
+# ------------------------------------------------------- lossless baseline
+def test_lossless_write_never_retransmits():
+    tb = build_testbed(n_storage=4)
+    installer_for("spin")(tb)
+    c = DfsClient(tb)
+    c.create("/f", size=SIZE, replication=ReplicationSpec(k=3))
+    out = c.write_sync("/f", DATA, protocol="spin")
+    assert out.ok
+    tb.run(until=tb.sim.now + 200_000)
+    for host in [tb.clients[0], *tb.storage_nodes]:
+        n = host.nic
+        assert (n.retransmits, n.timeouts, n.dup_acks, n.dup_completions,
+                n.incomplete_drops, n.rx_dropped) == (0, 0, 0, 0, 0, 0), host.name

@@ -228,10 +228,15 @@ def test_container_try_get():
     assert c.min_level == 0
 
 
-def test_container_overflow_clamped():
+def test_container_overflow_raises():
+    # over-returning credits is an accounting bug in the caller; it must
+    # surface, not be silently clamped at capacity
     sim = Simulator()
     c = Container(sim, capacity=10, init=5)
-    c.put(100)
+    with pytest.raises(SimulationError):
+        c.put(100)
+    assert c.level == 5
+    c.put(5)
     assert c.level == 10
 
 
