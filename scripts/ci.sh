@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# CI gate: tier-1 tests, trace-export smoke, telemetry-overhead guard.
+# CI gate: tier-1 tests, trace-export smoke, telemetry-overhead guard,
+# parallel-sweep smoke, simulator perf guard.
 #
 # Usage: scripts/ci.sh            (from the repo root)
 set -euo pipefail
@@ -53,6 +54,21 @@ echo
 echo "== telemetry disabled-overhead guard (<3%) =="
 python -m pytest benchmarks/bench_simulator_perf.py::test_telemetry_disabled_overhead \
     -q --no-header -p no:cacheprovider
+
+echo
+echo "== parallel sweep smoke (--jobs 2 must match serial byte-for-byte) =="
+python -m repro.experiments fig06 --quick --jobs 1 --no-cache --no-check \
+    --csv "$tmpdir/serial.csv" > /dev/null
+python -m repro.experiments fig06 --quick --jobs 2 --no-cache --no-check \
+    --csv "$tmpdir/parallel.csv" > /dev/null
+cmp "$tmpdir/serial.csv" "$tmpdir/parallel.csv"
+echo "parallel sweep rows identical to serial"
+
+echo
+echo "== simulator perf guard (vs committed BENCH_simulator.json) =="
+# wide 30% wall-clock tolerance absorbs CI machine noise; the
+# events-per-packet count is deterministic and capped at +5%
+python -m repro perf --check BENCH_simulator.json --tolerance 0.30
 
 echo
 echo "CI gate passed."

@@ -7,6 +7,8 @@ Subcommands:
   protocol, with functional verification);
 * ``trace``  — run one traced write and export a Chrome/Perfetto
   ``.trace.json`` (open it at https://ui.perfetto.dev);
+* ``perf``   — measure simulator throughput; snapshot or check the
+  committed ``BENCH_simulator.json`` baseline;
 * ``bench``  — alias pointing at the experiment runner.
 """
 
@@ -231,8 +233,8 @@ def _trace(argv) -> int:
 
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(prog="repro")
-    ap.add_argument("command", choices=["info", "demo", "trace", "bench"], nargs="?",
-                    default="info")
+    ap.add_argument("command", choices=["info", "demo", "trace", "perf", "bench"],
+                    nargs="?", default="info")
     args, rest = ap.parse_known_args(argv)
     if args.command == "info":
         return _info()
@@ -240,6 +242,10 @@ def main(argv=None) -> int:
         return _demo(rest)
     if args.command == "trace":
         return _trace(rest)
+    if args.command == "perf":
+        from repro.perfsnap import main as perf_main
+
+        return perf_main(rest)
     from repro.experiments.__main__ import main as exp_main
 
     return exp_main(rest or ["list"])

@@ -16,6 +16,7 @@ from ..faults import install_faults
 from ..params import SimParams
 from ..simnet.engine import Event, Simulator
 from ..simnet.network import Network
+from ..simnet.packet import reset_id_state
 from .capability import CapabilityAuthority
 from .management import ManagementService
 from .metadata import MetadataService
@@ -47,6 +48,11 @@ class Testbed:
     def __init__(self, params: SimParams, n_storage: int, n_clients: int,
                  storage_backend: str = "nvmm", topology: str = "star",
                  uplink_gbps: Optional[float] = None, telemetry: bool = False):
+        # Restart packet/message/greq id allocation: the counters and the
+        # derived-id memo are module-level, so without this a long sweep
+        # (or a pool worker reusing its interpreter) leaks entries across
+        # testbeds and produces history-dependent ids.
+        reset_id_state()
         self.params = params
         self.sim = Simulator()
         # span/metric collection is off by default (zero overhead); flip

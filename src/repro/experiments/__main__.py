@@ -20,6 +20,14 @@ def main(argv=None) -> int:
     ap.add_argument("--csv", metavar="PATH",
                     help="also write the raw rows as CSV (one file per "
                          "experiment; PATH gets an -<id> suffix for 'all')")
+    ap.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="run sweep points over N worker processes "
+                         "(deterministic: rows match --jobs 1 exactly)")
+    ap.add_argument("--no-cache", action="store_true",
+                    help="recompute every point, ignoring the result cache")
+    ap.add_argument("--cache-dir", metavar="DIR",
+                    help="result cache location (default: $REPRO_CACHE_DIR "
+                         "or .repro_cache)")
     args = ap.parse_args(argv)
 
     if args.experiment == "list":
@@ -35,9 +43,17 @@ def main(argv=None) -> int:
             print(f"unknown experiment {eid!r}; try 'list'", file=sys.stderr)
             return 2
         t0 = time.time()
-        rows = mod.run(quick=args.quick)
+        if hasattr(mod, "run_point"):
+            rows = mod.run(quick=args.quick, jobs=args.jobs,
+                           cache=not args.no_cache, cache_dir=args.cache_dir)
+            from .. import runner
+
+            note = f" ({runner.LAST_STATS.summary()})"
+        else:
+            rows = mod.run(quick=args.quick)
+            note = ""
         print(mod.render(rows))
-        print(f"[{eid}: {len(rows)} rows in {time.time() - t0:.1f}s]")
+        print(f"[{eid}: {len(rows)} rows in {time.time() - t0:.1f}s{note}]")
         if args.csv:
             path = args.csv
             if len(ids) > 1:

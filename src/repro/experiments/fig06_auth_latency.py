@@ -33,15 +33,26 @@ QUICK_SIZES = [1 * KiB, 16 * KiB, 128 * KiB, 1 * MiB]
 PROTOCOLS = ["raw", "spin", "rpc", "rpc+rdma"]
 
 
-def run(params: Optional[SimParams] = None, quick: bool = False) -> list[dict]:
+def points(quick: bool = False) -> list[dict]:
     sizes = QUICK_SIZES if quick else SIZES
-    rows = []
-    for size in sizes:
-        row: dict = {"size": size, "size_label": size_label(size)}
-        for proto in PROTOCOLS:
-            row[proto] = measure_latency(proto, size, params=params, repeats=1 if quick else 3)
-        rows.append(row)
-    return rows
+    return [{"size": size, "repeats": 1 if quick else 3} for size in sizes]
+
+
+def run_point(point: dict, params: Optional[SimParams] = None) -> dict:
+    size = point["size"]
+    row: dict = {"size": size, "size_label": size_label(size)}
+    for proto in PROTOCOLS:
+        row[proto] = measure_latency(proto, size, params=params,
+                                     repeats=point["repeats"])
+    return row
+
+
+def run(params: Optional[SimParams] = None, quick: bool = False,
+        jobs: int = 1, cache: bool = False, cache_dir: Optional[str] = None) -> list[dict]:
+    from ..runner import run_sweep
+
+    return run_sweep(ID, points(quick), params=params, jobs=jobs,
+                     cache=cache, cache_dir_override=cache_dir)
 
 
 def check(rows: list[dict]) -> None:

@@ -69,16 +69,29 @@ def _latency(col: str, proto: str, extra: dict, size: int, k: int, params, repea
     return measure_latency(proto, size, params=params, replication=repl, repeats=repeats, **kw)
 
 
-def run(params: Optional[SimParams] = None, quick: bool = False, ks=(2, 4)) -> list[dict]:
+def points(quick: bool = False, ks=(2, 4)) -> list[dict]:
     sizes = QUICK_SIZES if quick else SIZES
-    rows = []
-    for k in ks:
-        for size in sizes:
-            row: dict = {"k": k, "size": size, "size_label": size_label(size)}
-            for col, proto, extra in _strategies(k):
-                row[col] = _latency(col, proto, extra, size, k, params, 1 if quick else 2)
-            rows.append(row)
-    return rows
+    return [
+        {"k": k, "size": size, "repeats": 1 if quick else 2}
+        for k in ks
+        for size in sizes
+    ]
+
+
+def run_point(point: dict, params: Optional[SimParams] = None) -> dict:
+    k, size = point["k"], point["size"]
+    row: dict = {"k": k, "size": size, "size_label": size_label(size)}
+    for col, proto, extra in _strategies(k):
+        row[col] = _latency(col, proto, extra, size, k, params, point["repeats"])
+    return row
+
+
+def run(params: Optional[SimParams] = None, quick: bool = False, ks=(2, 4),
+        jobs: int = 1, cache: bool = False, cache_dir: Optional[str] = None) -> list[dict]:
+    from ..runner import run_sweep
+
+    return run_sweep(ID, points(quick, ks), params=params, jobs=jobs,
+                     cache=cache, cache_dir_override=cache_dir)
 
 
 def check(rows: list[dict]) -> None:

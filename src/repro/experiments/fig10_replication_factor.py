@@ -48,16 +48,29 @@ def _one(col: str, size: int, k: int, params, quick: bool) -> float:
     return measure_latency(proto, size, params=params, replication=repl, repeats=1, **kw)
 
 
-def run(params: Optional[SimParams] = None, quick: bool = False) -> list[dict]:
+def points(quick: bool = False) -> list[dict]:
     ks = QUICK_KS if quick else KS
-    rows = []
-    for size in SIZES:
-        for k in ks:
-            row: dict = {"size": size, "size_label": size_label(size), "k": k}
-            for col in STRATS:
-                row[col] = _one(col, size, k, params, quick)
-            rows.append(row)
-    return rows
+    return [
+        {"size": size, "k": k, "quick": quick}
+        for size in SIZES
+        for k in ks
+    ]
+
+
+def run_point(point: dict, params: Optional[SimParams] = None) -> dict:
+    size, k = point["size"], point["k"]
+    row: dict = {"size": size, "size_label": size_label(size), "k": k}
+    for col in STRATS:
+        row[col] = _one(col, size, k, params, point["quick"])
+    return row
+
+
+def run(params: Optional[SimParams] = None, quick: bool = False,
+        jobs: int = 1, cache: bool = False, cache_dir: Optional[str] = None) -> list[dict]:
+    from ..runner import run_sweep
+
+    return run_sweep(ID, points(quick), params=params, jobs=jobs,
+                     cache=cache, cache_dir_override=cache_dir)
 
 
 def check(rows: list[dict]) -> None:

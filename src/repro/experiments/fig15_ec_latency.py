@@ -32,26 +32,38 @@ def _params(params: Optional[SimParams]) -> SimParams:
     return (params or SimParams()).scaled_network(100.0)
 
 
-def run(params: Optional[SimParams] = None, quick: bool = False) -> list[dict]:
-    p = _params(params)
+def points(quick: bool = False) -> list[dict]:
     sizes = QUICK_SIZES if quick else SIZES
-    rows = []
-    for k, m in SCHEMES:
-        for size in sizes:
-            ec = EcSpec(k=k, m=m)
-            spin = measure_latency("spin", size, params=p, ec=ec, repeats=1)
-            inec = measure_latency("inec", size, params=p, ec=ec, repeats=1)
-            rows.append(
-                {
-                    "scheme": f"RS({k},{m})",
-                    "size": size,
-                    "size_label": size_label(size),
-                    "spin-triec": spin,
-                    "inec-triec": inec,
-                    "speedup": inec / spin,
-                }
-            )
-    return rows
+    return [
+        {"k": k, "m": m, "size": size}
+        for k, m in SCHEMES
+        for size in sizes
+    ]
+
+
+def run_point(point: dict, params: Optional[SimParams] = None) -> dict:
+    # the 100 Gbit/s scaling is applied per point so pool workers see it too
+    p = _params(params)
+    k, m, size = point["k"], point["m"], point["size"]
+    ec = EcSpec(k=k, m=m)
+    spin = measure_latency("spin", size, params=p, ec=ec, repeats=1)
+    inec = measure_latency("inec", size, params=p, ec=ec, repeats=1)
+    return {
+        "scheme": f"RS({k},{m})",
+        "size": size,
+        "size_label": size_label(size),
+        "spin-triec": spin,
+        "inec-triec": inec,
+        "speedup": inec / spin,
+    }
+
+
+def run(params: Optional[SimParams] = None, quick: bool = False,
+        jobs: int = 1, cache: bool = False, cache_dir: Optional[str] = None) -> list[dict]:
+    from ..runner import run_sweep
+
+    return run_sweep(ID, points(quick), params=params, jobs=jobs,
+                     cache=cache, cache_dir_override=cache_dir)
 
 
 def check(rows: list[dict]) -> None:

@@ -43,11 +43,11 @@ REPEATS = 4
 QUICK_REPEATS = 1
 
 
-def _run_point(protocol: str, loss: float, repeats: int,
-               base: Optional[SimParams]) -> dict:
+def _measure(protocol: str, loss: float, repeats: int,
+             base: Optional[SimParams], seed: int = SEED) -> dict:
     params = base or SimParams()
     if loss > 0:
-        params = params.with_faults(loss_prob=loss, seed=SEED, retransmit=True)
+        params = params.with_faults(loss_prob=loss, seed=seed, retransmit=True)
     tb = build_testbed(n_storage=8, params=params)
     installer = installer_for(protocol)
     if installer is not None:
@@ -72,24 +72,35 @@ def _run_point(protocol: str, loss: float, repeats: int,
     }
 
 
-def run(params: Optional[SimParams] = None, quick: bool = False) -> list[dict]:
+def points(quick: bool = False) -> list[dict]:
     repeats = QUICK_REPEATS if quick else REPEATS
-    rows = []
-    for loss in LOSS_RATES:
-        row: dict = {"loss": loss, "repeats": repeats}
-        for proto in PROTOCOLS:
-            pt = _run_point(proto, loss, repeats, params)
-            row[proto] = pt["latency"]
-            row[f"{proto}_completed"] = pt["completed"]
-            row[f"{proto}_retransmits"] = pt["retransmits"]
-            row[f"{proto}_drops"] = pt["drops"]
-            row[f"{proto}_pending"] = pt["pending"]
-        # determinism probe: repeat one point with the same seed
-        if loss > 0:
-            again = _run_point("raw", loss, repeats, params)
-            row["raw_drops_again"] = again["drops"]
-        rows.append(row)
-    return rows
+    return [{"loss": loss, "repeats": repeats, "seed": SEED}
+            for loss in LOSS_RATES]
+
+
+def run_point(point: dict, params: Optional[SimParams] = None) -> dict:
+    loss, repeats, seed = point["loss"], point["repeats"], point["seed"]
+    row: dict = {"loss": loss, "repeats": repeats}
+    for proto in PROTOCOLS:
+        pt = _measure(proto, loss, repeats, params, seed=seed)
+        row[proto] = pt["latency"]
+        row[f"{proto}_completed"] = pt["completed"]
+        row[f"{proto}_retransmits"] = pt["retransmits"]
+        row[f"{proto}_drops"] = pt["drops"]
+        row[f"{proto}_pending"] = pt["pending"]
+    # determinism probe: repeat one point with the same seed
+    if loss > 0:
+        again = _measure("raw", loss, repeats, params, seed=seed)
+        row["raw_drops_again"] = again["drops"]
+    return row
+
+
+def run(params: Optional[SimParams] = None, quick: bool = False,
+        jobs: int = 1, cache: bool = False, cache_dir: Optional[str] = None) -> list[dict]:
+    from ..runner import run_sweep
+
+    return run_sweep(ID, points(quick), params=params, jobs=jobs,
+                     cache=cache, cache_dir_override=cache_dir)
 
 
 def check(rows: list[dict]) -> None:

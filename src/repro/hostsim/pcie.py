@@ -6,16 +6,22 @@ one-way latency before the data is visible in host memory.  The paper's
 motivation hinges on this cost ("a PCIe round-trip can take up to
 400 ns" [25], §III): CPU-centric policies pay it on every data touch,
 sPIN handlers act on packets *before* they cross it.
+
+Like :class:`~repro.simnet.link.Port`, the channel is a fused callback
+chain rather than a Store+server process: one kernel event ends each
+transaction's serialization and one delivers its completion, instead of
+the get/timeout/finish triple per DMA of the old server loop.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
 
 from ..params import HostParams
 from ..simnet.engine import Event, Simulator
 from ..simnet.link import gbps_to_ns_per_byte
-from ..simnet.resources import Store
+from ..telemetry.metrics import HandleCache
 
 __all__ = ["Pcie"]
 
@@ -38,11 +44,20 @@ class Pcie:
         # process "host:sn0", thread "pcie")
         self._pid = f"host:{name.rsplit('.', 1)[0]}" if "." in name else "host"
         self._ns_per_byte = gbps_to_ns_per_byte(params.pcie_bandwidth_gbps)
-        self._queue: Store = Store(sim, name=f"{name}.q")
+        self._dma_name = f"{name}.dma"
+        self._q: Deque[Tuple[int, Optional[Callable[[], None]], Event, object]] = deque()
+        self._busy = False
+        self._cur: Optional[Tuple[int, Optional[Callable[[], None]], Event, object]] = None
         self.bytes_transferred = 0
         self.transactions = 0
         self.busy_ns = 0.0
-        sim.process(self._serve(), name=f"{name}.server")
+        self._handles = HandleCache(
+            lambda m: (
+                m.counter(f"pcie.{name}.busy_ns"),
+                m.counter(f"pcie.{name}.bytes"),
+                m.gauge(f"pcie.{name}.queue_depth"),
+            )
+        )
 
     def dma(
         self,
@@ -55,47 +70,61 @@ class Pcie:
         optional request trace context attached to the emitted span."""
         if nbytes < 0:
             raise ValueError("negative DMA size")
-        done = self.sim.event(name=f"{self.name}.dma")
-        self._queue.put((nbytes, on_complete, done, trace))
+        done = Event(self.sim, name=self._dma_name)
+        txn = (nbytes, on_complete, done, trace)
+        if self._busy:
+            self._q.append(txn)
+        else:
+            self._start(txn)
         return done
 
-    def _serve(self):
+    # -- DMA fast path ----------------------------------------------------
+    def _start(self, txn) -> None:
+        self._busy = True
+        self._cur = txn
+        ser = txn[0] * self._ns_per_byte
+        self.sim._call_soon1(self._ser_done, ser, delay=ser)
+
+    def _ser_done(self, ser: float) -> None:
         sim = self.sim
-        tel = sim.telemetry
+        txn = self._cur
+        assert txn is not None
+        nbytes, on_complete, done, trace = txn
         lat = self.params.pcie_latency_ns
-        while True:
-            nbytes, on_complete, done, trace = yield self._queue.get()
-            ser = nbytes * self._ns_per_byte
-            t0 = sim.now
-            if ser > 0:
-                yield sim.timeout(ser)
-            self.busy_ns += ser
-            self.bytes_transferred += nbytes
-            self.transactions += 1
-            if tel.enabled:
-                tel.span(
-                    f"dma {nbytes}B",
-                    pid=self._pid,
-                    tid="pcie",
-                    t0=t0,
-                    t1=sim.now + lat,
-                    cat="host",
-                    trace=trace,
-                    args={"bytes": nbytes},
-                )
-                m = tel.metrics
-                m.counter(f"pcie.{self.name}.busy_ns").inc(ser)
-                m.counter(f"pcie.{self.name}.bytes").inc(nbytes)
-                m.gauge(f"pcie.{self.name}.queue_depth").set(sim.now, len(self._queue))
+        self.busy_ns += ser
+        self.bytes_transferred += nbytes
+        self.transactions += 1
+        tel = sim.telemetry
+        if tel.enabled:
+            tel.span(
+                f"dma {nbytes}B",
+                pid=self._pid,
+                tid="pcie",
+                t0=sim.now - ser,
+                t1=sim.now + lat,
+                cat="host",
+                trace=trace,
+                args={"bytes": nbytes},
+            )
+            busy, tbytes, gauge = self._handles.get(tel.metrics)
+            busy.inc(ser)
+            tbytes.inc(nbytes)
+            gauge.set(sim.now, len(self._q))
+        # Latency overlaps with the next transaction's serialization
+        # (posted writes pipeline through the root complex).
+        if self._q:
+            self._start(self._q.popleft())
+        else:
+            self._busy = False
+            self._cur = None
+        sim._call_soon1(self._finish, (on_complete, done), delay=lat)
 
-            def finish(cb=on_complete, ev=done):
-                if cb is not None:
-                    cb()
-                ev.succeed(None)
-
-            # Latency overlaps with the next transaction's serialization
-            # (posted writes pipeline through the root complex).
-            sim._call_soon(finish, delay=lat)
+    @staticmethod
+    def _finish(pair) -> None:
+        cb, done = pair
+        if cb is not None:
+            cb()
+        done.succeed(None)
 
     def utilisation(self) -> float:
         return self.busy_ns / self.sim.now if self.sim.now > 0 else 0.0

@@ -1,0 +1,201 @@
+"""Simulator performance snapshot and regression guard.
+
+``python -m repro perf`` collects three wall-clock figures of merit:
+
+* **kernel** — raw timeout-schedule-dispatch event throughput of the
+  discrete-event engine (no network stack);
+* **pipeline** — a full-stack 64 KiB sPIN write: events dispatched,
+  packets through the switch, and the derived events-per-packet cost of
+  the packet pipeline;
+* **sweep** — a small experiment sweep run serially and with two worker
+  processes, recording the parallel speedup of :mod:`repro.runner`.
+
+``--out BENCH_simulator.json`` snapshots the numbers;
+``--check BENCH_simulator.json`` re-measures and fails (exit 1) if the
+machine-independent event counts grew or wall-clock throughput dropped
+below ``(1 - tolerance)`` of the committed baseline.  Events-per-packet
+is deterministic, so it gets a tight 5% bound; wall-clock numbers get
+the wide default (30%) to absorb CI machine noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = ["collect_snapshot", "check_against", "main"]
+
+
+def _kernel_events_per_s(repeats: int = 8) -> float:
+    """Best-of-N event throughput of the bare engine (matches the shape
+    of benchmarks/bench_simulator_perf.py::test_kernel_event_throughput,
+    scaled up so one run is long enough to time without a harness).
+    The first run is interpreter warm-up and is discarded."""
+    from .simnet import Simulator
+
+    def once() -> float:
+        sim = Simulator()
+
+        def ping(n):
+            for _ in range(n):
+                yield sim.timeout(1.0)
+
+        for _ in range(10):
+            sim.process(ping(2000))
+        t0 = time.perf_counter()
+        sim.run()
+        return sim.events_dispatched / (time.perf_counter() - t0)
+
+    once()  # warm-up
+    return max(once() for _ in range(repeats))
+
+
+def _pipeline_snapshot(repeats: int = 5) -> Dict[str, Any]:
+    """One 64 KiB sPIN write through the full NIC/accelerator stack.
+    Event and packet counts are deterministic; wall time is best-of-N."""
+    import numpy as np
+
+    from .dfs.client import DfsClient
+    from .dfs.cluster import build_testbed
+    from .protocols import install_spin_targets
+
+    events = packets = 0
+    best_wall = float("inf")
+    data = np.zeros(64 * 1024, np.uint8)
+    for _ in range(repeats):
+        tb = build_testbed(n_storage=2)
+        install_spin_targets(tb)
+        c = DfsClient(tb)
+        c.create("/f", size=64 * 1024)
+        t0 = time.perf_counter()
+        out = c.write_sync("/f", data, protocol="spin")
+        wall = time.perf_counter() - t0
+        assert out.ok
+        events = tb.sim.events_dispatched
+        packets = tb.net.switch.rx_packets
+        best_wall = min(best_wall, wall)
+    return {
+        "events": events,
+        "packets": packets,
+        "events_per_packet": round(events / packets, 3),
+        "events_per_wall_s": round(events / best_wall),
+        "packets_per_wall_s": round(packets / best_wall),
+    }
+
+
+def _sweep_snapshot(jobs: int = 2) -> Dict[str, Any]:
+    """Serial vs parallel wall time for a sweep heavy enough that pool
+    startup does not dominate (fig09 --quick)."""
+    from .experiments import fig09_replication_latency as mod
+
+    t0 = time.perf_counter()
+    rows_serial = mod.run(quick=True, jobs=1, cache=False)
+    serial = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    rows_par = mod.run(quick=True, jobs=jobs, cache=False)
+    par = time.perf_counter() - t0
+    assert json.dumps(rows_serial, sort_keys=True) == json.dumps(rows_par, sort_keys=True)
+    return {
+        "experiment": mod.ID,
+        "points": len(rows_serial),
+        "jobs": jobs,
+        "serial_wall_s": round(serial, 3),
+        "parallel_wall_s": round(par, 3),
+        "speedup": round(serial / par, 2) if par > 0 else 0.0,
+    }
+
+
+def collect_snapshot(sweep_jobs: int = 2) -> Dict[str, Any]:
+    return {
+        "meta": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            # parallel sweep speedup is bounded by this; on a 1-CPU box
+            # jobs>1 can only add overhead
+            "cpus": os.cpu_count(),
+        },
+        "kernel_events_per_s": round(_kernel_events_per_s()),
+        "pipeline": _pipeline_snapshot(),
+        "sweep": _sweep_snapshot(jobs=sweep_jobs),
+    }
+
+
+def check_against(snap: Dict[str, Any], base: Dict[str, Any],
+                  tolerance: float = 0.30) -> List[str]:
+    """Compare a fresh snapshot against a committed baseline.  Returns a
+    list of human-readable failures (empty = pass)."""
+    failures: List[str] = []
+
+    def floor(name: str, got: float, want: float) -> None:
+        if got < want * (1.0 - tolerance):
+            failures.append(
+                f"{name}: {got:,.0f} < {(1 - tolerance):.0%} of baseline {want:,.0f}"
+            )
+
+    floor("kernel_events_per_s", snap["kernel_events_per_s"],
+          base["kernel_events_per_s"])
+    floor("pipeline.events_per_wall_s", snap["pipeline"]["events_per_wall_s"],
+          base["pipeline"]["events_per_wall_s"])
+
+    # deterministic counts: any growth is a real pipeline regression
+    got_epp = snap["pipeline"]["events_per_packet"]
+    base_epp = base["pipeline"]["events_per_packet"]
+    if got_epp > base_epp * 1.05:
+        failures.append(
+            f"pipeline.events_per_packet: {got_epp} > baseline {base_epp} (+5% cap)"
+        )
+    return failures
+
+
+def main(argv: Optional[list] = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro perf",
+        description="Measure simulator performance; snapshot or check a baseline.",
+    )
+    ap.add_argument("--out", metavar="PATH",
+                    help="write the snapshot as JSON (e.g. BENCH_simulator.json)")
+    ap.add_argument("--check", metavar="PATH",
+                    help="compare against a committed baseline; exit 1 on regression")
+    ap.add_argument("--tolerance", type=float, default=0.30, metavar="FRAC",
+                    help="allowed wall-clock slowdown vs baseline (default 0.30)")
+    ap.add_argument("--sweep-jobs", type=int, default=2, metavar="N",
+                    help="worker processes for the sweep comparison (default 2)")
+    args = ap.parse_args(argv)
+
+    snap = collect_snapshot(sweep_jobs=args.sweep_jobs)
+    pipe, sweep = snap["pipeline"], snap["sweep"]
+    print(f"kernel   : {snap['kernel_events_per_s']:,.0f} events/s")
+    print(f"pipeline : {pipe['events_per_wall_s']:,.0f} events/s, "
+          f"{pipe['packets_per_wall_s']:,.0f} packets/s, "
+          f"{pipe['events_per_packet']} events/packet "
+          f"({pipe['events']} events / {pipe['packets']} packets)")
+    print(f"sweep    : {sweep['experiment']} x{sweep['points']} serial "
+          f"{sweep['serial_wall_s']}s vs jobs={sweep['jobs']} "
+          f"{sweep['parallel_wall_s']}s ({sweep['speedup']}x)")
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(snap, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"snapshot written to {args.out}")
+
+    if args.check:
+        with open(args.check) as fh:
+            base = json.load(fh)
+        failures = check_against(snap, base, tolerance=args.tolerance)
+        if failures:
+            print("PERF REGRESSION:")
+            for f in failures:
+                print(f"  - {f}")
+            return 1
+        print(f"perf check vs {args.check} passed "
+              f"(tolerance {args.tolerance:.0%} on wall-clock, 5% on events/packet)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -274,6 +274,27 @@ class PsPinAccelerator:
         self._runs: Dict[int, _MessageRun] = {}
         self._next_cluster = 0
         self.stats: Dict[str, HandlerStats] = defaultdict(HandlerStats)
+        #: (htype, ctx_name) -> HandlerStats — avoids rebuilding the
+        #: "htype:ctx" key string on every handler execution
+        self._stats_memo: Dict[tuple, HandlerStats] = {}
+        from ..telemetry.metrics import HandleCache
+
+        self._handles = HandleCache(
+            lambda m: {
+                "busy": m.counter(f"pspin.{node_name}.hpu_busy_ns"),
+                "ingested": m.counter(f"pspin.{node_name}.packets_ingested"),
+                "queued": m.gauge(f"pspin.{node_name}.ingress_queued"),
+                "nacks": m.counter(f"pspin.{node_name}.overload_nacks"),
+                "active": [
+                    m.gauge(f"pspin.{node_name}.cluster{i}.active")
+                    for i in range(params.n_clusters)
+                ],
+                # per-htype instruments materialize on first use so an
+                # htype that never runs (e.g. cleanup) creates nothing
+                "inv": {},
+                "lat": {},
+            }
+        )
         # counters
         self.packets_processed = 0
         self.packets_dropped = 0
@@ -356,7 +377,7 @@ class PsPinAccelerator:
             self.nacks_sent += 1
             tel = self.sim.telemetry
             if tel.enabled:
-                tel.metrics.counter(f"pspin.{self.node_name}.overload_nacks").inc()
+                self._handles.get(tel.metrics)["nacks"].inc()
             self.send_fn(
                 Packet(
                     src=self.node_name,
@@ -377,11 +398,9 @@ class PsPinAccelerator:
         self._queued += 1
         tel = self.sim.telemetry
         if tel.enabled:
-            m = tel.metrics
-            m.counter(f"pspin.{self.node_name}.packets_ingested").inc()
-            m.gauge(f"pspin.{self.node_name}.ingress_queued").set(
-                self.sim.now, self._queued
-            )
+            h = self._handles.get(tel.metrics)
+            h["ingested"].inc()
+            h["queued"].set(self.sim.now, self._queued)
         self.sim.process(self._pipeline(ctx, pkt))
         return True
 
@@ -390,10 +409,12 @@ class PsPinAccelerator:
         sim = self.sim
         p = self.params
         cyc = p.cycle_ns
-        # 1. packet buffer copy
-        yield sim.timeout(-(-pkt.size // p.pkt_buffer_bytes_per_cycle) * cyc)
-        # 2. hardware scheduler
-        yield sim.timeout(p.sched_cycles * cyc)
+        # 1+2. packet buffer copy, then the hardware scheduler pick —
+        # strictly sequential with nothing observable in between, so one
+        # fused timeout covers both stages (same timestamps, one event).
+        yield sim.timeout(
+            (-(-pkt.size // p.pkt_buffer_bytes_per_cycle) + p.sched_cycles) * cyc
+        )
         run = self._runs.get(pkt.msg_id)
         if run is None:
             # Any packet may open the run: handler-forwarded streams can
@@ -476,9 +497,9 @@ class PsPinAccelerator:
         tel = sim.telemetry
         cluster.active += 1
         if tel.enabled:
-            tel.metrics.gauge(
-                f"pspin.{self.node_name}.cluster{cluster.idx}.active"
-            ).set(sim.now, cluster.active)
+            self._handles.get(tel.metrics)["active"][cluster.idx].set(
+                sim.now, cluster.active
+            )
         try:
             cost = handler.cost(run.task, pkt)
             contention = 1.0 + p.l1_contention_per_hpu * max(0, cluster.active - 1)
@@ -491,7 +512,7 @@ class PsPinAccelerator:
             cluster.hpus.release(req)
             if quota is not None:
                 quota.release(qreq)
-        self.stats[f"{htype}:{run.ctx.name}"].record(sim.now - t0, cost.instructions)
+        self._record_stats(htype, run.ctx.name, sim.now - t0, cost.instructions)
         if tel.enabled:
             dur = sim.now - t0
             tel.span(
@@ -504,13 +525,20 @@ class PsPinAccelerator:
                 trace=run.trace,
                 args={"instructions": cost.instructions, "handler": htype},
             )
-            m = tel.metrics
-            m.counter(f"pspin.{self.node_name}.hpu_busy_ns").inc(dur)
-            m.counter(f"pspin.{self.node_name}.handler.{htype}.invocations").inc()
-            m.histogram(f"pspin.{self.node_name}.handler.{htype}.latency_ns").observe(dur)
-            m.gauge(
-                f"pspin.{self.node_name}.cluster{cluster.idx}.active"
-            ).set(sim.now, cluster.active)
+            h = self._handles.get(tel.metrics)
+            h["busy"].inc(dur)
+            inv = h["inv"].get(htype)
+            if inv is None:
+                m = tel.metrics
+                inv = h["inv"][htype] = m.counter(
+                    f"pspin.{self.node_name}.handler.{htype}.invocations"
+                )
+                h["lat"][htype] = m.histogram(
+                    f"pspin.{self.node_name}.handler.{htype}.latency_ns"
+                )
+            inv.inc()
+            h["lat"][htype].observe(dur)
+            h["active"][cluster.idx].set(sim.now, cluster.active)
 
     def _finish(self, run: _MessageRun) -> None:
         run.finished = True
@@ -551,7 +579,7 @@ class PsPinAccelerator:
                 yield from gen
         finally:
             cluster.hpus.release(req)
-        self.stats[f"cleanup:{run.ctx.name}"].record(sim.now - t0, cost.instructions)
+        self._record_stats("cleanup", run.ctx.name, sim.now - t0, cost.instructions)
         # Release every pipeline parked on this run's gates, or packets
         # that arrived before the sweep stay blocked forever.
         if not run.hh_done.triggered:
@@ -561,6 +589,15 @@ class PsPinAccelerator:
         self._finish(run)
 
     # --------------------------------------------------------------- stats
+    def _record_stats(
+        self, htype: str, ctx_name: str, duration_ns: float, instructions: int
+    ) -> None:
+        key = (htype, ctx_name)
+        st = self._stats_memo.get(key)
+        if st is None:
+            st = self._stats_memo[key] = self.stats[f"{htype}:{ctx_name}"]
+        st.record(duration_ns, instructions)
+
     def stats_for(self, htype: str, ctx_name: str) -> HandlerStats:
         return self.stats[f"{htype}:{ctx_name}"]
 

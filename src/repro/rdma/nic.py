@@ -29,7 +29,15 @@ import numpy as np
 from ..params import SimParams
 from ..simnet.engine import Event, Interrupt, Simulator
 from ..simnet.link import Port
-from ..simnet.packet import Message, Packet, as_payload, fresh_msg_id, segment_message
+from ..simnet.packet import (
+    Message,
+    Packet,
+    as_payload,
+    fresh_msg_id,
+    register_id_reset,
+    segment_message,
+)
+from ..telemetry.metrics import HandleCache
 
 __all__ = ["RdmaNic", "OpResult", "PendingOp"]
 
@@ -38,6 +46,15 @@ _greq_ids = itertools.count(1)
 
 def fresh_greq_id() -> int:
     return next(_greq_ids)
+
+
+def _reset_greq_ids() -> None:
+    global _greq_ids
+    _greq_ids = itertools.count(1)
+
+
+# greq ids restart with every simulation (see packet.reset_id_state)
+register_id_reset(_reset_greq_ids)
 
 
 @dataclass
@@ -94,6 +111,18 @@ class RdmaNic:
         self.params = params
         self.host = host
         self.name = name
+        # process/event names formatted once, not per message (hot path)
+        self._pname_tx = f"{name}.tx"
+        self._pname_rtx = f"{name}.rtx"
+        self._pname_read = f"{name}.read"
+        self._handles = HandleCache(
+            lambda m: (
+                m.counter(f"nic.{name}.tx_messages"),
+                m.counter(f"nic.{name}.tx_bytes"),
+                m.counter(f"nic.{name}.retransmits"),
+                m.counter(f"nic.{name}.timeouts"),
+            )
+        )
         self.port: Optional[Port] = None  # wired by the network builder
         self.accelerator = None  # optional PsPinAccelerator
         self._pending: Dict[int, PendingOp] = {}
@@ -156,11 +185,11 @@ class RdmaNic:
             # open_transaction(): reuse its pending op and event.
             done = existing.event
         else:
-            done = self.sim.event(name=f"write({gid})")
+            done = self.sim.event(name="write")
             self._pending[gid] = PendingOp(
                 event=done, t_start=self.sim.now, greq_id=gid, expected_acks=expected_acks
             )
-        self.sim.process(self._tx_message(msg, post_overhead), name=f"{self.name}.tx")
+        self.sim.process(self._tx_message(msg, post_overhead), name=self._pname_tx)
         self._track_for_retry(gid, msg)
         return done
 
@@ -170,12 +199,12 @@ class RdmaNic:
         h = dict(headers or {})
         h.update({"greq_id": gid, "addr": addr, "length": length, "reply_to": self.name})
         msg = Message(src=self.name, dst=dst, op="read_req", headers=h, header_bytes=24)
-        done = self.sim.event(name=f"read({gid})")
+        done = self.sim.event(name="read")
         op = PendingOp(event=done, t_start=self.sim.now, greq_id=gid)
         op.data = np.zeros(length, dtype=np.uint8)
         op.acks = 0  # bytes received accumulate in op
         self._pending[gid] = op
-        self.sim.process(self._tx_message(msg, True), name=f"{self.name}.tx")
+        self.sim.process(self._tx_message(msg, True), name=self._pname_tx)
         self._track_for_retry(gid, msg)
         return done
 
@@ -200,9 +229,9 @@ class RdmaNic:
             headers=h,
             header_bytes=header_bytes,
         )
-        done = self.sim.event(name=f"rpc({gid})")
+        done = self.sim.event(name="rpc")
         self._pending[gid] = PendingOp(event=done, t_start=self.sim.now, greq_id=gid)
-        self.sim.process(self._tx_message(msg, post_overhead), name=f"{self.name}.tx")
+        self.sim.process(self._tx_message(msg, post_overhead), name=self._pname_tx)
         self._track_for_retry(gid, msg)
         return done
 
@@ -215,7 +244,7 @@ class RdmaNic:
         logical request id.
         """
         gid = fresh_greq_id() if greq_id is None else greq_id
-        done = self.sim.event(name=f"txn({gid})")
+        done = self.sim.event(name="txn")
         self._pending[gid] = PendingOp(
             event=done, t_start=self.sim.now, greq_id=gid, expected_acks=expected_acks
         )
@@ -239,7 +268,7 @@ class RdmaNic:
             headers=dict(headers),
             header_bytes=header_bytes,
         )
-        self.sim.process(self._tx_message(msg, post_overhead), name=f"{self.name}.tx")
+        self.sim.process(self._tx_message(msg, post_overhead), name=self._pname_tx)
         gid = self._greq_of(msg.headers)
         if gid is not None and gid in self._pending:
             # Part of a tracked transaction (open_transaction): the
@@ -323,7 +352,7 @@ class RdmaNic:
                     self.timeouts += 1
                     tel = sim.telemetry
                     if tel.enabled:
-                        tel.metrics.counter(f"nic.{self.name}.timeouts").inc()
+                        self._handles.get(tel.metrics)[3].inc()
                     pending.nacks.append(
                         {"reason": "timeout", "ack_for": gid, "attempts": pending.attempts}
                     )
@@ -336,9 +365,9 @@ class RdmaNic:
                 self.retransmits += n
                 tel = sim.telemetry
                 if tel.enabled:
-                    tel.metrics.counter(f"nic.{self.name}.retransmits").inc(n)
+                    self._handles.get(tel.metrics)[2].inc(n)
                 for msg in pending.messages:
-                    sim.process(self._tx_message(msg, False), name=f"{self.name}.rtx")
+                    sim.process(self._tx_message(msg, False), name=self._pname_rtx)
                 pending.last_progress = sim.now
                 rto = min(rto * fp.rto_backoff, fp.rto_max_ns)
         except Interrupt:
@@ -370,8 +399,9 @@ class RdmaNic:
                 trace=msg.headers.get("trace"),
                 args={"bytes": nbytes, "packets": len(pkts), "dst": msg.dst},
             )
-            tel.metrics.counter(f"nic.{self.name}.tx_messages").inc()
-            tel.metrics.counter(f"nic.{self.name}.tx_bytes").inc(nbytes)
+            h = self._handles.get(tel.metrics)
+            h[0].inc()
+            h[1].inc(nbytes)
 
     # ==================================================== target side
     def receive(self, pkt: Packet) -> None:
@@ -385,8 +415,8 @@ class RdmaNic:
             faults.count_node_drop(self.name)
             return
         self.rx_packets += 1
-        # rx pipeline latency, then dispatch
-        self.sim._call_soon(lambda: self._dispatch(pkt), delay=self.params.nic_rx_ns)
+        # rx pipeline latency, then dispatch (closure-free scheduling)
+        self.sim._call_soon1(self._dispatch, pkt, delay=self.params.nic_rx_ns)
 
     def _dispatch(self, pkt: Packet) -> None:
         for hook in self.rx_hooks:
@@ -398,7 +428,7 @@ class RdmaNic:
         if op == "write":
             self._rx_write(pkt)
         elif op == "read_req":
-            self.sim.process(self._serve_read(pkt), name=f"{self.name}.read")
+            self.sim.process(self._serve_read(pkt), name=self._pname_read)
         elif op == "read_resp":
             self._rx_read_resp(pkt)
         elif op == "rpc":
@@ -626,8 +656,8 @@ class RdmaNic:
             info=pending.info,
         )
         # Completion is visible to the application after the CQ poll.
-        self.sim._call_soon(
-            lambda: pending.event.succeed(res), delay=self.params.client_completion_ns
+        self.sim._call_soon1(
+            pending.event.succeed, res, delay=self.params.client_completion_ns
         )
 
     # ------------------------------------------------------------ misc

@@ -1,0 +1,245 @@
+"""Parallel sweep runner with an on-disk result cache.
+
+Every experiment sweep point builds a fresh, fully isolated testbed
+(see ``experiments.common.measure_latency``), so points are
+embarrassingly parallel: :func:`run_sweep` fans them out over a
+``ProcessPoolExecutor`` while keeping the output row order — and the
+row *contents* — identical to a serial run.
+
+Determinism
+-----------
+Three ingredients make ``--jobs N`` byte-identical to ``--jobs 1``:
+
+* :func:`repro.simnet.packet.reset_id_state` runs before every point
+  (in the worker and in the serial path), so packet/message/greq ids
+  never depend on what ran earlier in the interpreter;
+* any randomness an experiment uses is seeded from the point itself
+  (either an explicit ``seed`` entry or :func:`point_seed`), never from
+  global state;
+* results are collected by point index, not completion order.
+
+Result cache
+------------
+Rows are cached on disk keyed by a content hash of (experiment id,
+point, params, experiment module source).  Editing the experiment
+module or changing ``SimParams`` invalidates automatically; delete the
+cache directory (default ``.repro_cache/``, override with
+``$REPRO_CACHE_DIR`` or ``--cache-dir``) to force a full re-run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+__all__ = [
+    "SweepStats",
+    "LAST_STATS",
+    "cache_dir",
+    "point_key",
+    "point_seed",
+    "run_sweep",
+]
+
+#: bump when the cache entry layout changes (invalidates old entries)
+CACHE_SCHEMA = 1
+
+#: default cache directory (relative to the CWD the sweep runs from)
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+@dataclass
+class SweepStats:
+    """Wall-clock and cache accounting for the last :func:`run_sweep`."""
+
+    experiment: str = ""
+    n_points: int = 0
+    n_cached: int = 0
+    n_computed: int = 0
+    jobs: int = 1
+    wall_s: float = 0.0
+    cache_dir: Optional[str] = None
+    errors: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        src = f"{self.n_cached} cached + {self.n_computed} computed"
+        par = f"jobs={self.jobs}" if self.jobs > 1 else "serial"
+        return (
+            f"{self.n_points} points ({src}), {par}, "
+            f"{self.wall_s:.1f}s wall"
+        )
+
+
+#: stats of the most recent run_sweep() in this process (for CLI footers)
+LAST_STATS = SweepStats()
+
+
+def cache_dir(override: Optional[str] = None) -> str:
+    """Resolve the cache directory: explicit arg > $REPRO_CACHE_DIR > default."""
+    return override or os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+
+
+def _module_source_hash(eid: str) -> str:
+    """Hash of the experiment module's source, so code edits invalidate
+    cached rows for that experiment automatically."""
+    import inspect
+
+    from .experiments import REGISTRY
+
+    mod = REGISTRY[eid]
+    try:
+        src = inspect.getsource(mod)
+    except (OSError, TypeError):
+        return "nosource"
+    return hashlib.sha256(src.encode()).hexdigest()[:16]
+
+
+def point_key(eid: str, point: Dict[str, Any], params: Any, src_hash: str) -> str:
+    """Content-addressed cache key for one sweep point."""
+    payload = json.dumps(
+        {
+            "schema": CACHE_SCHEMA,
+            "experiment": eid,
+            "point": point,
+            "params": repr(params),  # SimParams is a frozen dataclass
+            "src": src_hash,
+        },
+        sort_keys=True,
+        default=repr,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:32]
+
+
+def point_seed(eid: str, point: Dict[str, Any]) -> int:
+    """A deterministic RNG seed derived from the point's content (stable
+    across processes, runs, and PYTHONHASHSEED)."""
+    payload = json.dumps({"experiment": eid, "point": point},
+                         sort_keys=True, default=repr)
+    return int.from_bytes(hashlib.sha256(payload.encode()).digest()[:4], "big")
+
+
+# --------------------------------------------------------------- cache I/O
+def _cache_path(cdir: str, key: str) -> str:
+    return os.path.join(cdir, f"{key}.json")
+
+
+def _cache_load(cdir: str, key: str) -> Optional[Dict[str, Any]]:
+    try:
+        with open(_cache_path(cdir, key)) as fh:
+            entry = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    if entry.get("key") != key:
+        return None
+    return entry
+
+
+def _cache_store(cdir: str, key: str, eid: str, point: Dict[str, Any], row: Any) -> None:
+    os.makedirs(cdir, exist_ok=True)
+    path = _cache_path(cdir, key)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w") as fh:
+            json.dump({"key": key, "experiment": eid, "point": point, "row": row}, fh)
+        os.replace(tmp, path)  # atomic: concurrent workers never see partials
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+
+
+# ------------------------------------------------------------- execution
+def _exec_point(eid: str, point: Dict[str, Any], params: Any) -> Any:
+    """Run one sweep point (this is the pool-worker entry point, so it
+    must be a picklable module-level function).  The id-state reset makes
+    the point's result independent of whatever this interpreter — a
+    reused pool worker or the serial path — ran before."""
+    from .experiments import REGISTRY
+    from .simnet.packet import reset_id_state
+
+    reset_id_state()
+    return REGISTRY[eid].run_point(point, params)
+
+
+def run_sweep(
+    eid: str,
+    points: Sequence[Dict[str, Any]],
+    params: Any = None,
+    jobs: int = 1,
+    cache: bool = False,
+    cache_dir_override: Optional[str] = None,
+    run_point: Optional[Callable[[Dict[str, Any], Any], Any]] = None,
+) -> List[Any]:
+    """Run ``REGISTRY[eid].run_point(point, params)`` for every point.
+
+    Results come back in ``points`` order regardless of ``jobs``.  With
+    ``cache=True``, previously computed rows are returned from disk and
+    only the misses are (re)simulated.  ``run_point`` overrides the
+    registry lookup for ad-hoc sweeps (serial path only).
+    """
+    global LAST_STATS
+    t0 = time.perf_counter()
+    stats = SweepStats(experiment=eid, n_points=len(points), jobs=max(1, jobs))
+    cdir = cache_dir(cache_dir_override) if cache else None
+    stats.cache_dir = cdir
+
+    results: List[Any] = [None] * len(points)
+    todo: List[int] = []
+
+    if cache:
+        src_hash = _module_source_hash(eid)
+        keys = [point_key(eid, pt, params, src_hash) for pt in points]
+        for i, key in enumerate(keys):
+            entry = _cache_load(cdir, key)
+            if entry is not None:
+                results[i] = entry["row"]
+                stats.n_cached += 1
+            else:
+                todo.append(i)
+    else:
+        keys = []
+        todo = list(range(len(points)))
+
+    if todo:
+        if jobs > 1 and len(todo) > 1:
+            import multiprocessing as mp
+            from concurrent.futures import ProcessPoolExecutor
+
+            # fork keeps the already-imported repro package (and is the
+            # only start method that works without a __main__ guard in
+            # arbitrary callers); fall back to the platform default.
+            try:
+                ctx = mp.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX
+                ctx = mp.get_context()
+            with ProcessPoolExecutor(max_workers=min(jobs, len(todo)),
+                                     mp_context=ctx) as ex:
+                futs = {
+                    i: ex.submit(_exec_point, eid, points[i], params)
+                    for i in todo
+                }
+                for i in todo:
+                    results[i] = futs[i].result()
+        else:
+            fn = run_point
+            for i in todo:
+                if fn is not None:
+                    from .simnet.packet import reset_id_state
+
+                    reset_id_state()
+                    results[i] = fn(points[i], params)
+                else:
+                    results[i] = _exec_point(eid, points[i], params)
+        stats.n_computed = len(todo)
+        if cache:
+            for i in todo:
+                _cache_store(cdir, keys[i], eid, points[i], results[i])
+
+    stats.wall_s = time.perf_counter() - t0
+    LAST_STATS = stats
+    return results

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from ..telemetry.metrics import HandleCache
 from .engine import Simulator
 from .link import Port
 from .packet import Packet
@@ -57,6 +58,12 @@ class Switch:
         self.name = name
         self._out_ports: Dict[str, Port] = {}
         self.rx_packets = 0
+        self._handles = HandleCache(
+            lambda m: (
+                m.counter(f"switch.{name}.rx_packets"),
+                m.counter(f"switch.{name}.no_route_drops"),
+            )
+        )
 
     def attach(self, endpoint) -> Port:
         """Attach an endpoint; returns the *endpoint's* port (towards us)."""
@@ -87,14 +94,14 @@ class Switch:
         out = self._out_ports.get(pkt.dst)
         tel = self.sim.telemetry
         if tel.enabled:
-            m = tel.metrics
-            m.counter(f"switch.{self.name}.rx_packets").inc()
+            rx, drops = self._handles.get(tel.metrics)
+            rx.inc()
             if out is None:
-                m.counter(f"switch.{self.name}.no_route_drops").inc()
+                drops.inc()
         if out is None:
             raise KeyError(f"{self.name}: no route to {pkt.dst!r}")
-        # Fixed traversal latency, then output queueing.
-        self.sim._call_soon(lambda: out.send(pkt), delay=self.cfg.switch_latency_ns)
+        # Fixed traversal latency, then output queueing (closure-free).
+        self.sim._call_soon1(out.send, pkt, delay=self.cfg.switch_latency_ns)
 
     def out_port(self, node_name: str) -> Port:
         return self._out_ports[node_name]

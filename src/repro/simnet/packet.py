@@ -20,7 +20,14 @@ from typing import Any, Optional
 
 import numpy as np
 
-__all__ = ["Packet", "Message", "segment_message", "TRANSPORT_HEADER_BYTES"]
+__all__ = [
+    "Packet",
+    "Message",
+    "segment_message",
+    "TRANSPORT_HEADER_BYTES",
+    "reset_id_state",
+    "register_id_reset",
+]
 
 #: Bytes of transport framing per packet (Ethernet+IP+UDP+BTH-equivalent).
 TRANSPORT_HEADER_BYTES = 64
@@ -28,8 +35,36 @@ TRANSPORT_HEADER_BYTES = 64
 _pkt_ids = itertools.count()
 _msg_ids = itertools.count()
 
+#: extra reset hooks registered by other modules holding id state that
+#: must restart with every simulation (e.g. rdma.nic's group-request
+#: counter) — a registry avoids an import cycle back into those modules
+_id_reset_hooks: list = []
 
-@dataclass
+
+def register_id_reset(hook) -> None:
+    """Register ``hook()`` to be invoked by :func:`reset_id_state`."""
+    _id_reset_hooks.append(hook)
+
+
+def reset_id_state() -> None:
+    """Restart packet/message id allocation and drop memoized derived ids.
+
+    The id counters and especially the ``(parent, salt)`` derived-id memo
+    are module-level, so a long sweep (or a pool worker reusing its
+    interpreter across points) otherwise accumulates every entry forever
+    and produces ids that depend on what ran before — breaking both
+    memory and determinism.  ``build_testbed`` calls this at the start of
+    every simulation, and runner workers call it between sweep points.
+    """
+    global _pkt_ids, _msg_ids
+    _pkt_ids = itertools.count()
+    _msg_ids = itertools.count()
+    _derived_ids.clear()
+    for hook in _id_reset_hooks:
+        hook()
+
+
+@dataclass(slots=True)
 class Packet:
     """One network packet.
 
@@ -103,7 +138,7 @@ class Packet:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A logical message prior to segmentation."""
 

@@ -30,7 +30,7 @@ class Request(Event):
     __slots__ = ("resource",)
 
     def __init__(self, resource: "Resource"):
-        super().__init__(resource.sim, name=f"req({resource.name})")
+        super().__init__(resource.sim, name=resource._req_name)
         self.resource = resource
 
     def release(self) -> None:
@@ -54,6 +54,7 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        self._req_name = f"req({name})"  # shared by all Requests (hot path)
         self.users: list[Request] = []
         self.queue: Deque[Request] = deque()
         # occupancy bookkeeping for utilisation statistics
@@ -130,13 +131,16 @@ class Store:
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        # event names formatted once, not per put/get (hot path)
+        self._put_name = f"put({name})"
+        self._get_name = f"get({name})"
         self.items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
         self._putters: Deque[tuple[Event, Any]] = deque()
         self._peak = 0
 
     def put(self, item: Any) -> Event:
-        ev = Event(self.sim, name=f"put({self.name})")
+        ev = Event(self.sim, name=self._put_name)
         if self._getters:
             getter = self._getters.popleft()
             getter.succeed(item)
@@ -162,7 +166,7 @@ class Store:
         return True
 
     def get(self) -> Event:
-        ev = Event(self.sim, name=f"get({self.name})")
+        ev = Event(self.sim, name=self._get_name)
         if self.items:
             item = self.items.popleft()
             self._admit_putter()
@@ -217,6 +221,7 @@ class Container:
         if not 0 <= self.level <= capacity:
             raise SimulationError("initial level out of range")
         self.name = name
+        self._get_name = f"get({name})"  # formatted once (hot path)
         self._getters: Deque[tuple[Event, float]] = deque()
         self._min_level = self.level
 
@@ -228,7 +233,7 @@ class Container:
             raise SimulationError(
                 f"get({amount}) exceeds container capacity {self.capacity}"
             )
-        ev = Event(self.sim, name=f"get({self.name})")
+        ev = Event(self.sim, name=self._get_name)
         if not self._getters and amount <= self.level:
             self.level -= amount
             self._min_level = min(self._min_level, self.level)

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "HandleCache"]
 
 
 class Counter:
@@ -121,6 +121,33 @@ class Histogram:
 
     def to_dict(self) -> Dict[str, float]:
         return self.summary()
+
+
+class HandleCache:
+    """Pre-resolved instrument handles for one component.
+
+    Instrument names like ``link.sn0.queue_depth`` are stable for the
+    lifetime of a component, yet the old instrumentation sites rebuilt
+    the f-string and re-did the registry lookup on every packet.  A
+    component instead constructs ``HandleCache(build)`` once, where
+    ``build(registry)`` resolves all its instruments, and calls
+    ``get(tel.metrics)`` per event: the handles are rebuilt only when
+    the registry object changes (i.e. after ``Telemetry.reset()``), so
+    the steady-state cost is one identity comparison.
+    """
+
+    __slots__ = ("_build", "_registry", "_handles")
+
+    def __init__(self, build):
+        self._build = build
+        self._registry: Optional["MetricsRegistry"] = None
+        self._handles: Any = None
+
+    def get(self, registry: "MetricsRegistry") -> Any:
+        if registry is not self._registry:
+            self._handles = self._build(registry)
+            self._registry = registry
+        return self._handles
 
 
 class MetricsRegistry:

@@ -1,0 +1,99 @@
+"""Parallel sweep runner: determinism, caching, key derivation."""
+
+import json
+
+import pytest
+
+from repro import runner
+from repro.experiments import fig06_auth_latency as fig06
+from repro.params import SimParams
+
+
+def _dumps(rows):
+    return json.dumps(rows, sort_keys=True)
+
+
+def test_parallel_rows_identical_to_serial():
+    """--jobs N must be byte-identical to --jobs 1 (same rows, same order)."""
+    serial = fig06.run(quick=True, jobs=1, cache=False)
+    parallel = fig06.run(quick=True, jobs=4, cache=False)
+    assert _dumps(serial) == _dumps(parallel)
+    assert runner.LAST_STATS.jobs == 4
+    assert runner.LAST_STATS.n_computed == len(serial)
+
+
+def test_cache_hit_returns_identical_rows_without_resimulating(tmp_path):
+    cdir = str(tmp_path / "cache")
+    cold = fig06.run(quick=True, jobs=1, cache=True, cache_dir=cdir)
+    stats = runner.LAST_STATS
+    assert stats.n_computed == len(cold) and stats.n_cached == 0
+
+    warm = fig06.run(quick=True, jobs=1, cache=True, cache_dir=cdir)
+    stats = runner.LAST_STATS
+    assert stats.n_cached == len(warm) and stats.n_computed == 0
+    assert _dumps(cold) == _dumps(warm)
+
+
+def test_cached_rows_really_come_from_disk(tmp_path):
+    """Tamper with a cache entry; the tampered row must come back (proof
+    that a hit short-circuits the simulation entirely)."""
+    cdir = tmp_path / "cache"
+    fig06.run(quick=True, jobs=1, cache=True, cache_dir=str(cdir))
+    victim = sorted(cdir.glob("*.json"))[0]
+    entry = json.loads(victim.read_text())
+    entry["row"]["raw"] = -123.0
+    victim.write_text(json.dumps(entry))
+
+    rows = fig06.run(quick=True, jobs=1, cache=True, cache_dir=str(cdir))
+    assert runner.LAST_STATS.n_cached == len(rows)
+    assert any(r["raw"] == -123.0 for r in rows)
+
+
+def test_cache_keys_depend_on_point_params_and_source():
+    src = runner._module_source_hash(fig06.ID)
+    k1 = runner.point_key(fig06.ID, {"size": 1024}, None, src)
+    assert k1 == runner.point_key(fig06.ID, {"size": 1024}, None, src)
+    assert k1 != runner.point_key(fig06.ID, {"size": 2048}, None, src)
+    assert k1 != runner.point_key(fig06.ID, {"size": 1024}, SimParams(), src)
+    assert k1 != runner.point_key(fig06.ID, {"size": 1024}, None, "othersrc")
+    assert k1 != runner.point_key("other", {"size": 1024}, None, src)
+
+
+def test_corrupt_cache_entry_is_recomputed(tmp_path):
+    cdir = tmp_path / "cache"
+    fig06.run(quick=True, jobs=1, cache=True, cache_dir=str(cdir))
+    for f in cdir.glob("*.json"):
+        f.write_text("{not json")
+    rows = fig06.run(quick=True, jobs=1, cache=True, cache_dir=str(cdir))
+    assert runner.LAST_STATS.n_computed == len(rows)
+
+
+def test_point_seed_is_stable():
+    s = runner.point_seed("exp", {"loss": 1e-3})
+    assert s == runner.point_seed("exp", {"loss": 1e-3})
+    assert s != runner.point_seed("exp", {"loss": 1e-2})
+    assert s != runner.point_seed("other", {"loss": 1e-3})
+
+
+def test_all_converted_experiments_expose_the_point_protocol():
+    from repro.experiments import REGISTRY
+
+    converted = [eid for eid, mod in REGISTRY.items() if hasattr(mod, "run_point")]
+    assert {"fig06", "fig09_latency", "fig10", "fig15_latency", "loss"} <= set(converted)
+    for eid in converted:
+        mod = REGISTRY[eid]
+        pts = mod.points(quick=True)
+        assert pts, eid
+        # points must round-trip through JSON (cache + pool pickling)
+        assert json.loads(json.dumps(pts)) == pts, eid
+
+
+@pytest.mark.parametrize("eid", ["fig15_latency", "loss"])
+def test_single_point_matches_full_sweep_row(eid):
+    """run_point on the first point reproduces the first row of run()."""
+    from repro.experiments import REGISTRY
+
+    mod = REGISTRY[eid]
+    rows = mod.run(quick=True, jobs=1, cache=False)
+    row = runner._exec_point(eid, mod.points(quick=True)[0], None)
+    assert _dumps([rows[0]]) == _dumps([row])
