@@ -65,6 +65,60 @@ cmp "$tmpdir/serial.csv" "$tmpdir/parallel.csv"
 echo "parallel sweep rows identical to serial"
 
 echo
+echo "== coalesced events-per-packet budget (deterministic, 5% cap) =="
+# event/packet counts of the coalesced pipeline are fully deterministic:
+# any growth past +5% of the committed baseline is a real de-coalescing
+# regression, not machine noise
+python - <<'PY'
+import json
+
+import numpy as np
+
+from repro.dfs.client import DfsClient
+from repro.dfs.cluster import build_testbed
+from repro.protocols import install_spin_targets
+
+tb = build_testbed(n_storage=2)
+install_spin_targets(tb)
+c = DfsClient(tb)
+c.create("/f", size=64 * 1024)
+data = np.zeros(64 * 1024, np.uint8)
+assert c.write_sync("/f", data, protocol="spin").ok  # warm-up
+e0, p0 = tb.sim.events_dispatched, tb.net.switch.rx_packets
+out = c.write_sync("/f", data, protocol="spin")
+assert out.ok
+# steady-state delta, matching the BENCH pipeline measurement
+epp = (tb.sim.events_dispatched - e0) / (tb.net.switch.rx_packets - p0)
+base = json.load(open("BENCH_simulator.json"))["pipeline"]["events_per_packet"]
+assert epp <= base * 1.05, (
+    f"coalesced pipeline regressed: {epp:.3f} events/packet "
+    f"> baseline {base} (+5% cap)")
+assert epp <= 9.0, f"events/packet budget blown: {epp:.3f} > 9.0"
+print(f"events/packet {epp:.3f} (baseline {base}, budget 9.0) OK")
+PY
+
+echo
+echo "== load-engine smoke (8 clients, fixed seed, quiesce) =="
+python - <<'PY'
+from repro.dfs.cluster import build_testbed
+from repro.protocols import install_spin_targets
+from repro.workloads import LoadSpec, closed_loop_write_load
+
+tb = build_testbed(n_storage=4, n_clients=4)
+install_spin_targets(tb)
+spec = LoadSpec(n_clients=8, outstanding=2, think_ns=2_000.0,
+                warmup_ns=50_000.0, measure_ns=400_000.0, seed=7)
+res = closed_loop_write_load(tb, 8192, "spin", spec)
+assert res.quiesced, "load engine failed to quiesce"
+# fixed seed => exact deterministic op counts
+assert res.ops == 1399, f"aggregate measured ops drifted: {res.ops} != 1399"
+assert res.issued == 1568, f"issued ops drifted: {res.issued} != 1568"
+assert all(pc["ops"] > 0 for pc in res.per_client), "a client starved"
+print(f"load engine OK: {res.ops} ops, {res.kops_per_s:.0f} kops/s, "
+      f"p99 {res.latency['p99']:.0f} ns, quiesced")
+PY
+
+echo
 echo "== simulator perf guard (vs committed BENCH_simulator.json) =="
 # wide 30% wall-clock tolerance absorbs CI machine noise; the
 # events-per-packet count is deterministic and capped at +5%

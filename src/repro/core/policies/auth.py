@@ -21,3 +21,5 @@ class AuthWritePolicy(DfsPolicy):
     """Authenticated plain write (k=1, no resiliency)."""
 
     name = "auth-write"
+    # process_pkt only posts DMA (no sends, no waits): pace-able.
+    straightline = True

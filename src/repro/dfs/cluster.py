@@ -59,6 +59,7 @@ class Testbed:
         # ``sim.telemetry.enabled`` at any time to start recording
         self.sim.telemetry.enabled = telemetry
         self.telemetry = self.sim.telemetry
+        self.sim.coalescing = params.coalescing
         self.faults = install_faults(self.sim, params.faults)
         if topology == "star":
             self.net = Network(self.sim, params.net)

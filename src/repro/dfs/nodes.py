@@ -126,6 +126,10 @@ class StorageNode(Host):
             hpu_quota=hpu_quota,
         )
         accel.install(ctx)
+        # NVMM DMA completes with a timeless memory write, so the train
+        # driver may batch handler commits; NVMe completions run a flash
+        # program that reads the clock and must be issued live.
+        accel.dma_lazy_ok = self.storage_backend != "nvme"
         self.accelerator = accel
         self.nic.attach_accelerator(accel)
         return accel
@@ -153,8 +157,10 @@ class StorageNode(Host):
         *durability* — after PCIe for NVMM, after the flash program for
         NVMe (handlers "directly issue NVMe writes via the system
         interconnect", §III)."""
+        acc = self.accelerator
+        post_t = acc._commit_t if acc is not None else None
         if addr is None:
-            return self.pcie.dma(int(payload))
+            return self.pcie.dma(int(payload), post_t=post_t)
         data = payload
         if self.storage_backend == "nvme":
             done = self.sim.event(name=f"{self.name}.nvme-flush")
@@ -167,10 +173,12 @@ class StorageNode(Host):
                     else done.succeed(None)
                 )
 
-            self.pcie.dma(data.nbytes, on_complete=submit)
+            self.pcie.dma(data.nbytes, on_complete=submit, post_t=post_t)
             return done
         return self.pcie.dma(
-            data.nbytes, on_complete=lambda: self.memory.write(addr, data)
+            data.nbytes,
+            on_complete=lambda: self.memory.write(addr, data),
+            post_t=post_t,
         )
 
     # --------------------------------------------------------------- RPC

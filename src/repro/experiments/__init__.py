@@ -25,6 +25,7 @@ from . import (
     fig16_table2_ec_handlers,
     loss_sweep,
     table3_survey,
+    throughput_sweep,
 )
 
 REGISTRY: dict[str, ModuleType] = {
@@ -43,6 +44,7 @@ REGISTRY: dict[str, ModuleType] = {
         fig16_hpu_budget,
         loss_sweep,
         table3_survey,
+        throughput_sweep,
     )
 }
 

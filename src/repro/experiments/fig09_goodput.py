@@ -45,9 +45,9 @@ def _goodput(strategy: str, size: int, params: Optional[SimParams], n_ops: int, 
     return res.goodput_gbps
 
 
-def run(params: Optional[SimParams] = None, quick: bool = False) -> list[dict]:
+def points(quick: bool = False) -> list[dict]:
     sizes = QUICK_SIZES if quick else SIZES
-    rows = []
+    pts = []
     for size in sizes:
         if size <= 16 * KiB:
             # small writes need a deep window to fill the pipe
@@ -56,15 +56,26 @@ def run(params: Optional[SimParams] = None, quick: bool = False) -> list[dict]:
             n_ops, window = 48, 48
         else:
             n_ops, window = 16, 16
-        rows.append(
-            {
-                "size": size,
-                "size_label": size_label(size),
-                "spin-ring": _goodput("ring", size, params, n_ops, window),
-                "spin-pbt": _goodput("pbt", size, params, n_ops, window),
-            }
-        )
-    return rows
+        pts.append({"size": size, "n_ops": n_ops, "window": window})
+    return pts
+
+
+def run_point(point: dict, params: Optional[SimParams] = None) -> dict:
+    size, n_ops, window = point["size"], point["n_ops"], point["window"]
+    return {
+        "size": size,
+        "size_label": size_label(size),
+        "spin-ring": _goodput("ring", size, params, n_ops, window),
+        "spin-pbt": _goodput("pbt", size, params, n_ops, window),
+    }
+
+
+def run(params: Optional[SimParams] = None, quick: bool = False,
+        jobs: int = 1, cache: bool = False, cache_dir: Optional[str] = None) -> list[dict]:
+    from ..runner import run_sweep
+
+    return run_sweep(ID, points(quick), params=params, jobs=jobs,
+                     cache=cache, cache_dir_override=cache_dir)
 
 
 def achievable_line_rate(params: Optional[SimParams] = None) -> float:

@@ -45,27 +45,45 @@ def _bandwidth(protocol: str, size: int, k: int, m: int, params: SimParams, n_op
     return generated * 8.0 / res.elapsed_ns
 
 
-def run(params: Optional[SimParams] = None, quick: bool = False) -> list[dict]:
-    p = (params or SimParams()).scaled_network(100.0)
+def points(quick: bool = False) -> list[dict]:
     sizes = SIZES if not quick else [1 * KiB, 512 * KiB]
-    rows = []
-    for k, m in SCHEMES:
-        for size in sizes:
-            n_ops = 12 if size >= 256 * KiB else 128
-            window = 96 if size <= 8 * KiB else 8
-            spin = _bandwidth("spin", size, k, m, p, n_ops, window)
-            inec = _bandwidth("inec", size, k, m, p, n_ops, window)
-            rows.append(
-                {
-                    "scheme": f"RS({k},{m})",
-                    "size": size,
-                    "size_label": size_label(size),
-                    "spin-triec": spin,
-                    "inec-triec": inec,
-                    "ratio": spin / inec,
-                }
-            )
-    return rows
+    return [
+        {
+            "k": k,
+            "m": m,
+            "size": size,
+            "n_ops": 12 if size >= 256 * KiB else 128,
+            "window": 96 if size <= 8 * KiB else 8,
+        }
+        for k, m in SCHEMES
+        for size in sizes
+    ]
+
+
+def run_point(point: dict, params: Optional[SimParams] = None) -> dict:
+    # The 100 Gbit/s scaling happens here, not in run(): run_sweep hands
+    # workers (and the cache key) the caller's raw params.
+    p = (params or SimParams()).scaled_network(100.0)
+    k, m, size = point["k"], point["m"], point["size"]
+    n_ops, window = point["n_ops"], point["window"]
+    spin = _bandwidth("spin", size, k, m, p, n_ops, window)
+    inec = _bandwidth("inec", size, k, m, p, n_ops, window)
+    return {
+        "scheme": f"RS({k},{m})",
+        "size": size,
+        "size_label": size_label(size),
+        "spin-triec": spin,
+        "inec-triec": inec,
+        "ratio": spin / inec,
+    }
+
+
+def run(params: Optional[SimParams] = None, quick: bool = False,
+        jobs: int = 1, cache: bool = False, cache_dir: Optional[str] = None) -> list[dict]:
+    from ..runner import run_sweep
+
+    return run_sweep(ID, points(quick), params=params, jobs=jobs,
+                     cache=cache, cache_dir_override=cache_dir)
 
 
 def check(rows: list[dict]) -> None:

@@ -150,6 +150,16 @@ class FaultInjector:
             return "corrupt"
         return None
 
+    def allows_coalescing(self) -> bool:
+        """Whether the packet-train fast path may run while this injector
+        is armed.  Always False: an installed injector means loss,
+        corruption, or down windows can strike any packet, so every
+        packet must traverse the per-packet path where
+        :meth:`egress_verdict` is consulted.  (``install_faults`` leaves
+        ``sim.faults = None`` when nothing can fire, so fault-free runs
+        still coalesce at full speed.)"""
+        return False
+
     def node_is_down(self, name: str, now_ns: Optional[float] = None) -> bool:
         now = self.sim.now if now_ns is None else now_ns
         return any(w.covers(name, now) for w in self.params.node_down)

@@ -46,6 +46,8 @@ class Pcie:
         self._ns_per_byte = gbps_to_ns_per_byte(params.pcie_bandwidth_gbps)
         self._dma_name = f"{name}.dma"
         self._q: Deque[Tuple[int, Optional[Callable[[], None]], Event, object]] = deque()
+        #: end of the last scheduled serialization (closed-form path)
+        self._free_t = 0.0
         self._busy = False
         self._cur: Optional[Tuple[int, Optional[Callable[[], None]], Event, object]] = None
         self.bytes_transferred = 0
@@ -64,19 +66,62 @@ class Pcie:
         nbytes: int,
         on_complete: Optional[Callable[[], None]] = None,
         trace=None,
+        post_t: Optional[float] = None,
     ) -> Event:
         """Move ``nbytes`` across the interconnect; event fires when the
         transfer is durable (flushed) at the far side.  ``trace`` is an
-        optional request trace context attached to the emitted span."""
+        optional request trace context attached to the emitted span.
+
+        ``post_t`` lets a paced caller (the accelerator's train commit)
+        post with the transaction's true issue time when it replays
+        handler effects after the fact; it only takes effect on the
+        closed-form path below and must never be in the channel's future.
+        """
         if nbytes < 0:
             raise ValueError("negative DMA size")
-        done = Event(self.sim, name=self._dma_name)
+        sim = self.sim
+        done = Event(sim, name=self._dma_name)
+        if not sim.telemetry.enabled:
+            # Closed-form scheduling: with telemetry off the callback
+            # chain's only externally visible effects are the completion
+            # (cb + done) at end-of-serialization + latency and the
+            # aggregate counters, so the whole FIFO schedule collapses to
+            # arithmetic on ``_free_t`` — same floats as the chain
+            # (start = prior end, end = start + ser, durable = end + lat).
+            t = sim.now if post_t is None else post_t
+            free = self._free_t
+            start = free if free > t else t
+            ser = nbytes * self._ns_per_byte
+            end = start + ser
+            self._free_t = end
+            self.busy_ns += ser
+            self.bytes_transferred += nbytes
+            self.transactions += 1
+            durable = end + self.params.pcie_latency_ns
+            if durable <= sim.now:
+                # Replayed post whose completion is already in the past
+                # (train commit): apply it inline — nothing can have
+                # observed the interval, or the train would have been
+                # torn down and this post taken the live branch below.
+                if on_complete is not None:
+                    on_complete()
+                done.succeed_quiet(None)
+            else:
+                sim._call_at1(self._fused_finish, (on_complete, done), durable)
+            return done
         txn = (nbytes, on_complete, done, trace)
         if self._busy:
             self._q.append(txn)
         else:
             self._start(txn)
         return done
+
+    @staticmethod
+    def _fused_finish(pair) -> None:
+        cb, done = pair
+        if cb is not None:
+            cb()
+        done.succeed_quiet(None)
 
     # -- DMA fast path ----------------------------------------------------
     def _start(self, txn) -> None:

@@ -4,18 +4,22 @@
 
 * **kernel** — raw timeout-schedule-dispatch event throughput of the
   discrete-event engine (no network stack);
-* **pipeline** — a full-stack 64 KiB sPIN write: events dispatched,
-  packets through the switch, and the derived events-per-packet cost of
-  the packet pipeline;
+* **pipeline** — a burst of steady-state full-stack 64 KiB sPIN writes:
+  per-write events dispatched, packets through the switch, and the
+  derived events-per-packet cost of the packet pipeline;
 * **sweep** — a small experiment sweep run serially and with two worker
   processes, recording the parallel speedup of :mod:`repro.runner`.
 
 ``--out BENCH_simulator.json`` snapshots the numbers;
 ``--check BENCH_simulator.json`` re-measures and fails (exit 1) if the
-machine-independent event counts grew or wall-clock throughput dropped
-below ``(1 - tolerance)`` of the committed baseline.  Events-per-packet
-is deterministic, so it gets a tight 5% bound; wall-clock numbers get
-the wide default (30%) to absorb CI machine noise.
+machine-independent event counts grew or throughput dropped below
+``(1 - tolerance)`` of the committed baseline.  Events-per-packet is
+deterministic, so it gets a tight 5% bound; throughput numbers get the
+wide default (30%).  Kernel and pipeline throughput are timed with
+``time.process_time`` — per consumed CPU second, which equals wall time
+on a quiet machine but stays stable when a shared CI box throttles or
+preempts the process (the sweep comparison is genuinely wall-clock:
+it measures multi-process parallelism).
 """
 
 from __future__ import annotations
@@ -46,17 +50,19 @@ def _kernel_events_per_s(repeats: int = 8) -> float:
 
         for _ in range(10):
             sim.process(ping(2000))
-        t0 = time.perf_counter()
+        t0 = time.process_time()
         sim.run()
-        return sim.events_dispatched / (time.perf_counter() - t0)
+        return sim.events_dispatched / (time.process_time() - t0)
 
     once()  # warm-up
     return max(once() for _ in range(repeats))
 
 
-def _pipeline_snapshot(repeats: int = 5) -> Dict[str, Any]:
-    """One 64 KiB sPIN write through the full NIC/accelerator stack.
-    Event and packet counts are deterministic; wall time is best-of-N."""
+def _pipeline_snapshot(repeats: int = 5, inner: int = 10) -> Dict[str, Any]:
+    """Steady-state 64 KiB sPIN writes through the full NIC/accelerator
+    stack.  Event and packet counts are deterministic per write; wall
+    time is best-of-N over a burst of ``inner`` writes — coalescing made
+    a single write sub-millisecond, too short to time reliably."""
     import numpy as np
 
     from .dfs.client import DfsClient
@@ -71,12 +77,15 @@ def _pipeline_snapshot(repeats: int = 5) -> Dict[str, Any]:
         install_spin_targets(tb)
         c = DfsClient(tb)
         c.create("/f", size=64 * 1024)
-        t0 = time.perf_counter()
-        out = c.write_sync("/f", data, protocol="spin")
-        wall = time.perf_counter() - t0
+        assert c.write_sync("/f", data, protocol="spin").ok  # warm-up
+        ev0, pk0 = tb.sim.events_dispatched, tb.net.switch.rx_packets
+        t0 = time.process_time()
+        for _ in range(inner):
+            out = c.write_sync("/f", data, protocol="spin")
+        wall = (time.process_time() - t0) / inner
         assert out.ok
-        events = tb.sim.events_dispatched
-        packets = tb.net.switch.rx_packets
+        events = (tb.sim.events_dispatched - ev0) // inner
+        packets = (tb.net.switch.rx_packets - pk0) // inner
         best_wall = min(best_wall, wall)
     return {
         "events": events,
@@ -99,10 +108,14 @@ def _sweep_snapshot(jobs: int = 2) -> Dict[str, Any]:
     rows_par = mod.run(quick=True, jobs=jobs, cache=False)
     par = time.perf_counter() - t0
     assert json.dumps(rows_serial, sort_keys=True) == json.dumps(rows_par, sort_keys=True)
+    from .runner import LAST_STATS
+
     return {
         "experiment": mod.ID,
         "points": len(rows_serial),
         "jobs": jobs,
+        # effective worker count after the runner's cpu/point clamping
+        "cpus_used": LAST_STATS.jobs,
         "serial_wall_s": round(serial, 3),
         "parallel_wall_s": round(par, 3),
         "speedup": round(serial / par, 2) if par > 0 else 0.0,
@@ -130,14 +143,16 @@ def check_against(snap: Dict[str, Any], base: Dict[str, Any],
     list of human-readable failures (empty = pass)."""
     failures: List[str] = []
 
-    def floor(name: str, got: float, want: float) -> None:
-        if got < want * (1.0 - tolerance):
+    def floor(name: str, got: float, want: float, tol: float = tolerance) -> None:
+        if got < want * (1.0 - tol):
             failures.append(
-                f"{name}: {got:,.0f} < {(1 - tolerance):.0%} of baseline {want:,.0f}"
+                f"{name}: {got:,.0f} < {(1 - tol):.0%} of baseline {want:,.0f}"
             )
 
+    # the bare-kernel microbenchmark is the most frequency/SMT-sensitive
+    # number (tens of ms of pure dispatch); give it double headroom
     floor("kernel_events_per_s", snap["kernel_events_per_s"],
-          base["kernel_events_per_s"])
+          base["kernel_events_per_s"], tol=min(2 * tolerance, 0.9))
     floor("pipeline.events_per_wall_s", snap["pipeline"]["events_per_wall_s"],
           base["pipeline"]["events_per_wall_s"])
 

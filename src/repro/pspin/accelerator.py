@@ -38,7 +38,7 @@ from ..params import PsPinParams
 
 if TYPE_CHECKING:  # pragma: no cover — avoids a core<->pspin import cycle
     from ..core.context import ExecutionContext
-from ..simnet.engine import Event, Simulator
+from ..simnet.engine import Event, SimulationError, Simulator
 from ..simnet.packet import Packet
 from ..simnet.resources import Resource
 
@@ -96,6 +96,7 @@ class _MessageRun:
         "last_activity",
         "finished",
         "trace",
+        "api",
     )
 
     def __init__(self, sim: Simulator, msg_id: int, ctx: "ExecutionContext", cluster: int):
@@ -117,10 +118,68 @@ class _MessageRun:
         self.last_activity = 0.0
         self.finished = False
         self.trace = None  # request TraceContext (telemetry)
+        self.api = None  # memoized HandlerApi (one per run is enough)
+
+
+class _AccelTrain:
+    """Pacing state for one coalesced train inside the accelerator.
+
+    The per-packet pipeline of an uncontended, straight-line message is a
+    closed form: F1 (packet buffer + scheduler) and F2 (L1 copy) depend
+    only on packet size; payload handlers gate on the header handler's
+    completion and their dispatch/compute times follow from it.  The
+    ``agenda`` holds ``(time, index, rank)`` entries for every per-packet
+    effect; ranks order same-instant effects of one packet:
+
+    0 ``in``   NIC rx + ingest accounting        (arrival + nic_rx)
+    1 ``f1``   run bookkeeping + cluster pick    (F1 end)
+    2 ``s2``   leaves the ingress queue          (F2 end)
+    3 ``gate`` completion_seen flips             (hh resume point; completion only)
+    4 ``act``  HPU dispatch done, compute begins (t0)
+    5 ``done`` handler completes: DMA + stats    (e)
+
+    Pure-state entries are applied lazily (the driver only wakes at
+    ``done`` times, where real side effects — DMA posts — must run at the
+    exact simulated instant).  ``stage[j]`` records how far packet ``j``
+    got, so an interrupt can materialize each packet back into the real
+    per-packet pipeline at precisely the right point.
+    """
+
+    __slots__ = (
+        "wire", "ctx", "nic", "pkts", "msg_id", "run",
+        "t_in", "f1", "s2", "cl", "g", "t0", "e", "cost",
+        "agenda", "ptr", "stage", "built", "dead",
+    )
+
+    def __init__(self, wire, ctx, nic, t_in, f1, s2):
+        self.wire = wire          # the wire-level PacketTrain (carries cut)
+        self.ctx = ctx
+        self.nic = nic
+        self.pkts = wire.pkts
+        self.msg_id = self.pkts[0].msg_id
+        self.run: Optional[_MessageRun] = None
+        self.t_in = t_in          # NIC dispatch time, per packet
+        self.f1 = f1              # packet buffer + scheduler done
+        self.s2 = s2              # L1 copy done
+        n = len(self.pkts)
+        self.cl = [0] * n         # exec cluster (filled at 'f1')
+        self.g: Optional[list] = None    # HPU grant time (part B)
+        self.t0: Optional[list] = None   # compute start
+        self.e: Optional[list] = None    # handler end
+        self.cost: Optional[list] = None
+        self.agenda: list = []
+        self.ptr = 0
+        self.stage = [0] * n      # 0 none,1 in,2 f1,3 s2,4 gate,5 act,6 done
+        self.built = False        # part B (g/t0/e) computed at hh time
+        self.dead = False
 
 
 class HandlerApi:
     """What a running handler may do (the sPIN device API)."""
+
+    #: logical time override used when a paced train replays a handler
+    #: after the fact — the handler must still see its true finish time
+    _vnow: Optional[float] = None
 
     def __init__(self, accel: "PsPinAccelerator", run: _MessageRun):
         self._accel = accel
@@ -128,7 +187,8 @@ class HandlerApi:
 
     @property
     def now(self) -> float:
-        return self._accel.sim.now
+        v = self._vnow
+        return self._accel.sim.now if v is None else v
 
     @property
     def sim(self) -> Simulator:
@@ -305,6 +365,16 @@ class PsPinAccelerator:
         self.nacks_sent = 0
         self._queued = 0
         self._cleanup_proc = None
+        #: active paced packet train, if any (see ingest_train)
+        self._train: Optional[_AccelTrain] = None
+        #: issue time of the handler currently being replayed by a train
+        #: commit — threaded to the host DMA channel so late replays post
+        #: with their true times (None outside commits)
+        self._commit_t: Optional[float] = None
+        #: set by the owning node when its storage backend completes DMA
+        #: timelessly (plain memory write) — allows the train driver to
+        #: batch all handler commits into one wake-up
+        self.dma_lazy_ok = False
 
     def _egress_pump(self):
         """Drain the handler egress queue at line rate (one in-flight
@@ -348,6 +418,12 @@ class PsPinAccelerator:
         ctx = self.match(pkt)
         if ctx is None:
             return False
+        if self._train is not None and pkt is not self._train.pkts[0]:
+            # Any competing packet entering the engine invalidates the
+            # paced train's precomputed schedule (queue depths, cluster
+            # round-robin, HPU occupancy): de-coalesce first so this
+            # packet sees exactly the per-packet state.
+            self._train_interrupt()
         # Admission control is per *message* (§III-C): the decision is
         # taken on the header packet; later packets of an admitted
         # message are always processed, later packets of a denied
@@ -415,6 +491,25 @@ class PsPinAccelerator:
         yield sim.timeout(
             (-(-pkt.size // p.pkt_buffer_bytes_per_cycle) + p.sched_cycles) * cyc
         )
+        run, exec_cluster = self._pipeline_front(ctx, pkt)
+        # 3. copy into cluster L1
+        yield sim.timeout(-(-pkt.size // p.l1_copy_bytes_per_cycle) * cyc)
+        if self._train is not None and pkt is self._train.pkts[0]:
+            # The lead packet of a paced train runs the real pipeline:
+            # apply agenda effects due by now (arrivals of later train
+            # packets) first, so the shared ingress-queue state mutates
+            # in exactly the per-packet order.
+            self._train_catchup(self._train)
+        self._queued -= 1
+        self.packets_processed += 1
+        yield from self._pipeline_exec(run, pkt, exec_cluster)
+
+    def _pipeline_front(self, ctx: ExecutionContext, pkt: Packet):
+        """Post-F1 bookkeeping: run lookup/creation and the scheduler's
+        cluster picks.  Split out so the packet-train fast path can apply
+        it lazily (and the de-coalescing path can replay it exactly)."""
+        sim = self.sim
+        p = self.params
         run = self._runs.get(pkt.msg_id)
         if run is None:
             # Any packet may open the run: handler-forwarded streams can
@@ -436,15 +531,25 @@ class PsPinAccelerator:
         # message's request state lives in its home cluster's L1.
         exec_cluster = self._next_cluster
         self._next_cluster = (self._next_cluster + 1) % p.n_clusters
-        # 3. copy into cluster L1
-        yield sim.timeout(-(-pkt.size // p.l1_copy_bytes_per_cycle) * cyc)
-        self._queued -= 1
-        self.packets_processed += 1
+        return run, exec_cluster
 
+    def _pipeline_exec(self, run: _MessageRun, pkt: Packet, exec_cluster: int):
+        """Handler-ordering stage of the pipeline (post L1 copy)."""
         if pkt.is_header:
             yield from self._exec(run, "header", pkt, run.cluster)
             if not run.hh_done.triggered:
                 run.hh_done.succeed(None)
+            at = self._train
+            if at is not None and pkt is at.pkts[0]:
+                # Hand the lead packet's payload handler to the train
+                # driver: pacing it through the same agenda keeps every
+                # shared mutation (DMA posts, cluster gauges, counters)
+                # in exact per-packet order.  This runs synchronously
+                # after the succeed above, so the driver (parked on
+                # hh_done) sees stage/cluster recorded when it builds.
+                at.cl[0] = exec_cluster
+                at.stage[0] = 3
+                return
         elif not run.hh_done.triggered:
             yield run.hh_done
 
@@ -457,7 +562,7 @@ class PsPinAccelerator:
 
         yield from self._exec(run, "payload", pkt, exec_cluster)
         run.ph_seqs.add(pkt.seq)
-        run.last_activity = sim.now
+        run.last_activity = self.sim.now
         if (
             run.completion_seen
             and run.expected is not None
@@ -539,6 +644,504 @@ class PsPinAccelerator:
             inv.inc()
             h["lat"][htype].observe(dur)
             h["active"][cluster.idx].set(sim.now, cluster.active)
+
+    # ------------------------------------------------- packet-train pacing
+    #
+    # A coalesced train reaching an IDLE accelerator whose effective
+    # payload policy is straight-line (never yields, non-memory-intensive
+    # cost) has a fully closed-form pipeline: the header packet runs the
+    # real pipeline, and every other packet's per-stage times are
+    # precomputed.  One driver process wakes once per handler completion
+    # (where DMA posts must happen at the exact instant) and applies all
+    # pure-state effects lazily — instead of ~7 heap events per packet.
+    # Any competing traffic tears the train down, materializing each
+    # packet back into the real pipeline at its exact current stage.
+
+    def ingest_train(self, wt, nic) -> bool:
+        """Offer a whole coalesced train; True when the accelerator paces
+        it itself, False to fall back to per-packet dispatch."""
+        if self._train is not None:
+            # A second burst is competing traffic for the engine either
+            # way: de-coalesce the active train, then let this one take
+            # the (now exact) per-packet path.
+            self._train_interrupt()
+            return False
+        pkts = wt.pkts
+        n = len(pkts)
+        pkt0 = pkts[0]
+        if n < 2 or wt.cut < n:
+            return False
+        ctx = self.match(pkt0)
+        if ctx is None:
+            return False
+        if (
+            not pkt0.is_header
+            or pkt0.is_completion
+            or pkt0.nseq != n
+            or not pkts[-1].is_completion
+            or self._queued != 0
+            or self._runs
+            or ctx._quota_sem is not None
+            or pkt0.msg_id in self._overloaded
+            or pkt0.msg_id in self._admitted
+        ):
+            return False
+        # Cheap pre-filter on the payload policy: forwarding policies
+        # (replication, EC) stall on egress / contend on L1 and can never
+        # be paced — skip the part-A churn for them.  The authoritative
+        # check (via the header handler's scratch) re-runs at build time.
+        ph = ctx.handlers.payload
+        pol = getattr(ph, "policy", None)
+        if pol is None:
+            return False
+        pick = getattr(pol, "_pick", None)
+        eff = pick(pkt0) if pick is not None else pol
+        if not getattr(eff, "straightline", False):
+            return False
+        sim = self.sim
+        p = self.params
+        cyc = p.cycle_ns
+        pbc = p.pkt_buffer_bytes_per_cycle
+        l1c = p.l1_copy_bytes_per_cycle
+        sched = p.sched_cycles
+        nic_rx = nic.params.nic_rx_ns
+        # Same float expressions as the per-packet path — bit-identical.
+        sizes = [p.size for p in pkts]
+        t_in = [a + nic_rx for a in wt.arr]
+        f1 = [
+            t_in[j] + (-(-sizes[j] // pbc) + sched) * cyc for j in range(n)
+        ]
+        s2 = [f1[j] + -(-sizes[j] // l1c) * cyc for j in range(n)]
+        at = _AccelTrain(wt, ctx, nic, t_in, f1, s2)
+        agenda = []
+        for j in range(1, n):
+            agenda.append((t_in[j], j, 0))
+            agenda.append((f1[j], j, 1))
+            agenda.append((s2[j], j, 2))
+        agenda.sort()
+        at.agenda = agenda
+        # The header packet takes the REAL pipeline (its handler opens
+        # the request entry, resolves the policy, acks or nacks).
+        nic.rx_packets += 1
+        self.ingest(pkt0)
+        self._train = at
+        sim.process(self._train_driver(at), name=f"{self.node_name}.train")
+        return True
+
+    def _train_driver(self, at: _AccelTrain):
+        sim = self.sim
+        if at.f1[0] > sim.now:
+            yield sim.timeout_at(at.f1[0])
+        if at.dead:
+            return
+        run = self._runs.get(at.msg_id)
+        if run is None:
+            # The header's own F1 timeout shares this timestamp but was
+            # pushed after our wake-up; one zero-delay hop lands past it.
+            yield sim.timeout(0.0)
+            if at.dead:
+                return
+            run = self._runs.get(at.msg_id)
+            if run is None:
+                self._train_teardown(at)
+                return
+        at.run = run
+        if not run.hh_done.triggered:
+            yield run.hh_done
+            if at.dead:
+                return
+        self._train_catchup(at)
+        if run.finished or not self._train_build_exec(at):
+            self._train_teardown(at)
+            return
+        if not sim.telemetry.enabled and self.dma_lazy_ok:
+            # Batched commits: with telemetry off and a timeless storage
+            # backend, nothing observes the interval between a handler's
+            # true finish time and the train's end — every commit can be
+            # replayed at the final wake-up with its recorded timestamps
+            # (DMA posts carry their true issue times via ``_commit_t``).
+            # An interrupt still lands exactly: teardown's catch-up
+            # replays everything due and materializes the rest live.
+            t_last = max(at.e)
+            if t_last > sim.now:
+                yield sim.timeout_at(t_last)
+                if at.dead:
+                    return
+            self._train_catchup(at)
+        else:
+            # One wake per distinct handler-completion time: DMA posts
+            # (and phs_done) must happen at those exact instants;
+            # everything else on the agenda is pure state and applies
+            # lazily at the wakes.
+            for t in sorted(set(at.e)):
+                if t > sim.now:
+                    yield sim.timeout_at(t)
+                    if at.dead:
+                        return
+                self._train_catchup(at)
+        self._train = None
+        if at.wire.cut < len(at.pkts):
+            # The wire cut trailing packets: they re-arrive individually
+            # and their own pipelines (completion included) take over.
+            return
+        # Completion tail — mirrors the slow-path completion pipeline
+        # resuming from its phs_done park.
+        pkt = at.pkts[-1]
+        if not run.phs_done.triggered:
+            yield run.phs_done
+        if run.finished:
+            self.packets_dropped += 1
+            return
+        yield from self._exec(run, "completion", pkt, run.cluster)
+        self._finish(run)
+
+    def _train_build_exec(self, at: _AccelTrain) -> bool:
+        """Part B: the HPU grant/dispatch/compute schedule, computable
+        once the header handler has finished (its end gates every payload
+        handler).  False when pacing would not be faithful — the caller
+        then de-coalesces."""
+        run = at.run
+        sim = self.sim
+        p = self.params
+        hh_t = sim.now
+        handler = run.ctx.handlers.payload
+        entry = run.task.mem.get_request(run.task.flow_id)
+        if entry is not None and getattr(entry, "accept", False):
+            # Authoritative straight-line check: the policy the header
+            # handler actually resolved for this request.
+            eff = entry.scratch.get("policy", getattr(handler, "policy", None))
+            if not getattr(eff, "straightline", False):
+                return False
+        # else: rejected/unopened request — payload handlers take the
+        # zero-yield drop path, which is trivially straight-line.
+        pkts = at.pkts
+        n = len(pkts)
+        freq = p.freq_ghz
+        disp = p.hpu_dispatch_ns
+        s2 = at.s2
+        g = [0.0] * n
+        t0 = [0.0] * n
+        e = [0.0] * n
+        cost = [None] * n
+        for j in range(n):
+            c = handler.cost(run.task, pkts[j])
+            if c.mem_intensive:
+                return False
+            # The lead packet's payload handler resumed synchronously at
+            # the header's end; later packets gate on max(L1 copy, hh).
+            gj = s2[j] if j > 0 and s2[j] > hh_t else hh_t
+            g[j] = gj
+            t0[j] = gj + disp
+            e[j] = t0[j] + c.compute_ns(freq, 1.0)
+            cost[j] = c
+        # Every paced window must find a free HPU instantly, or the slow
+        # path would have queued and the schedule lies.  Sweep per-cluster
+        # concurrency over the [g, e) windows (predicting not-yet-applied
+        # round-robin picks — exact while the train owns the engine).
+        # Nothing else runs on the HPUs while the train is paced (the
+        # header already released; the completion handler starts later),
+        # so the full per-cluster pool is available.
+        ncl = p.n_clusters
+        nc = self._next_cluster
+        pred = list(at.cl)
+        for j in range(1, n):
+            if at.stage[j] < 2:
+                pred[j] = nc
+                nc = (nc + 1) % ncl
+        windows: Dict[int, list] = defaultdict(list)
+        for j in range(n):
+            windows[pred[j]].append((g[j], 0, 1))   # acquire before release
+            windows[pred[j]].append((e[j], 1, -1))  # at equal times
+        cap = p.hpus_per_cluster
+        for evs in windows.values():
+            evs.sort()
+            cur = 0
+            for _t, _k, d in evs:
+                cur += d
+                if cur > cap:
+                    return False
+        rest = at.agenda[at.ptr:]
+        for j in range(n):
+            if pkts[j].is_completion:
+                rest.append((g[j], j, 3))
+            rest.append((t0[j], j, 4))
+            rest.append((e[j], j, 5))
+        rest.sort()
+        at.agenda = rest
+        at.ptr = 0
+        at.g = g
+        at.t0 = t0
+        at.e = e
+        at.cost = cost
+        at.built = True
+        return True
+
+    def _train_catchup(self, at: _AccelTrain) -> None:
+        """Apply every agenda entry due by now, in order, skipping
+        packets the wire cut (they never reached this NIC).
+
+        The rank dispatch is inlined in the loop body: applies are the
+        hottest per-packet work left on the fast path (six entries per
+        paced packet), and a call per entry costs as much as the entry.
+        """
+        agenda = at.agenda
+        now = self.sim.now
+        i = at.ptr
+        n = len(agenda)
+        wire = at.wire
+        pkts = at.pkts
+        stage = at.stage
+        tel = self.sim.telemetry
+        while i < n and agenda[i][0] <= now:
+            t, j, rank = agenda[i]
+            i += 1
+            if j >= wire.cut:
+                continue
+            if rank == 0:  # NIC rx + accelerator ingest accounting
+                at.nic.rx_packets += 1
+                pkt = pkts[j]
+                if pkt.is_completion:
+                    self._admitted.discard(pkt.msg_id)
+                self._queued += 1
+                if tel.enabled:
+                    h = self._handles.get(tel.metrics)
+                    h["ingested"].inc()
+                    h["queued"].set(t, self._queued)
+                stage[j] = 1
+            elif rank == 1:  # F1 done: run bookkeeping + exec-cluster pick
+                run = at.run
+                run.expected = pkts[j].nseq
+                run.last_activity = t
+                at.cl[j] = self._next_cluster
+                self._next_cluster = (self._next_cluster + 1) % self.params.n_clusters
+                stage[j] = 2
+            elif rank == 2:  # L1 copy done: leaves the ingress queue
+                self._queued -= 1
+                self.packets_processed += 1
+                stage[j] = 3
+            elif rank == 3:  # hh-resume point of the completion packet
+                at.run.completion_seen = True
+                stage[j] = 4
+            elif rank == 4:  # dispatch done: compute begins
+                cluster = self.clusters[at.cl[j]]
+                cluster.active += 1
+                if tel.enabled:
+                    self._handles.get(tel.metrics)["active"][cluster.idx].set(
+                        t, cluster.active
+                    )
+                stage[j] = 5
+            else:  # rank 5: handler completes at exactly ``t == at.e[j]``
+                cluster = self.clusters[at.cl[j]]
+                cluster.hpus._busy_time += at.e[j] - at.g[j]
+                self._train_ph_commit(
+                    at.run, pkts[j], cluster, at.cost[j], at.t0[j], at.e[j]
+                )
+                stage[j] = 6
+        at.ptr = i
+
+    def _train_ph_commit(
+        self,
+        run: _MessageRun,
+        pkt: Packet,
+        cluster: _Cluster,
+        cost,
+        t0: float,
+        t1: float,
+    ) -> None:
+        """Effects + statistics of one paced payload handler finishing at
+        ``t1`` (== sim.now, or an earlier instant when the driver batches
+        commits) — the straight-line mirror of ``_exec``'s tail plus the
+        pipeline's post-payload bookkeeping."""
+        api = run.api
+        if api is None:
+            api = run.api = HandlerApi(self, run)
+        api._vnow = t1
+        self._commit_t = t1
+        try:
+            gen = run.ctx.handlers.payload.run(api, run.task, pkt)
+            if gen is not None:
+                for _ in gen:
+                    raise SimulationError(
+                        f"straightline payload policy of {run.ctx.name!r} yielded"
+                    )
+        finally:
+            self._commit_t = None
+            api._vnow = None
+        cluster.active -= 1
+        self._record_stats("payload", run.ctx.name, t1 - t0, cost.instructions)
+        tel = self.sim.telemetry
+        if tel.enabled:
+            dur = t1 - t0
+            tel.span(
+                f"payload:{run.ctx.name} m{run.msg_id}",
+                pid=f"pspin:{self.node_name}",
+                tid=f"cluster{cluster.idx}",
+                t0=t0,
+                t1=t1,
+                cat="hpu",
+                trace=run.trace,
+                args={"instructions": cost.instructions, "handler": "payload"},
+            )
+            h = self._handles.get(tel.metrics)
+            h["busy"].inc(dur)
+            inv = h["inv"].get("payload")
+            if inv is None:
+                m = tel.metrics
+                inv = h["inv"]["payload"] = m.counter(
+                    f"pspin.{self.node_name}.handler.payload.invocations"
+                )
+                h["lat"]["payload"] = m.histogram(
+                    f"pspin.{self.node_name}.handler.payload.latency_ns"
+                )
+            inv.inc()
+            h["lat"]["payload"].observe(dur)
+            h["active"][cluster.idx].set(t1, cluster.active)
+        run.ph_seqs.add(pkt.seq)
+        run.last_activity = t1
+        if (
+            run.completion_seen
+            and run.expected is not None
+            and len(run.ph_seqs) >= run.expected
+            and not run.phs_done.triggered
+        ):
+            run.phs_done.succeed(None)
+
+    # ------------------------------------------- de-coalescing (interrupt)
+    def _train_interrupt(self) -> None:
+        at = self._train
+        assert at is not None
+        self._train_teardown(at)
+
+    def _train_teardown(self, at: _AccelTrain) -> None:
+        """Stop pacing NOW: apply everything due, then hand each not-yet-
+        finished packet back to the real per-packet pipeline at exactly
+        the stage it nominally reached."""
+        if self._train is at:
+            self._train = None
+        at.dead = True
+        if at.run is None:
+            at.run = self._runs.get(at.msg_id)
+        self._train_catchup(at)
+        self._train_materialize(at)
+
+    def _train_materialize(self, at: _AccelTrain) -> None:
+        sim = self.sim
+        for j in range(len(at.pkts)):
+            stage = at.stage[j]
+            if j == 0:
+                if stage == 3:
+                    # The lead packet's pipeline handed its payload off
+                    # to the (now dead) driver; resume it.
+                    if at.built:
+                        sim.process(self._train_cont_hpu(at, 0, stage))
+                    else:
+                        sim.process(self._train_cont_pkt0(at))
+                # stage 0: its real pipeline never reached the hand-off
+                # point and carries on by itself; >= 4 only with built.
+                elif stage in (4, 5):
+                    sim.process(self._train_cont_hpu(at, 0, stage))
+                continue
+            if j >= at.wire.cut:
+                continue  # never reached this NIC; re-sent the slow way
+            if stage >= 6:
+                continue
+            if stage == 0:
+                sim._call_at1(self._train_ingest_late, (at, j), at.t_in[j])
+            elif stage == 1:
+                sim.process(self._train_cont_f1(at, j))
+            elif stage == 2:
+                sim.process(self._train_cont_s2(at, j))
+            elif stage == 3 and not at.built:
+                sim.process(self._train_cont_exec(at, j))
+            else:
+                # Part B built: the HPU is nominally held since g[j].
+                sim.process(self._train_cont_hpu(at, j, stage))
+
+    def _train_ingest_late(self, arg) -> None:
+        at, j = arg
+        if j >= at.wire.cut:
+            return
+        at.nic.rx_packets += 1
+        self.ingest(at.pkts[j])
+
+    def _train_cont_pkt0(self, at: _AccelTrain):
+        """Resume the lead packet's payload after a pre-build interrupt
+        — the tail of ``_pipeline_exec`` its pipeline skipped."""
+        run = at.run
+        pkt = at.pkts[0]
+        if run.finished:
+            self.packets_dropped += 1
+            return
+        yield from self._exec(run, "payload", pkt, at.cl[0])
+        run.ph_seqs.add(pkt.seq)
+        run.last_activity = self.sim.now
+        if (
+            run.completion_seen
+            and run.expected is not None
+            and len(run.ph_seqs) >= run.expected
+            and not run.phs_done.triggered
+        ):
+            run.phs_done.succeed(None)
+
+    def _train_cont_f1(self, at: _AccelTrain, j: int):
+        """Materialize a packet still in its F1 (buffer+scheduler) stage."""
+        sim = self.sim
+        pkt = at.pkts[j]
+        if at.f1[j] > sim.now:
+            yield sim.timeout_at(at.f1[j])
+        run, exec_cluster = self._pipeline_front(at.ctx, pkt)
+        yield sim.timeout_at(at.s2[j])
+        self._queued -= 1
+        self.packets_processed += 1
+        yield from self._pipeline_exec(run, pkt, exec_cluster)
+
+    def _train_cont_s2(self, at: _AccelTrain, j: int):
+        """Materialize a packet mid L1 copy (front already applied)."""
+        sim = self.sim
+        pkt = at.pkts[j]
+        if at.s2[j] > sim.now:
+            yield sim.timeout_at(at.s2[j])
+        self._queued -= 1
+        self.packets_processed += 1
+        yield from self._pipeline_exec(at.run, pkt, at.cl[j])
+
+    def _train_cont_exec(self, at: _AccelTrain, j: int):
+        """Materialize a packet past its L1 copy, before the header
+        handler finished (it parks on hh_done like the slow path)."""
+        yield from self._pipeline_exec(at.run, at.pkts[j], at.cl[j])
+
+    def _train_cont_hpu(self, at: _AccelTrain, j: int, stage: int):
+        """Materialize a packet whose HPU window [g, e) already opened:
+        re-acquire a real HPU (guaranteed free — the build-time sweep
+        reserved it), backfill its occupancy, and finish on schedule."""
+        sim = self.sim
+        run = at.run
+        pkt = at.pkts[j]
+        cluster = self.clusters[at.cl[j]]
+        req = cluster.hpus.request()
+        yield req
+        cluster.hpus._busy_time += sim.now - at.g[j]
+        if stage < 5:
+            if at.t0[j] > sim.now:
+                yield sim.timeout_at(at.t0[j])
+            cluster.active += 1
+            tel = sim.telemetry
+            if tel.enabled:
+                self._handles.get(tel.metrics)["active"][cluster.idx].set(
+                    sim.now, cluster.active
+                )
+        if at.e[j] > sim.now:
+            yield sim.timeout_at(at.e[j])
+        self._train_ph_commit(run, pkt, cluster, at.cost[j], at.t0[j], at.e[j])
+        cluster.hpus.release(req)
+        if pkt.is_completion:
+            if not run.phs_done.triggered:
+                yield run.phs_done
+            if run.finished:
+                self.packets_dropped += 1
+                return
+            yield from self._exec(run, "completion", pkt, run.cluster)
+            self._finish(run)
 
     def _finish(self, run: _MessageRun) -> None:
         run.finished = True

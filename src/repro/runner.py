@@ -184,7 +184,9 @@ def run_sweep(
     """
     global LAST_STATS
     t0 = time.perf_counter()
-    stats = SweepStats(experiment=eid, n_points=len(points), jobs=max(1, jobs))
+    # More workers than cores only adds scheduler churn; clamp silently.
+    jobs = min(max(1, jobs), os.cpu_count() or 1)
+    stats = SweepStats(experiment=eid, n_points=len(points), jobs=jobs)
     cdir = cache_dir(cache_dir_override) if cache else None
     stats.cache_dir = cdir
 
@@ -206,7 +208,9 @@ def run_sweep(
         todo = list(range(len(points)))
 
     if todo:
-        if jobs > 1 and len(todo) > 1:
+        # Pool spin-up (fork + import + IPC) costs tens of milliseconds;
+        # it only pays off when every worker gets at least two points.
+        if jobs > 1 and len(todo) >= 2 * jobs:
             import multiprocessing as mp
             from concurrent.futures import ProcessPoolExecutor
 
@@ -226,6 +230,7 @@ def run_sweep(
                 for i in todo:
                     results[i] = futs[i].result()
         else:
+            stats.jobs = 1
             fn = run_point
             for i in todo:
                 if fn is not None:

@@ -115,6 +115,25 @@ class Event:
         heapq.heappush(sim._heap, (sim.now, sim._seq, self))
         return self
 
+    def succeed_quiet(self, value: Any = None) -> "Event":
+        """Succeed without a kernel dispatch when nothing is attached yet.
+
+        With no callbacks registered there is nothing for the dispatch to
+        run: the event is marked already-dispatched, so later waiters are
+        rescheduled through ``_call_soon1`` exactly as they would be after
+        a real dispatch.  With callbacks attached this degrades to
+        :meth:`succeed`.  Fire-and-forget completions (DMA posts whose
+        event is only inspected later) save one heap event each.
+        """
+        if self.callbacks:
+            return self.succeed(value)
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self.triggered = True
+        self._value = value
+        self.callbacks = _DISPATCHED
+        return self
+
     def fail(self, exc: BaseException) -> "Event":
         """Mark the event failed; waiters will see ``exc`` raised."""
         if self.triggered:
@@ -347,6 +366,11 @@ class Simulator:
         self.telemetry = Telemetry(enabled=False)
         #: fault oracle (see repro.faults.install_faults); None = no faults
         self.faults = None
+        #: packet-train coalescing switch (see repro.simnet.link): ports
+        #: may collapse an uncontended multi-packet burst into one train
+        #: event with precomputed per-packet timestamps.  Purely a
+        #: simulator fast path — timestamps are byte-identical either way.
+        self.coalescing = True
         # -- self-profile (always on: integer bookkeeping only) --------
         self.events_dispatched = 0
         self._heap_high_water = 0
@@ -390,6 +414,32 @@ class Simulator:
         """Schedule ``fn(arg)`` — the closure-free flavour of _call_soon."""
         self._seq += 1
         heapq.heappush(self._heap, (self.now + delay, self._seq, fn, arg))
+
+    def _call_at1(self, fn: Callable[[Any], None], arg: Any, t: float) -> None:
+        """Schedule ``fn(arg)`` at ABSOLUTE simulated time ``t``.
+
+        Used by the packet-train fast path, whose per-packet timestamps
+        are precomputed arrays: pushing ``t`` itself keeps the fire time
+        bit-identical to the per-packet slow path, whereas the delay form
+        ``now + (t - now)`` can differ in the last ulp.
+        """
+        self._seq += 1
+        heapq.heappush(self._heap, (t, self._seq, fn, arg))
+
+    def timeout_at(self, t: float, value: Any = None) -> Event:
+        """An event that fires at ABSOLUTE simulated time ``t`` (>= now).
+
+        The absolute-time analogue of :meth:`timeout`, with the same
+        bit-exactness rationale as :meth:`_call_at1`.
+        """
+        if t < self.now:
+            raise SimulationError(f"timeout_at({t}) is in the past (now={self.now})")
+        ev = Event(self, "timeout_at")
+        ev.triggered = True  # like Timeout: cannot be cancelled/re-triggered
+        ev._value = value
+        self._seq += 1
+        heapq.heappush(self._heap, (t, self._seq, ev))
+        return ev
 
     # -- running ---------------------------------------------------------
     def _step(self) -> None:

@@ -20,11 +20,11 @@ Store+process design, with identical simulated timestamps.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Protocol, Tuple
+from typing import Deque, List, Optional, Protocol, Tuple
 
 from ..telemetry.metrics import HandleCache
 from .engine import Event, Simulator
-from .packet import Packet
+from .packet import Packet, PacketTrain
 
 __all__ = ["Port", "Endpoint", "gbps_to_ns_per_byte"]
 
@@ -62,6 +62,8 @@ class Port:
         self._busy = False
         self._cur_pkt: Optional[Packet] = None
         self._cur_done: Optional[Event] = None
+        #: active coalesced packet train, if any (see try_send_train)
+        self._train: Optional[PacketTrain] = None
         self.peer: Optional[Endpoint] = None
         self.latency_ns: float = 0.0
         # statistics
@@ -96,6 +98,11 @@ class Port:
         serialized onto the wire* (not when delivered).  Yielding on it
         models a sender that blocks until egress accepts its data.
         """
+        if self._train is not None:
+            # Cross-traffic invalidates the train's closed-form schedule:
+            # de-coalesce before this packet touches the queue so FIFO
+            # order matches the per-packet path exactly.
+            self._train_abort()
         sim = self.sim
         done = Event(sim)
         pkt.enqueue_t = sim.now
@@ -112,6 +119,8 @@ class Port:
 
     def try_send(self, pkt: Packet) -> Optional[Event]:
         """Non-blocking enqueue; None when the egress queue is full."""
+        if self._train is not None:
+            self._train_abort()
         # The in-service packet counts against capacity: with
         # queue_packets=1 an idle port accepts exactly one packet.
         if len(self._q) + self._busy >= self.queue_packets:
@@ -178,6 +187,296 @@ class Port:
             if verdict == "corrupt":
                 pkt.corrupted = True
         sim._call_soon1(peer.receive, pkt, delay=self.latency_ns)
+
+    # -- packet-train coalescing -----------------------------------------
+    #
+    # When a multi-packet burst hits an idle, fault-free port, its whole
+    # wire schedule is a closed form; we schedule TWO heap events for the
+    # entire burst (train tx-done at the last serialization end, train
+    # delivery at the first arrival) instead of three per packet.  Per-
+    # packet tx statistics and telemetry are applied lazily — at train
+    # completion, or at the abort point when cross-traffic de-coalesces
+    # the train — with the exact per-packet timestamps the slow path
+    # would have produced.
+
+    def try_send_train(
+        self,
+        pkts: List[Packet],
+        avail: Optional[List[float]] = None,
+        sender_event: bool = True,
+        enq_push: Optional[List[float]] = None,
+    ) -> Optional[PacketTrain]:
+        """Coalesce ``pkts`` into one train if the port is uncontended.
+
+        ``avail`` gives, per packet, when it becomes available at this
+        port (a forwarding hop whose packets are still arriving); None
+        means sender-paced (packet ``i+1`` is offered the instant ``i``
+        finishes serializing, like the NIC's send loop).  ``enq_push``
+        gives, per packet, when the slow path would have *pushed* the
+        enqueue callback (the switch pushes ``out.send`` one traversal
+        before it fires) — it decides whether an enqueue gauge sample
+        precedes a tx-done sample landing on the same timestamp; None
+        means enqueues are pushed at their fire time and lose ties, like
+        a sender resuming from the tx-done event.  Returns None — and
+        sends nothing — when the closed form would not be valid: busy
+        wire, queued packets, armed fault injector, coalescing disabled,
+        or a peer that cannot consume trains.
+        """
+        sim = self.sim
+        if (
+            not sim.coalescing
+            or sim.faults is not None
+            or self._busy
+            or self._q
+            or len(pkts) < 2
+            or self._train is not None
+            or getattr(self.peer, "receive_train", None) is None
+        ):
+            return None
+        now = sim.now
+        npb = self._ns_per_byte
+        lat = self.latency_ns
+        s: List[float] = []
+        done: List[float] = []
+        arr: List[float] = []
+        t = now
+        for i, pkt in enumerate(pkts):
+            start = t if avail is None else (avail[i] if avail[i] > t else t)
+            pkt.enqueue_t = start if avail is None else avail[i]
+            end = start + pkt.size * npb
+            s.append(start)
+            done.append(end)
+            arr.append(end + lat)
+            t = end
+        st = PacketTrain(pkts, s, done, arr, avail=avail, enq_push=enq_push)
+        if sender_event:
+            st.ev = Event(sim)
+        self._train = st
+        self._busy = True
+        # Absolute-time pushes: bit-identical to the incremental floats
+        # the per-packet path produces (now + (t - now) can drift an ulp).
+        sim._call_at1(self._train_tx_done, st, done[-1])
+        sim._call_at1(self.peer.receive_train, st, arr[0])
+        return st
+
+    def _train_tx_done(self, st: PacketTrain) -> None:
+        """The whole (uncut part of the) train has left the wire."""
+        if st is not self._train:
+            return  # aborted; the abort path owns the bookkeeping
+        self._train = None
+        self._apply_train_stats(st, st.cut)
+        self._busy = False
+        self._cur_pkt = None
+        self._cur_done = None
+        if st.ev is not None:
+            st.ev.succeed(st.pkts[-1])
+
+    def _train_abort(self) -> None:
+        """De-coalesce the active train at the current instant.
+
+        Already-serialized packets keep their (identical) timestamps; a
+        packet mid-serialization finishes on the real wire clock and is
+        still delivered by the train; everything later is cut from the
+        train and re-enters the ordinary per-packet path — either
+        re-queued here (if it already reached this hop) or re-sent by
+        the original sender, which resumes its send loop at ``cut``.
+        """
+        st = self._train
+        assert st is not None
+        self._train = None
+        sim = self.sim
+        now = sim.now
+        cut_old = st.cut
+        c = st.applied
+        while c < cut_old and st.done[c] <= now:
+            c += 1
+        self._apply_train_stats(st, c)
+        if c < cut_old and st.s[c] <= now:
+            # Packet c is mid-serialization: it completes at done[c] on
+            # the real clock and the train still delivers it.
+            st.cut = c + 1
+            self._busy = True
+            self._cur_pkt = st.pkts[c]
+            self._cur_done = None
+            tel = sim.telemetry
+            if tel.enabled:
+                if st.enq_depth is None:
+                    self._compute_train_depths(st)
+                enq_t = st.avail if st.avail is not None else st.s
+                self._handles.get(tel.metrics)[0].set(enq_t[c], st.enq_depth[c])
+            sim._call_at1(self._train_cur_done, (st, c), st.done[c])
+        else:
+            # Nothing in service (a gap before the next available packet,
+            # or the uncut train already drained): free the wire now.
+            st.cut = min(cut_old, c)
+            self._busy = False
+            self._cur_pkt = None
+            self._cur_done = None
+            if st.ev is not None and not st.ev.triggered:
+                # sender-paced: wake the sender so it resumes its
+                # per-packet loop at ``cut``
+                st.ev.succeed(None)
+        if st.avail is not None:
+            # Forwarding hop: packets that already reached this port go
+            # back into the real queue ahead of the competing sender (as
+            # FIFO demands); not-yet-arrived ones re-enter via send() at
+            # their availability times.
+            for j in range(st.cut, min(cut_old, st.have)):
+                if st.avail[j] <= now:
+                    self.send(st.pkts[j])
+                else:
+                    sim._call_at1(self._train_late_send, (st, j), st.avail[j])
+        if st.on_abort is not None:
+            st.on_abort(st)
+
+    def _train_cur_done(self, arg: Tuple[PacketTrain, int]) -> None:
+        """The in-service packet of an aborted train finished serializing.
+
+        Mirrors ``_tx_done`` minus delivery (the train still carries the
+        packet to the peer) and minus fault checks (trains never form
+        with an armed injector).
+        """
+        st, c = arg
+        pkt = st.pkts[c]
+        ser = pkt.size * self._ns_per_byte
+        tel = self.sim.telemetry
+        self.tx_packets += 1
+        self.tx_bytes += pkt.size
+        self.busy_ns += ser
+        if tel.enabled:
+            t0 = st.done[c] - ser
+            tel.span(
+                f"{pkt.op} m{pkt.msg_id} {pkt.seq + 1}/{pkt.nseq}",
+                pid="net",
+                tid=self.owner_name,
+                t0=t0,
+                t1=st.done[c],
+                cat="net",
+                trace=pkt.trace,
+                args={"bytes": pkt.size, "queued_ns": t0 - pkt.enqueue_t},
+            )
+            gauge, busy, nbytes, npkts = self._handles.get(tel.metrics)
+            busy.inc(ser)
+            nbytes.inc(pkt.size)
+            npkts.inc()
+            gauge.set(self.sim.now, len(self._q))
+        st.applied = c + 1
+        if st.ev is not None:
+            st.ev.succeed(pkt)
+        if self._q:
+            nxt, nxt_done = self._q.popleft()
+            self._start(nxt, nxt_done)
+        else:
+            self._busy = False
+            self._cur_pkt = None
+            self._cur_done = None
+
+    def _train_late_send(self, arg: Tuple[PacketTrain, int]) -> None:
+        st, j = arg
+        if j >= st.have:
+            return  # an upstream abort cut it; the origin re-sends it
+        self.send(st.pkts[j])
+
+    def _apply_train_stats(self, st: PacketTrain, upto: int) -> None:
+        """Apply per-packet tx statistics/telemetry for ``[applied, upto)``
+        with the exact timestamps the per-packet path would have used."""
+        a = st.applied
+        if upto <= a:
+            return
+        st.applied = upto
+        sim = self.sim
+        tel = sim.telemetry
+        npb = self._ns_per_byte
+        pkts = st.pkts
+        done = st.done
+        if not tel.enabled:
+            for i in range(a, upto):
+                size = pkts[i].size
+                self.tx_packets += 1
+                self.tx_bytes += size
+                self.busy_ns += size * npb
+            return
+        if st.enq_depth is None:
+            self._compute_train_depths(st)
+        gauge, busy, nbytes, npkts = self._handles.get(tel.metrics)
+        enq_t = st.avail if st.avail is not None else st.s
+        ep = st.enq_push
+        s = st.s
+        # Queue-depth samples, merged into time order (enqueue samples of
+        # later packets can precede tx-done samples of earlier ones when
+        # a slower egress builds a queue).  Timestamp ties replay heap
+        # order: the enqueue callback wins only if it was pushed before
+        # packet ``di``'s tx-done callback (pushed at serialization start).
+        ei, di = a, a
+        while di < upto:
+            if ei < upto and (
+                enq_t[ei] < done[di]
+                or (enq_t[ei] == done[di] and ep is not None and ep[ei] < s[di])
+            ):
+                gauge.set(enq_t[ei], st.enq_depth[ei])
+                ei += 1
+            else:
+                gauge.set(done[di], st.done_depth[di])
+                di += 1
+        for i in range(a, upto):
+            pkt = pkts[i]
+            ser = pkt.size * npb
+            self.tx_packets += 1
+            self.tx_bytes += pkt.size
+            self.busy_ns += ser
+            t0 = done[i] - ser
+            tel.span(
+                f"{pkt.op} m{pkt.msg_id} {pkt.seq + 1}/{pkt.nseq}",
+                pid="net",
+                tid=self.owner_name,
+                t0=t0,
+                t1=done[i],
+                cat="net",
+                trace=pkt.trace,
+                args={"bytes": pkt.size, "queued_ns": t0 - pkt.enqueue_t},
+            )
+            busy.inc(ser)
+            nbytes.inc(pkt.size)
+            npkts.inc()
+
+    def _compute_train_depths(self, st: PacketTrain) -> None:
+        """Queue-depth gauge values per packet, matching what the slow
+        path samples at enqueue (depth including self + in-service) and
+        at tx-done (packets waiting, next not yet popped)."""
+        n = len(st.pkts)
+        # Packets at or past ``have`` never reach this hop on the train's
+        # schedule (an upstream abort re-routes them through the ordinary
+        # path), so their scheduled enqueues must not be counted.
+        n_enq = min(n, st.have)
+        enq_t = st.avail if st.avail is not None else st.s
+        ep = st.enq_push
+        s = st.s
+        done = st.done
+        enq_depth = [0] * n
+        done_depth = [0] * n
+        # Ties between an enqueue and a tx-done on the same timestamp
+        # follow heap push order: the enqueue fires first only when its
+        # callback was pushed before the tx-done's (at serialization
+        # start); a sender-paced enqueue (ep None) always fires after.
+        lo = 0
+        for i in range(n):
+            while lo < n and (
+                done[lo] < enq_t[i]
+                or (done[lo] == enq_t[i] and (ep is None or ep[i] >= s[lo]))
+            ):
+                lo += 1
+            enq_depth[i] = i - lo + 1
+        hi = 0
+        for i in range(n):
+            while hi < n_enq and (
+                enq_t[hi] < done[i]
+                or (enq_t[hi] == done[i] and ep is not None and ep[hi] < s[i])
+            ):
+                hi += 1
+            d = hi - 1 - i
+            done_depth[i] = d if d > 0 else 0
+        st.enq_depth = enq_depth
+        st.done_depth = done_depth
 
     def utilisation(self) -> float:
         return self.busy_ns / self.sim.now if self.sim.now > 0 else 0.0

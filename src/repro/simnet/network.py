@@ -15,7 +15,7 @@ from typing import Dict, Optional
 from ..telemetry.metrics import HandleCache
 from .engine import Simulator
 from .link import Port
-from .packet import Packet
+from .packet import Packet, PacketTrain
 
 __all__ = ["NetConfig", "Switch", "Network"]
 
@@ -40,6 +40,9 @@ class _SwitchPortShim:
 
     def receive(self, pkt: Packet) -> None:
         self.switch.forward(pkt)
+
+    def receive_train(self, st: PacketTrain) -> None:
+        self.switch.forward_train(st)
 
 
 class Switch:
@@ -102,6 +105,90 @@ class Switch:
             raise KeyError(f"{self.name}: no route to {pkt.dst!r}")
         # Fixed traversal latency, then output queueing (closure-free).
         self.sim._call_soon1(out.send, pkt, delay=self.cfg.switch_latency_ns)
+
+    def forward_train(self, st: PacketTrain) -> None:
+        """Forward a coalesced train: one traversal charge for the burst.
+
+        Runs at the train's first arrival.  Re-coalesces onto the output
+        port when possible (availability times = per-packet arrival +
+        traversal latency); otherwise falls back to one ``out.send`` per
+        packet at exactly the slow path's times.  An upstream abort
+        propagates through ``on_abort``: packets the sender never put on
+        the wire are un-counted here and cut from the downstream train —
+        they will re-traverse the switch as ordinary packets when the
+        sender re-sends them.
+        """
+        pkts = st.pkts
+        k = st.cut  # packets this train actually delivers to us
+        if k == 0:
+            return
+        out = self._out_ports.get(pkts[0].dst)
+        if out is None:
+            # Not a local egress (multi-tier routing, or genuinely no
+            # route): de-coalesce into per-packet forward() calls at the
+            # per-packet arrival times so subclass routing (ECMP over
+            # uplinks, spine down-routing) sees the exact slow-path
+            # sequence — and routing failures raise where they would.
+            for j in range(k):
+                self.sim._call_at1(self._forward_train_slow_step, (st, j), st.arr[j])
+            return
+        self.rx_packets += k
+        tel = self.sim.telemetry
+        if tel.enabled:
+            self._handles.get(tel.metrics)[0].inc(k)
+        sl = self.cfg.switch_latency_ns
+        down: Optional[PacketTrain] = None
+        if k == len(pkts):
+            avail = [a + sl for a in st.arr]
+            # enq_push = upstream arrival: the slow path pushes each
+            # ``out.send`` callback when ``forward`` runs, one traversal
+            # latency before it fires.
+            down = out.try_send_train(
+                pkts, avail=avail, sender_event=False, enq_push=st.arr
+            )
+        if down is None:
+            # De-coalesce at this hop: one event per packet, at the same
+            # times the per-packet path would use (arrival + traversal).
+            for j in range(k):
+                self.sim._call_at1(
+                    self._forward_train_step, (st, j, out), st.arr[j] + sl
+                )
+        counted = [k]
+
+        def _on_upstream_abort(u_st: PacketTrain) -> None:
+            k2 = u_st.cut
+            if k2 < counted[0]:
+                lost = counted[0] - k2
+                counted[0] = k2
+                self.rx_packets -= lost
+                tel2 = self.sim.telemetry
+                if tel2.enabled:
+                    self._handles.get(tel2.metrics)[0].inc(-lost)
+            if down is not None:
+                if k2 < down.have:
+                    down.have = k2
+                    # Cached queue-depth samples counted the cut packets'
+                    # scheduled enqueues, which now never happen on this
+                    # train; recompute lazily against the reduced ``have``
+                    # (already-applied samples predate the upstream abort
+                    # and so cannot have seen the cut enqueues).
+                    down.enq_depth = down.done_depth = None
+                if k2 < down.cut:
+                    down.cut = k2
+
+        st.on_abort = _on_upstream_abort
+
+    def _forward_train_step(self, arg) -> None:
+        st, j, out = arg
+        if j >= st.cut:
+            return  # cut upstream; the origin re-sends it the slow way
+        out.send(st.pkts[j])
+
+    def _forward_train_slow_step(self, arg) -> None:
+        st, j = arg
+        if j >= st.cut:
+            return
+        self.forward(st.pkts[j])
 
     def out_port(self, node_name: str) -> Port:
         return self._out_ports[node_name]

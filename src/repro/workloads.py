@@ -1,19 +1,25 @@
 """Workload generators and measurement drivers.
 
-Two measurement styles from the paper:
+Three measurement styles:
 
 * **latency** — a single isolated write, reported request-to-response
   (Figs. 6, 9 left/center, 10, 15 left);
 * **window-based goodput/bandwidth** — keep a window of operations in
   flight back to back and divide bytes by elapsed time (Fig. 9 right,
   Fig. 15 right; §VI-C(b): "common to window-based messaging
-  benchmarks").
+  benchmarks");
+* **closed-loop load** — N independent clients, each with bounded
+  outstanding operations and optional think time, measured over a fixed
+  window after warm-up (:func:`run_closed_loop`).  This is the classic
+  closed-system model: offered load is set by the client population, not
+  an open arrival process, so the system can never be driven past
+  saturation into unbounded queues.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -27,6 +33,11 @@ __all__ = [
     "measure_goodput",
     "measure_latency_distribution",
     "GoodputResult",
+    "LoadSpec",
+    "ClientLoadStats",
+    "LoadResult",
+    "run_closed_loop",
+    "closed_loop_write_load",
     "sweep",
     "optimal_chunk_size",
     "payload_bytes",
@@ -137,6 +148,187 @@ def measure_latency_distribution(
             in_flight.append(issue(issued))
             issued += 1
     return summarize(latencies)
+
+
+# --------------------------------------------------------------------------
+# Closed-loop multi-client load engine
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """Parameters of a closed-loop load run.
+
+    Each of ``n_clients`` logical clients keeps up to ``outstanding``
+    operations in flight; after each completion it thinks for
+    ``think_ns`` (exponentially distributed when ``think_jitter`` is
+    set, fixed otherwise) before issuing the next.  Statistics count
+    only operations *completing* inside the measurement window
+    ``[warmup_ns, warmup_ns + measure_ns)``; everything in flight at the
+    window's end is still drained so the run quiesces deterministically.
+    """
+
+    n_clients: int = 8
+    outstanding: int = 1
+    think_ns: float = 0.0
+    think_jitter: bool = True
+    warmup_ns: float = 50_000.0
+    measure_ns: float = 1_000_000.0
+    seed: int = 1
+
+
+@dataclass
+class ClientLoadStats:
+    """Per-client view of one closed-loop run."""
+
+    client_id: int
+    ops: int = 0
+    bytes: int = 0
+    issued: int = 0
+    latencies: List[float] = field(default_factory=list)
+
+    def summary(self, measure_ns: float) -> dict:
+        from .simnet.trace import summarize
+
+        out = summarize(self.latencies)
+        out["ops"] = self.ops
+        out["issued"] = self.issued
+        out["kops_per_s"] = self.ops / measure_ns * 1e6 if measure_ns else 0.0
+        out["goodput_gbps"] = self.bytes * 8.0 / measure_ns if measure_ns else 0.0
+        return out
+
+
+@dataclass
+class LoadResult:
+    """Aggregate + per-client statistics of a closed-loop run."""
+
+    spec: LoadSpec
+    op_bytes: int
+    ops: int                      # completions inside the measure window
+    bytes: int
+    issued: int                   # total issued, incl. warm-up/drain ops
+    elapsed_ns: float             # first issue -> full quiesce
+    latency: dict                 # summarize() over measured latencies
+    per_client: List[dict]
+    quiesced: bool
+
+    @property
+    def kops_per_s(self) -> float:
+        return self.ops / self.spec.measure_ns * 1e6 if self.spec.measure_ns else 0.0
+
+    @property
+    def goodput_gbps(self) -> float:
+        return self.bytes * 8.0 / self.spec.measure_ns if self.spec.measure_ns else 0.0
+
+
+def run_closed_loop(
+    testbed: Testbed,
+    issue: Callable[[int, int], Event],
+    spec: LoadSpec,
+    op_bytes: int = 0,
+) -> LoadResult:
+    """Drive a closed-loop multi-client load and collect statistics.
+
+    ``issue(client_id, op_index)`` posts one operation for a client and
+    returns its completion event (value must expose ``latency_ns``, as
+    :class:`~repro.protocols.base.WriteOutcome` does).  The run is fully
+    deterministic for a given ``spec.seed``: each client slot draws its
+    think times from its own seeded generator, and the simulator's event
+    order does the rest.
+    """
+    from .simnet.trace import summarize
+
+    sim = testbed.sim
+    t_start = sim.now
+    t_warm = t_start + spec.warmup_ns
+    t_stop = t_warm + spec.measure_ns
+    stats = [ClientLoadStats(client_id=c) for c in range(spec.n_clients)]
+    next_op: List[int] = [0] * spec.n_clients
+
+    def _worker(cid: int, slot: int):
+        st = stats[cid]
+        rng = np.random.default_rng([spec.seed, cid, slot])
+        # Stagger slot start-up so the client population does not issue
+        # in lock-step at t=0 (think time doubles as the ramp).
+        if spec.think_ns > 0.0:
+            d = rng.exponential(spec.think_ns) if spec.think_jitter else (
+                spec.think_ns * slot / max(spec.outstanding, 1)
+            )
+            if d > 0.0:
+                yield sim.timeout(d)
+        while sim.now < t_stop:
+            i = next_op[cid]
+            next_op[cid] = i + 1
+            st.issued += 1
+            out = yield issue(cid, i)
+            if isinstance(out, WriteOutcome) and not out.ok:
+                raise RuntimeError(f"client {cid} op {i} failed: {out.nacks}")
+            if t_warm <= sim.now < t_stop:
+                st.ops += 1
+                st.bytes += op_bytes
+                lat = getattr(out, "latency_ns", None)
+                if lat is not None:
+                    st.latencies.append(lat)
+            if spec.think_ns > 0.0:
+                d = rng.exponential(spec.think_ns) if spec.think_jitter else spec.think_ns
+                if d > 0.0:
+                    yield sim.timeout(d)
+
+    procs = [
+        sim.process(_worker(cid, slot), name=f"load.c{cid}.s{slot}")
+        for cid in range(spec.n_clients)
+        for slot in range(spec.outstanding)
+    ]
+    done = sim.all_of(procs)
+    sim.run_until_event(done)
+    quiesced = all(p.triggered for p in procs)
+    all_lat: List[float] = []
+    for st in stats:
+        all_lat.extend(st.latencies)
+    return LoadResult(
+        spec=spec,
+        op_bytes=op_bytes,
+        ops=sum(st.ops for st in stats),
+        bytes=sum(st.bytes for st in stats),
+        issued=sum(st.issued for st in stats),
+        elapsed_ns=sim.now - t_start,
+        latency=summarize(all_lat),
+        per_client=[st.summary(spec.measure_ns) for st in stats],
+        quiesced=quiesced,
+    )
+
+
+def closed_loop_write_load(
+    testbed: Testbed,
+    size: int,
+    protocol: str,
+    spec: LoadSpec,
+    replication=None,
+    ec=None,
+    **write_kw,
+) -> LoadResult:
+    """Closed-loop write load: each logical client writes its own file.
+
+    Clients are spread round-robin over the testbed's client hosts, so a
+    testbed built with ``n_clients`` hosts gets true multi-endpoint
+    traffic; with one host the load multiplexes through a single NIC.
+    """
+    n_hosts = len(testbed.clients)
+    endpoints = [
+        DfsClient(testbed, client_index=c % n_hosts, principal=f"load{c}")
+        for c in range(spec.n_clients)
+    ]
+    data = payload_bytes(size, seed=spec.seed)
+    paths = []
+    for c, cl in enumerate(endpoints):
+        path = f"/load/c{c}"
+        cl.create(path, size=max(size, 1) * 2, replication=replication, ec=ec)
+        paths.append(path)
+
+    def issue(cid: int, i: int) -> Event:
+        return endpoints[cid].write(paths[cid], data, protocol=protocol, **write_kw)
+
+    return run_closed_loop(testbed, issue, spec, op_bytes=size)
 
 
 def sweep(fn: Callable[[int], float], points: Iterable[int]) -> dict[int, float]:

@@ -13,13 +13,30 @@ def _dumps(rows):
     return json.dumps(rows, sort_keys=True)
 
 
-def test_parallel_rows_identical_to_serial():
+def test_parallel_rows_identical_to_serial(monkeypatch):
     """--jobs N must be byte-identical to --jobs 1 (same rows, same order)."""
     serial = fig06.run(quick=True, jobs=1, cache=False)
-    parallel = fig06.run(quick=True, jobs=4, cache=False)
+    # pretend to have cores so the clamp doesn't serialize us on 1-CPU CI
+    monkeypatch.setattr(runner.os, "cpu_count", lambda: 4)
+    parallel = fig06.run(quick=True, jobs=2, cache=False)
     assert _dumps(serial) == _dumps(parallel)
-    assert runner.LAST_STATS.jobs == 4
+    assert runner.LAST_STATS.jobs == 2
     assert runner.LAST_STATS.n_computed == len(serial)
+
+
+def test_small_sweeps_skip_the_pool():
+    """Pool spin-up is skipped (and recorded as serial) when workers
+    would get fewer than two points each."""
+    rows = fig06.run(quick=True, jobs=16, cache=False)
+    assert len(rows) < 2 * 16
+    assert runner.LAST_STATS.jobs == 1
+
+
+def test_jobs_clamped_to_cpu_count(monkeypatch):
+    monkeypatch.setattr(runner.os, "cpu_count", lambda: 2)
+    rows = fig06.run(quick=True, jobs=64, cache=False)
+    assert rows
+    assert runner.LAST_STATS.jobs == 2
 
 
 def test_cache_hit_returns_identical_rows_without_resimulating(tmp_path):

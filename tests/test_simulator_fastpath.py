@@ -26,16 +26,17 @@ def _spin_write_64k():
 
 
 def test_events_per_packet_budget():
-    """A 64 KiB sPIN write currently costs 625 events for 34 switched
-    packets (~18.4 events/packet).  Allow modest headroom; the old
-    Store-and-server-process pipeline sat at ~25.6 and must not return."""
+    """With packet-train coalescing a 64 KiB sPIN write costs 56 events
+    for 34 switched packets (~1.65 events/packet).  Allow modest
+    headroom; the pre-coalescing pipeline sat at ~18.4 and must not
+    return."""
     tb = _spin_write_64k()
     packets = tb.net.switch.rx_packets
     events = tb.sim.events_dispatched
     assert packets == 34, f"packet count changed: {packets}"
-    assert events / packets <= 21.0, (
+    assert events / packets <= 2.5, (
         f"packet pipeline regressed: {events} events / {packets} packets "
-        f"= {events / packets:.1f} events/packet (budget 21)"
+        f"= {events / packets:.1f} events/packet (budget 2.5)"
     )
 
 
