@@ -7,6 +7,26 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
 
+echo "== simlint gate (determinism / coroutine-protocol static analysis) =="
+# zero-findings baseline: both errors AND warnings fail; see docs/simlint.md
+python -m repro lint src/repro
+
+echo
+echo "== ruff + mypy (skipped when the tools are not installed) =="
+# optional in minimal environments: the container bakes only the python
+# toolchain; config lives in pyproject.toml, installed via `pip install -e .[lint]`
+if python -m ruff --version > /dev/null 2>&1; then
+    python -m ruff check src tests
+else
+    echo "ruff not installed; skipping (pip install -e .[lint] to enable)"
+fi
+if python -m mypy --version > /dev/null 2>&1; then
+    python -m mypy src/repro/simnet src/repro/simlint
+else
+    echo "mypy not installed; skipping (pip install -e .[lint] to enable)"
+fi
+
+echo
 echo "== tier-1 test suite =="
 python -m pytest -x -q
 

@@ -9,13 +9,15 @@ Subcommands:
   ``.trace.json`` (open it at https://ui.perfetto.dev);
 * ``perf``   — measure simulator throughput; snapshot or check the
   committed ``BENCH_simulator.json`` baseline;
+* ``lint``   — simulation-aware static analysis (determinism,
+  coroutine-protocol, resource- and telemetry-hygiene rules; see
+  ``docs/simlint.md``);
 * ``bench``  — alias pointing at the experiment runner.
 """
 
 from __future__ import annotations
 
 import argparse
-import sys
 
 
 def _info() -> int:
@@ -233,7 +235,7 @@ def _trace(argv) -> int:
 
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(prog="repro")
-    ap.add_argument("command", choices=["info", "demo", "trace", "perf", "bench"],
+    ap.add_argument("command", choices=["info", "demo", "trace", "perf", "lint", "bench"],
                     nargs="?", default="info")
     args, rest = ap.parse_known_args(argv)
     if args.command == "info":
@@ -246,6 +248,10 @@ def main(argv=None) -> int:
         from repro.perfsnap import main as perf_main
 
         return perf_main(rest)
+    if args.command == "lint":
+        from repro.simlint.cli import main as lint_main
+
+        return lint_main(rest)
     from repro.experiments.__main__ import main as exp_main
 
     return exp_main(rest or ["list"])

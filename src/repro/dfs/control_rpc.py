@@ -14,7 +14,6 @@ from typing import Optional
 
 import numpy as np
 
-from ..params import SimParams
 from ..simnet.engine import Event
 from .capability import Rights
 from .cluster import Testbed

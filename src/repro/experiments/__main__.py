@@ -42,7 +42,9 @@ def main(argv=None) -> int:
         if mod is None:
             print(f"unknown experiment {eid!r}; try 'list'", file=sys.stderr)
             return 2
-        t0 = time.time()
+        # elapsed-time reporting for the human running the sweep; the
+        # monotonic clock is immune to NTP steps mid-experiment
+        t0 = time.perf_counter()  # simlint: disable=SIM101 -- harness elapsed time
         if hasattr(mod, "run_point"):
             rows = mod.run(quick=args.quick, jobs=args.jobs,
                            cache=not args.no_cache, cache_dir=args.cache_dir)
@@ -53,7 +55,8 @@ def main(argv=None) -> int:
             rows = mod.run(quick=args.quick)
             note = ""
         print(mod.render(rows))
-        print(f"[{eid}: {len(rows)} rows in {time.time() - t0:.1f}s{note}]")
+        elapsed = time.perf_counter() - t0  # simlint: disable=SIM101 -- harness elapsed time
+        print(f"[{eid}: {len(rows)} rows in {elapsed:.1f}s{note}]")
         if args.csv:
             path = args.csv
             if len(ids) > 1:

@@ -83,7 +83,7 @@ def check(rows: list[dict]) -> None:
                 f"sPIN-TriEC competitive at {r['scheme']} {r['size_label']} "
                 f"(got {r['speedup']:.2f}x)",
             )
-    for scheme in {r["scheme"] for r in rows}:
+    for scheme in sorted({r["scheme"] for r in rows}):
         best = max(r["speedup"] for r in rows if r["scheme"] == scheme)
         shapes.check(
             1.6 <= best <= 3.2,

@@ -12,6 +12,7 @@ from ..params import HostParams
 from ..simnet.engine import Simulator
 from ..simnet.link import gbps_to_ns_per_byte
 from ..simnet.resources import Resource
+from ..telemetry.metrics import HandleCache
 
 __all__ = ["Cpu"]
 
@@ -27,6 +28,13 @@ class Cpu:
         self.cores = Resource(sim, capacity=params.cpu_cores, name=f"{name}.cores")
         self._memcpy_ns_per_byte = gbps_to_ns_per_byte(params.memcpy_gbps)
         self.busy_ns = 0.0
+        # handles resolved once per registry, not per run() (SIM401)
+        self._handles = HandleCache(
+            lambda m: (
+                m.counter(f"cpu.{name}.busy_ns"),
+                m.gauge(f"cpu.{name}.cores_busy"),
+            )
+        )
 
     def cycles_ns(self, cycles: float) -> float:
         return cycles / self.params.cpu_freq_ghz
@@ -59,9 +67,9 @@ class Cpu:
                 t1=self.sim.now,
                 cat="host",
             )
-            m = tel.metrics
-            m.counter(f"cpu.{self.name}.busy_ns").inc(duration_ns)
-            m.gauge(f"cpu.{self.name}.cores_busy").set(self.sim.now, self.cores.count)
+            busy, cores_busy = self._handles.get(tel.metrics)
+            busy.inc(duration_ns)
+            cores_busy.set(self.sim.now, self.cores.count)
 
     def run_cycles(self, cycles: float):
         yield from self.run(self.cycles_ns(cycles))

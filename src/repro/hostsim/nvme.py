@@ -22,6 +22,7 @@ import numpy as np
 from ..simnet.engine import Event, Simulator
 from ..simnet.link import gbps_to_ns_per_byte
 from ..simnet.resources import Resource, Store
+from ..telemetry.metrics import HandleCache
 from .memory import MemoryTarget
 
 __all__ = ["NvmeParams", "NvmeTarget"]
@@ -64,6 +65,14 @@ class NvmeTarget(MemoryTarget):
         self._sq: Store = Store(sim, capacity=self.params.queue_depth, name=f"{name}.sq")
         self.commands_completed = 0
         self.queue_full_rejections = 0
+        # handles resolved once per registry, not per command (SIM401)
+        self._handles = HandleCache(
+            lambda m: (
+                m.counter(f"nvme.{name}.bytes"),
+                m.counter(f"nvme.{name}.commands"),
+                m.gauge(f"nvme.{name}.sq_depth"),
+            )
+        )
         sim.process(self._dispatcher(), name=f"{name}.dispatch")
 
     # ------------------------------------------------------------- timed
@@ -112,10 +121,10 @@ class NvmeTarget(MemoryTarget):
                 cat="host",
                 args={"bytes": int(data.nbytes), "addr": addr},
             )
-            m = tel.metrics
-            m.counter(f"nvme.{self.name}.bytes").inc(data.nbytes)
-            m.counter(f"nvme.{self.name}.commands").inc()
-            m.gauge(f"nvme.{self.name}.sq_depth").set(self.sim.now, len(self._sq))
+            nbytes, ncmds, sq_depth = self._handles.get(tel.metrics)
+            nbytes.inc(data.nbytes)
+            ncmds.inc()
+            sq_depth.set(self.sim.now, len(self._sq))
         done.succeed(None)
 
     def submission_queue_depth(self) -> int:

@@ -24,6 +24,9 @@ it measures multi-process parallelism).
 
 from __future__ import annotations
 
+# simlint: disable-file=SIM101 -- this module IS the wall-clock harness:
+# it measures the simulator's own event throughput per CPU second
+
 import argparse
 import json
 import os

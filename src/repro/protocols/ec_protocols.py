@@ -20,8 +20,6 @@ whole Fig. 15 story.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from ..core.policies.erasure import rs_for

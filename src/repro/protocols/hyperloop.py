@@ -28,6 +28,7 @@ from ..dfs.layout import FileLayout
 from ..dfs.nodes import StorageNode
 from ..simnet.engine import Event
 from ..simnet.packet import Packet
+from ..telemetry.metrics import HandleCache
 from .base import WriteContext, WriteOutcome, as_uint8, begin_request
 from .replication import DEFAULT_CHUNK_BYTES
 
@@ -35,6 +36,16 @@ __all__ = ["install_hyperloop_targets", "hyperloop_write"]
 
 #: NIC-side cost to fetch and fire one triggered WQE.
 WQE_TRIGGER_NS = 150.0
+
+# This driver closes its own outcome instead of going through
+# base.wrap_result, so it owns its request metrics too; the names are
+# static, so one module-wide cache covers every testbed registry.
+_METRICS = HandleCache(
+    lambda m: (
+        m.histogram("protocol.rdma-hyperloop.latency_ns"),
+        m.counter("protocol.rdma-hyperloop.requests"),
+    )
+)
 
 
 def install_hyperloop_targets(testbed: Testbed) -> None:
@@ -235,9 +246,9 @@ def hyperloop_write(
             # span (every wrap_result-based driver gets this for free)
             if span is not None:
                 tel.end(span, sim.now)
-            m = tel.metrics
-            m.histogram("protocol.rdma-hyperloop.latency_ns").observe(sim.now - t0)
-            m.counter("protocol.rdma-hyperloop.requests").inc()
+            latency, requests = _METRICS.get(tel.metrics)
+            latency.observe(sim.now - t0)
+            requests.inc()
         return WriteOutcome(
             ok=data_res.ok if data_res is not None else True,
             t_start=t0,

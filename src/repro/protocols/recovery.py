@@ -81,7 +81,7 @@ def rebuild_object(
         raise DecodeError(
             f"need {rs.k} surviving chunks, only {len(surviving)} remain"
         )
-    for node in failed:
+    for node in sorted(failed):
         testbed.mgmt.report_failed(node)
     coord_name = coordinator or next(
         n for n in testbed.storage

@@ -20,12 +20,11 @@ from typing import Optional
 
 import numpy as np
 
-from ..core.request import ReplicaCoord, ReplicationParams, request_header_bytes
+from ..core.request import ReplicationParams, request_header_bytes
 from ..dfs.capability import Rights
 from ..dfs.cluster import Testbed
 from ..dfs.layout import FileLayout
 from ..dfs.nodes import StorageNode
-from ..rdma.nic import fresh_greq_id
 from ..simnet.engine import Event
 from .base import WriteContext, as_uint8, begin_request, replication_params_for, wrap_result
 

@@ -14,8 +14,7 @@ from dataclasses import replace as dc_replace
 
 from ..core.request import WriteRequestHeader, request_header_bytes
 from ..dfs.cluster import Testbed
-from ..dfs.layout import FileLayout, ReplicationSpec, StripedLayout, StripeSpec
-from ..rdma.nic import fresh_greq_id
+from ..dfs.layout import ReplicationSpec, StripedLayout, StripeSpec
 from ..simnet.engine import Event
 from .base import WriteContext, WriteOutcome, as_uint8, replication_params_for
 

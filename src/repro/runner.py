@@ -183,7 +183,7 @@ def run_sweep(
     registry lookup for ad-hoc sweeps (serial path only).
     """
     global LAST_STATS
-    t0 = time.perf_counter()
+    t0 = time.perf_counter()  # simlint: disable=SIM101 -- sweep wall-clock stats
     # More workers than cores only adds scheduler churn; clamp silently.
     jobs = min(max(1, jobs), os.cpu_count() or 1)
     stats = SweepStats(experiment=eid, n_points=len(points), jobs=jobs)
@@ -245,6 +245,6 @@ def run_sweep(
             for i in todo:
                 _cache_store(cdir, keys[i], eid, points[i], results[i])
 
-    stats.wall_s = time.perf_counter() - t0
+    stats.wall_s = time.perf_counter() - t0  # simlint: disable=SIM101 -- sweep wall-clock stats
     LAST_STATS = stats
     return results

@@ -1,0 +1,110 @@
+"""``python -m repro lint`` — the simlint command line.
+
+Exit codes: 0 clean, 1 findings, 2 usage error (argparse).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from . import RULES, all_rules, lint_paths
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Simulation-aware static analysis: determinism, "
+        "coroutine-protocol, resource- and telemetry-hygiene rules "
+        "(see docs/simlint.md).",
+    )
+    ap.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    ap.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (default: text)",
+    )
+    ap.add_argument(
+        "--rules",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    ap.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print findings silenced by # simlint: disable comments",
+    )
+    ap.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        if args.format == "json":
+            doc = [
+                {
+                    "id": r.id,
+                    "name": r.name,
+                    "severity": r.severity.value,
+                    "rationale": r.rationale,
+                }
+                for r in all_rules()
+            ]
+            print(json.dumps(doc, indent=2))
+        else:
+            for r in all_rules():
+                print(f"{r.id}  {r.name}  [{r.severity.value}]")
+                print(f"      {r.rationale}")
+        return 0
+
+    rule_ids = None
+    if args.rules:
+        rule_ids = [r.strip() for r in args.rules.split(",") if r.strip()]
+        unknown = [r for r in rule_ids if r not in RULES]
+        if unknown:
+            ap.error(
+                f"unknown rule id(s): {', '.join(unknown)} "
+                f"(try --list-rules)"
+            )
+
+    result = lint_paths(args.paths, rule_ids=rule_ids)
+
+    if args.format == "json":
+        doc = {
+            "files_checked": result.files_checked,
+            "findings": [d.to_dict() for d in result.findings],
+            "suppressed": [d.to_dict() for d in result.suppressed]
+            if args.show_suppressed
+            else len(result.suppressed),
+        }
+        print(json.dumps(doc, indent=2))
+        return result.exit_code
+
+    for d in result.findings:
+        print(d.format())
+    if args.show_suppressed:
+        for d in result.suppressed:
+            print(d.format())
+    n_err = sum(1 for d in result.findings if d.severity.value == "error")
+    n_warn = len(result.findings) - n_err
+    tail = (
+        f"{result.files_checked} files checked: "
+        f"{n_err} error(s), {n_warn} warning(s), "
+        f"{len(result.suppressed)} suppressed"
+    )
+    print(tail if result.findings else f"simlint clean — {tail}")
+    return result.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""Diagnostic records emitted by simlint rules.
+
+A :class:`Diagnostic` is one finding: a rule id, a severity, a file
+position, and a human-readable message.  Diagnostics sort by
+``(path, line, col, rule)`` so output is stable across runs — the
+linter holds itself to the same determinism bar it enforces.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings break simulation determinism or leak simulated
+    resources; ``WARNING`` findings are hazards that need a specific
+    (rare) trigger to bite.  Both fail the lint gate — the split only
+    affects presentation.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding at one source position."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: Severity = field(compare=False)
+    message: str = field(compare=False)
+    suppressed: bool = field(default=False, compare=False)
+
+    def format(self) -> str:
+        """``file:line:col: RULE severity: message`` (clickable in most
+        editors and CI logs)."""
+        tag = " (suppressed)" if self.suppressed else ""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} {self.severity.value}: {self.message}{tag}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }

@@ -1,0 +1,68 @@
+"""Rule registry: one :class:`Rule` subclass per rule id.
+
+Rules self-register at import time via the :func:`register` decorator;
+:mod:`repro.simlint.rules` imports every rule module so that importing
+the package populates :data:`RULES`.  Each rule gets the parsed module
+AST plus a :class:`LintContext` and yields diagnostics; the driver
+applies suppressions afterwards.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Type
+
+from .diagnostics import Diagnostic, Severity
+
+
+@dataclass(frozen=True)
+class LintContext:
+    """What a rule knows about the file it is checking."""
+
+    path: str
+    source: str
+
+    def diagnostic(
+        self, rule: "Rule", node: ast.AST, message: str
+    ) -> Diagnostic:
+        return Diagnostic(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule.id,
+            severity=rule.severity,
+            message=message,
+        )
+
+
+class Rule:
+    """Base class: subclasses set the class attributes and implement
+    :meth:`check`."""
+
+    id: str = ""
+    name: str = ""
+    severity: Severity = Severity.ERROR
+    #: one-paragraph rationale, shown by ``lint --list-rules`` and
+    #: cross-checked against docs/simlint.md by the test suite
+    rationale: str = ""
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> Iterable[Diagnostic]:
+        raise NotImplementedError  # pragma: no cover
+
+
+RULES: Dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in RULES:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    RULES[cls.id] = cls()
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Registered rules in id order (deterministic output order)."""
+    return [RULES[k] for k in sorted(RULES)]

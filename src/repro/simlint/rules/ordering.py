@@ -1,0 +1,134 @@
+"""SIM103/SIM104 — iteration-order and identity-order hazards.
+
+Python ``set`` iteration order depends on element hashes; for strings
+the hash is salted per interpreter run (PYTHONHASHSEED), so iterating a
+set of model objects or names into event scheduling reorders events
+between runs.  ``id()``-keyed collections are worse: insertion addresses
+vary with allocator state.  Normalize with ``sorted(...)`` or keep
+insertion-ordered ``dict``/``list`` containers instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Set
+
+from ..context import iter_functions, scope_body
+from ..diagnostics import Diagnostic, Severity
+from ..registry import LintContext, Rule, register
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
+        # set algebra: s1 | s2, s1 & s2, s1 - s2 of known sets
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+def _set_locals(func: ast.AST) -> Set[str]:
+    """Local names assigned a set expression anywhere in the scope."""
+    names: Set[str] = set()
+    for node in scope_body(func):  # type: ignore[arg-type]
+        if isinstance(node, ast.Assign) and _is_set_expr(node.value):
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Name):
+                    names.add(tgt.id)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if _is_set_expr(node.value) and isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+    return names
+
+
+@register
+class SetIterationRule(Rule):
+    id = "SIM103"
+    name = "set-iteration-order"
+    severity = Severity.WARNING
+    rationale = (
+        "Iterating a set (or materializing one with list()/tuple()) feeds "
+        "hash order — salted per run for strings — into whatever the loop "
+        "does; if that reaches event scheduling or row output, identical "
+        "seeds give different traces. Wrap the set in sorted(...) or use "
+        "an insertion-ordered dict/list."
+    )
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> Iterable[Diagnostic]:
+        for func in iter_functions(tree):
+            set_names = _set_locals(func)
+            for node in scope_body(func):
+                for it in self._iteration_exprs(node):
+                    if _is_set_expr(it) or (
+                        isinstance(it, ast.Name) and it.id in set_names
+                    ):
+                        yield ctx.diagnostic(
+                            self, it,
+                            "iteration over a set leaks hash order into "
+                            "execution; use sorted(...) or an "
+                            "insertion-ordered container",
+                        )
+
+    @staticmethod
+    def _iteration_exprs(node: ast.AST) -> Iterable[ast.expr]:
+        if isinstance(node, ast.For):
+            yield node.iter
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            for gen in node.generators:
+                yield gen.iter
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            # list(s) / tuple(s) freeze hash order into a sequence
+            if node.func.id in ("list", "tuple") and len(node.args) == 1:
+                yield node.args[0]
+
+
+@register
+class IdKeyedRule(Rule):
+    id = "SIM104"
+    name = "id-keyed-collection"
+    severity = Severity.ERROR
+    rationale = (
+        "id() returns an allocation address: keying or sorting model "
+        "objects by it makes order (and dict iteration) depend on "
+        "allocator state, which differs run to run. Give objects a "
+        "deterministic key (sequence number, name) and use that."
+    )
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Subscript) and _is_id_call(node.slice):
+                yield ctx.diagnostic(
+                    self, node,
+                    "collection subscripted by id(obj); use a deterministic "
+                    "key (sequence number, name) instead",
+                )
+            elif isinstance(node, ast.Dict):
+                for key in node.keys:
+                    if key is not None and _is_id_call(key):
+                        yield ctx.diagnostic(
+                            self, key,
+                            "dict literal keyed by id(obj); use a "
+                            "deterministic key instead",
+                        )
+            elif isinstance(node, ast.Call):
+                for kw in node.keywords:
+                    if (
+                        kw.arg == "key"
+                        and isinstance(kw.value, ast.Name)
+                        and kw.value.id == "id"
+                    ):
+                        yield ctx.diagnostic(
+                            self, kw.value,
+                            "sort/order key=id ranks objects by allocation "
+                            "address; use a deterministic key instead",
+                        )
+
+
+def _is_id_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "id"
+    )

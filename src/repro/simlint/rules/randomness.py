@@ -1,0 +1,82 @@
+"""SIM102 — unseeded module-level randomness.
+
+``random.random()`` & friends draw from interpreter-global hidden state:
+any import-order change, library upgrade, or parallel worker reshuffles
+every subsequent draw.  Model code must own its streams explicitly —
+``random.Random(seed)`` (the repo's idiom is per-component string seeds,
+see ``repro.faults``) or ``numpy.random.default_rng(seed)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Set
+
+from ..diagnostics import Diagnostic, Severity
+from ..registry import LintContext, Rule, register
+
+#: random-module attributes that are fine to touch: explicit-state
+#: constructors and state plumbing
+_ALLOWED = frozenset({"Random", "SystemRandom", "getstate", "setstate"})
+
+
+@register
+class UnseededRandomRule(Rule):
+    id = "SIM102"
+    name = "unseeded-random"
+    severity = Severity.ERROR
+    rationale = (
+        "Module-level random.* calls share one hidden global stream, so "
+        "draw order depends on everything else that imported random — "
+        "including pytest plugins and parallel sweep workers. Construct "
+        "an explicit random.Random(seed) (or numpy default_rng) per "
+        "component so streams are named and reproducible."
+    )
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> Iterable[Diagnostic]:
+        random_modules: Set[str] = set()
+        np_random_modules: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        random_modules.add(alias.asname or "random")
+                    elif alias.name == "numpy.random":
+                        np_random_modules.add(alias.asname or "numpy.random")
+            elif isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name not in _ALLOWED:
+                        yield ctx.diagnostic(
+                            self, node,
+                            f"'from random import {alias.name}' binds the hidden "
+                            f"global stream; use random.Random(seed) instead",
+                        )
+
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            recv = node.func.value
+            attr = node.func.attr
+            if (
+                isinstance(recv, ast.Name)
+                and recv.id in random_modules
+                and attr not in _ALLOWED
+            ):
+                yield ctx.diagnostic(
+                    self, node,
+                    f"random.{attr}() uses the hidden module-global stream; "
+                    f"draw from an explicit random.Random(seed)",
+                )
+            elif (
+                isinstance(recv, ast.Attribute)
+                and recv.attr == "random"
+                and isinstance(recv.value, ast.Name)
+                and recv.value.id in ("np", "numpy")
+                and attr != "default_rng"
+                and attr != "Generator"
+            ):
+                yield ctx.diagnostic(
+                    self, node,
+                    f"np.random.{attr}() uses numpy's global RNG; "
+                    f"use np.random.default_rng(seed)",
+                )

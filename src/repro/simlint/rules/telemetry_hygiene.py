@@ -1,0 +1,66 @@
+"""SIM401 — metric handles must be cached, not resolved per event.
+
+``registry.counter(f"link.{name}.busy_ns")`` does an f-string build plus
+a dict lookup; done per packet it dominates the telemetry-enabled
+profile (PR 3 measured it).  Components resolve their instruments once
+through :class:`repro.telemetry.metrics.HandleCache` and pay one
+identity comparison per event instead.  The rule flags registry lookups
+(``.counter(...)``/``.gauge(...)``/``.histogram(...)``) on per-event
+paths: inside sim-process generators and inside loops.  Lookups inside
+``lambda``s and non-generator helpers (the HandleCache builders
+themselves) are exempt by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..context import analyze_function, iter_functions
+from ..diagnostics import Diagnostic, Severity
+from ..registry import LintContext, Rule, register
+
+_LOOKUPS = frozenset({"counter", "gauge", "histogram"})
+
+
+@register
+class UncachedMetricHandleRule(Rule):
+    id = "SIM401"
+    name = "uncached-metric-handle"
+    severity = Severity.WARNING
+    rationale = (
+        "Resolving a metric by name rebuilds the f-string and re-does the "
+        "registry lookup on every event; at millions of events per run "
+        "this is the dominant telemetry cost. Resolve instruments once "
+        "in a HandleCache builder and reuse the handles per event."
+    )
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> Iterable[Diagnostic]:
+        for func in iter_functions(tree):
+            in_generator = analyze_function(func).is_generator
+            for stmt in func.body:
+                yield from self._walk(stmt, ctx, in_generator, in_loop=False)
+
+    def _walk(
+        self, node: ast.AST, ctx: LintContext, in_generator: bool, in_loop: bool
+    ) -> Iterable[Diagnostic]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return  # separate scope: nested defs are visited on their own,
+            # lambda bodies (HandleCache builders) run outside the hot path
+        if (
+            (in_generator or in_loop)
+            and isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _LOOKUPS
+            and node.args
+        ):
+            where = "a loop" if in_loop else "a sim process"
+            yield ctx.diagnostic(
+                self, node,
+                f"metric handle .{node.func.attr}(...) resolved inside "
+                f"{where} (per event); resolve once via HandleCache and "
+                f"reuse the handle",
+            )
+        descend_in_loop = in_loop or isinstance(node, (ast.For, ast.While))
+        for child in ast.iter_child_nodes(node):
+            yield from self._walk(child, ctx, in_generator, descend_in_loop)

@@ -1,0 +1,103 @@
+"""SIM101 — wall-clock time sources in simulation code.
+
+Simulated time is ``sim.now``; the host's clock must never influence
+model behaviour, or two runs of the same seed diverge.  The only
+legitimate wall-clock sites are the harnesses that *measure the
+simulator itself* (``simnet/engine.py`` self-profile, ``runner.py``
+sweep timing, ``perfsnap.py``) — those carry explicit suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Set
+
+from ..context import dotted_name
+from ..diagnostics import Diagnostic, Severity
+from ..registry import LintContext, Rule, register
+
+#: time-module functions that read the host clock
+_TIME_FUNCS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+        "clock_gettime",
+        "clock_gettime_ns",
+    }
+)
+
+#: datetime constructors that read the host clock
+_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+
+
+@register
+class WallClockRule(Rule):
+    id = "SIM101"
+    name = "wall-clock-call"
+    severity = Severity.ERROR
+    rationale = (
+        "A wall-clock read (time.time, time.perf_counter, datetime.now, ...) "
+        "reachable from model code makes event timing depend on the host "
+        "machine, so identical seeds stop producing byte-identical rows. "
+        "Use sim.now for simulated time; suppress only at harness sites "
+        "that deliberately measure the simulator's own wall-clock cost."
+    )
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> Iterable[Diagnostic]:
+        # Track aliases: ``import time as t`` and ``from time import
+        # perf_counter [as pc]`` both reach the host clock.
+        time_modules: Set[str] = set()
+        datetime_modules: Set[str] = set()
+        clock_names: Dict[str, str] = {}  # local name -> original func
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        time_modules.add(alias.asname or "time")
+                    elif alias.name == "datetime":
+                        datetime_modules.add(alias.asname or "datetime")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in _TIME_FUNCS:
+                            clock_names[alias.asname or alias.name] = alias.name
+
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                orig = clock_names.get(func.id)
+                if orig is not None:
+                    yield ctx.diagnostic(
+                        self, node,
+                        f"wall-clock call time.{orig}() in simulation code; "
+                        f"use sim.now (simulated nanoseconds) instead",
+                    )
+                continue
+            d = dotted_name(func)
+            if d is None:
+                continue
+            parts = d.split(".")
+            if len(parts) == 2 and parts[0] in time_modules and parts[1] in _TIME_FUNCS:
+                yield ctx.diagnostic(
+                    self, node,
+                    f"wall-clock call {d}() in simulation code; "
+                    f"use sim.now (simulated nanoseconds) instead",
+                )
+            elif (
+                parts[-1] in _DATETIME_FUNCS
+                and len(parts) >= 2
+                and (parts[0] in datetime_modules or parts[-2] in ("datetime", "date"))
+            ):
+                yield ctx.diagnostic(
+                    self, node,
+                    f"wall-clock call {d}() in simulation code; "
+                    f"derive timestamps from sim.now instead",
+                )

@@ -57,7 +57,7 @@ class Interrupt(Exception):
     The ``cause`` attribute carries the interrupter-supplied reason.
     """
 
-    def __init__(self, cause: Any = None):
+    def __init__(self, cause: Any = None) -> None:
         super().__init__(cause)
         self.cause = cause
 
@@ -77,7 +77,7 @@ class Event:
 
     __slots__ = ("sim", "callbacks", "_value", "_exc", "triggered", "name", "_abandon")
 
-    def __init__(self, sim: "Simulator", name: str = ""):
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
         self.callbacks: Optional[list[Callable[["Event"], None]]] = None
         self._value: Any = None
@@ -179,7 +179,7 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
-    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
         self.sim = sim
@@ -208,7 +208,7 @@ class Process(Event):
 
     __slots__ = ("gen", "_waiting_on", "_observed")
 
-    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = "") -> None:
         super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
         self.gen = gen
         self._waiting_on: Optional[Event] = None
@@ -299,7 +299,7 @@ class _Condition(Event):
 
     __slots__ = ("events", "_pending")
 
-    def __init__(self, sim: "Simulator", events: Iterable[Event], name: str):
+    def __init__(self, sim: "Simulator", events: Iterable[Event], name: str) -> None:
         super().__init__(sim, name=name)
         self.events = list(events)
         self._pending = 0
@@ -322,7 +322,7 @@ class AllOf(_Condition):
 
     __slots__ = ()
 
-    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim, events, name="all_of")
 
     def _on_child(self, ev: Event) -> None:
@@ -341,7 +341,7 @@ class AnyOf(_Condition):
 
     __slots__ = ()
 
-    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim, events, name="any_of")
 
     def _on_child(self, ev: Event) -> None:
@@ -356,7 +356,7 @@ class AnyOf(_Condition):
 class Simulator:
     """The event loop.  Time unit: nanoseconds."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, object]] = []
         self._seq = 0
@@ -471,7 +471,7 @@ class Simulator:
         if self._running:
             raise SimulationError("run() called re-entrantly")
         self._running = True
-        wall0 = time.perf_counter()
+        wall0 = time.perf_counter()  # simlint: disable=SIM101 -- kernel self-profile
         # Stepping AND the dispatch body are inlined here (and in
         # run_until_event): one method call per event is measurable at
         # millions of events per run.  High-water and dispatch counters
@@ -516,7 +516,7 @@ class Simulator:
             self._heap_high_water = hw
             self.events_dispatched = ndisp
             self._running = False
-            self._wall_s += time.perf_counter() - wall0
+            self._wall_s += time.perf_counter() - wall0  # simlint: disable=SIM101 -- kernel self-profile
         return self.now
 
     def run_until_event(self, ev: Event, limit: Optional[float] = None) -> Any:
@@ -528,7 +528,7 @@ class Simulator:
         if self._running:
             raise SimulationError("run() called re-entrantly")
         self._running = True
-        wall0 = time.perf_counter()
+        wall0 = time.perf_counter()  # simlint: disable=SIM101 -- kernel self-profile
         # inlined stepping + dispatch — keep in sync with _step()/_dispatch()
         heap = self._heap
         pop = heapq.heappop
@@ -571,7 +571,7 @@ class Simulator:
             self._heap_high_water = hw
             self.events_dispatched = ndisp
             self._running = False
-            self._wall_s += time.perf_counter() - wall0
+            self._wall_s += time.perf_counter() - wall0  # simlint: disable=SIM101 -- kernel self-profile
         if ev.exception is not None:
             raise ev.exception
         return ev.value

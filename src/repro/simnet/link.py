@@ -51,7 +51,7 @@ class Port:
         owner_name: str,
         bandwidth_gbps: float,
         queue_packets: int = 64,
-    ):
+    ) -> None:
         self.sim = sim
         self.owner_name = owner_name
         self.bandwidth_gbps = bandwidth_gbps

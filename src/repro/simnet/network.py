@@ -10,7 +10,7 @@ can be composed for sensitivity studies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from ..telemetry.metrics import HandleCache
 from .engine import Simulator
@@ -34,7 +34,7 @@ class NetConfig:
 class _SwitchPortShim:
     """Receives packets arriving at one switch port and forwards them."""
 
-    def __init__(self, switch: "Switch", name: str):
+    def __init__(self, switch: "Switch", name: str) -> None:
         self.switch = switch
         self.name = name
 
@@ -55,7 +55,7 @@ class Switch:
     node.
     """
 
-    def __init__(self, sim: Simulator, cfg: NetConfig, name: str = "switch"):
+    def __init__(self, sim: Simulator, cfg: NetConfig, name: str = "switch") -> None:
         self.sim = sim
         self.cfg = cfg
         self.name = name
@@ -68,7 +68,7 @@ class Switch:
             )
         )
 
-    def attach(self, endpoint) -> Port:
+    def attach(self, endpoint: Any) -> Port:
         """Attach an endpoint; returns the *endpoint's* port (towards us)."""
         node_name = endpoint.name
         if node_name in self._out_ports:
@@ -178,13 +178,13 @@ class Switch:
 
         st.on_abort = _on_upstream_abort
 
-    def _forward_train_step(self, arg) -> None:
+    def _forward_train_step(self, arg: Tuple[Any, int, Port]) -> None:
         st, j, out = arg
         if j >= st.cut:
             return  # cut upstream; the origin re-sends it the slow way
         out.send(st.pkts[j])
 
-    def _forward_train_slow_step(self, arg) -> None:
+    def _forward_train_slow_step(self, arg: Tuple[Any, int]) -> None:
         st, j = arg
         if j >= st.cut:
             return
@@ -201,13 +201,13 @@ class Network:
     hands them back their uplink :class:`Port`.
     """
 
-    def __init__(self, sim: Simulator, cfg: Optional[NetConfig] = None):
+    def __init__(self, sim: Simulator, cfg: Optional[NetConfig] = None) -> None:
         self.sim = sim
         self.cfg = cfg or NetConfig()
         self.switch = Switch(sim, self.cfg)
         self.endpoints: Dict[str, object] = {}
 
-    def register(self, endpoint) -> Port:
+    def register(self, endpoint: Any) -> Port:
         if endpoint.name in self.endpoints:
             raise ValueError(f"duplicate endpoint name {endpoint.name!r}")
         self.endpoints[endpoint.name] = endpoint

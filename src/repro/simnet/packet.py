@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Callable, List, Optional
 
 import numpy as np
 
@@ -39,10 +39,10 @@ _msg_ids = itertools.count()
 #: extra reset hooks registered by other modules holding id state that
 #: must restart with every simulation (e.g. rdma.nic's group-request
 #: counter) — a registry avoids an import cycle back into those modules
-_id_reset_hooks: list = []
+_id_reset_hooks: List[Callable[[], None]] = []
 
 
-def register_id_reset(hook) -> None:
+def register_id_reset(hook: Callable[[], None]) -> None:
     """Register ``hook()`` to be invoked by :func:`reset_id_state`."""
     _id_reset_hooks.append(hook)
 
@@ -165,7 +165,9 @@ class PacketTrain:
         "applied", "ev", "on_abort", "enq_depth", "done_depth",
     )
 
-    def __init__(self, pkts, s, done, arr, avail=None, enq_push=None):
+    def __init__(self, pkts: "List[Packet]", s: List[float], done: List[float],
+                 arr: List[float], avail: Optional[List[float]] = None,
+                 enq_push: Optional[List[float]] = None) -> None:
         self.pkts = pkts
         self.s = s              # serialization start, per packet
         self.done = done        # serialization end (sender completion)
@@ -231,7 +233,7 @@ def derived_msg_id(parent: int, salt: Any) -> int:
     return mid
 
 
-def as_payload(data) -> np.ndarray:
+def as_payload(data: Any) -> np.ndarray:
     """Coerce bytes-like input to a ``uint8`` numpy array without copying
     when the input is already a ``uint8`` array."""
     if isinstance(data, np.ndarray):

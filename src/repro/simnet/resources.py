@@ -29,7 +29,7 @@ class Request(Event):
 
     __slots__ = ("resource",)
 
-    def __init__(self, resource: "Resource"):
+    def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.sim, name=resource._req_name)
         self.resource = resource
 
@@ -48,7 +48,7 @@ class Resource:
         res.release(req)
     """
 
-    def __init__(self, sim: Simulator, capacity: int, name: str = "resource"):
+    def __init__(self, sim: Simulator, capacity: int, name: str = "resource") -> None:
         if capacity < 1:
             raise SimulationError("resource capacity must be >= 1")
         self.sim = sim
@@ -125,7 +125,7 @@ class Store:
         sim: Simulator,
         capacity: Optional[int] = None,
         name: str = "store",
-    ):
+    ) -> None:
         if capacity is not None and capacity < 1:
             raise SimulationError("store capacity must be >= 1 or None")
         self.sim = sim
@@ -212,7 +212,7 @@ class Container:
         capacity: float,
         init: Optional[float] = None,
         name: str = "container",
-    ):
+    ) -> None:
         if capacity <= 0:
             raise SimulationError("container capacity must be positive")
         self.sim = sim

@@ -16,7 +16,7 @@ hop counts and uplink oversubscription:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from .engine import Simulator
 from .link import Port
@@ -29,7 +29,7 @@ __all__ = ["LeafSpineNetwork"]
 class _LeafSwitch(Switch):
     """A leaf: local endpoints plus uplinks to every spine."""
 
-    def __init__(self, sim: Simulator, cfg: NetConfig, name: str, fabric: "LeafSpineNetwork"):
+    def __init__(self, sim: Simulator, cfg: NetConfig, name: str, fabric: "LeafSpineNetwork") -> None:
         super().__init__(sim, cfg, name=name)
         self.fabric = fabric
         self.uplinks: List[Port] = []
@@ -52,7 +52,7 @@ class _LeafSwitch(Switch):
 class _SpineSwitch(Switch):
     """A spine: routes down to the leaf owning the destination."""
 
-    def __init__(self, sim: Simulator, cfg: NetConfig, name: str, fabric: "LeafSpineNetwork"):
+    def __init__(self, sim: Simulator, cfg: NetConfig, name: str, fabric: "LeafSpineNetwork") -> None:
         super().__init__(sim, cfg, name=name)
         self.fabric = fabric
         self.downlinks: Dict[str, Port] = {}  # leaf name -> port
@@ -67,7 +67,7 @@ class _SpineSwitch(Switch):
 
 
 class _Shim:
-    def __init__(self, target, name):
+    def __init__(self, target: Any, name: str) -> None:
         self._t = target
         self.name = name
 
@@ -85,7 +85,7 @@ class LeafSpineNetwork:
         n_leaves: int = 2,
         n_spines: int = 1,
         uplink_gbps: Optional[float] = None,
-    ):
+    ) -> None:
         self.sim = sim
         self.cfg = cfg or NetConfig()
         self.uplink_gbps = uplink_gbps or self.cfg.bandwidth_gbps
@@ -109,7 +109,7 @@ class LeafSpineNetwork:
                 down.connect(_Shim(leaf, leaf.name), self.cfg.link_latency_ns)
                 spine.downlinks[leaf.name] = down
 
-    def register(self, endpoint, leaf: int = 0) -> Port:
+    def register(self, endpoint: Any, leaf: int = 0) -> Port:
         """Attach an endpoint to a given leaf; returns its uplink port."""
         if endpoint.name in self.endpoints:
             raise ValueError(f"duplicate endpoint name {endpoint.name!r}")
@@ -118,5 +118,5 @@ class LeafSpineNetwork:
         return self.leaves[leaf].attach(endpoint)
 
     @property
-    def switch(self):  # Network-compat shim for code that pokes .switch
+    def switch(self) -> Switch:  # Network-compat shim for code that pokes .switch
         return self.leaves[0]

@@ -37,7 +37,7 @@ class Timeline:
 class Tracer:
     """Sink for named event streams; cheap when disabled."""
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self.timelines: Dict[str, Timeline] = {}
         self.counters: Dict[str, int] = defaultdict(int)
