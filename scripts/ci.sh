@@ -76,6 +76,13 @@ python -m pytest benchmarks/bench_simulator_perf.py::test_telemetry_disabled_ove
     -q --no-header -p no:cacheprovider
 
 echo
+echo "== SLO suite (fixed-seed latency anatomy vs BENCH_slo.json) =="
+# runs every scenario: phase decompositions must sum to the end-to-end
+# latency within 1 ns, every declared budget must hold, and no phase
+# percentile may regress past the noise band of the committed baseline
+python -m repro slo --check BENCH_slo.json
+
+echo
 echo "== parallel sweep smoke (--jobs 2 must match serial byte-for-byte) =="
 python -m repro.experiments fig06 --quick --jobs 1 --no-cache --no-check \
     --csv "$tmpdir/serial.csv" > /dev/null

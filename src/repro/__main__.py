@@ -9,6 +9,9 @@ Subcommands:
   ``.trace.json`` (open it at https://ui.perfetto.dev);
 * ``perf``   — measure simulator throughput; snapshot or check the
   committed ``BENCH_simulator.json`` baseline;
+* ``slo``    — run the fixed-seed SLO scenario suite: per-phase latency
+  decomposition with budget checks; snapshot or check the committed
+  ``BENCH_slo.json`` baseline (see docs/observability.md);
 * ``lint``   — simulation-aware static analysis (determinism,
   coroutine-protocol, resource- and telemetry-hygiene rules; see
   ``docs/simlint.md``);
@@ -235,7 +238,8 @@ def _trace(argv) -> int:
 
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(prog="repro")
-    ap.add_argument("command", choices=["info", "demo", "trace", "perf", "lint", "bench"],
+    ap.add_argument("command",
+                    choices=["info", "demo", "trace", "perf", "slo", "lint", "bench"],
                     nargs="?", default="info")
     args, rest = ap.parse_known_args(argv)
     if args.command == "info":
@@ -248,6 +252,10 @@ def main(argv=None) -> int:
         from repro.perfsnap import main as perf_main
 
         return perf_main(rest)
+    if args.command == "slo":
+        from repro.slo import main as slo_main
+
+        return slo_main(rest)
     if args.command == "lint":
         from repro.simlint.cli import main as lint_main
 

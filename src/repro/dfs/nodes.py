@@ -196,7 +196,8 @@ class StorageNode(Host):
         (cores gate inside the handlers via ``cpu.run``)."""
         while True:
             headers, payload, src = yield self.rpc_queue.get()
-            yield from self.cpu.run(self.params.host.rpc_dispatch_ns)
+            yield from self.cpu.run(self.params.host.rpc_dispatch_ns,
+                                    trace=headers.get("trace"))
             name = headers.get("rpc")
             handler = self.rpc_handlers.get(name)
             if handler is None:

@@ -28,6 +28,7 @@ __all__ = [
     "MiB",
     "fresh_client",
     "installer_for",
+    "measure_anatomy",
     "measure_latency",
     "render_rows",
     "size_label",
@@ -96,6 +97,37 @@ def measure_latency(
     return measure_write_latency(
         client, "/bench", size, protocol, repeats=repeats, **write_kw
     )
+
+
+def measure_anatomy(
+    protocol: str,
+    size: int,
+    params: Optional[SimParams] = None,
+    replication: Optional[ReplicationSpec] = None,
+    ec: Optional[EcSpec] = None,
+    **write_kw,
+):
+    """Phase decomposition of one warmed isolated write.
+
+    Runs a warm-up write plus one measured write on a fresh telemetry-on
+    testbed and returns the measured write's
+    :class:`~repro.telemetry.anatomy.OpAnatomy` — the per-phase latency
+    columns experiments attach next to their headline numbers.
+    """
+    from ..telemetry.anatomy import decompose
+    from ..workloads import payload_bytes
+
+    tb, client = fresh_client(protocol, params, telemetry=True)
+    client.create("/bench", size=max(size, 1) * 2, replication=replication, ec=ec)
+    data = payload_bytes(size)
+    for _ in range(2):  # first write warms structures, second is measured
+        out = client.write_sync("/bench", data, protocol=protocol, **write_kw)
+        if not out.ok:
+            raise RuntimeError(f"write failed: {out.nacks}")
+    # let trailing acks / commits close their spans
+    tb.run(until=tb.sim.now + 200_000)
+    ops = [op for op in decompose(tb.telemetry) if op.op == "write" and op.ok]
+    return ops[-1]
 
 
 def size_label(nbytes: int) -> str:

@@ -20,7 +20,7 @@ from ..analysis import shapes
 from ..dfs.layout import ReplicationSpec
 from ..params import SimParams
 from ..workloads import optimal_chunk_size
-from .common import KiB, MiB, measure_latency, render_rows, size_label
+from .common import KiB, MiB, measure_anatomy, measure_latency, render_rows, size_label
 
 ID = "fig09_latency"
 TITLE = "Fig. 9 L/C — replicated write latency (ns)"
@@ -83,6 +83,17 @@ def run_point(point: dict, params: Optional[SimParams] = None) -> dict:
     row: dict = {"k": k, "size": size, "size_label": size_label(size)}
     for col, proto, extra in _strategies(k):
         row[col] = _latency(col, proto, extra, size, k, params, point["repeats"])
+    # latency anatomy of the headline strategy: where the sPIN-Ring
+    # write's time goes, phase by phase (sums to its end-to-end latency
+    # — anatomy_ok asserts the decomposition is exact)
+    an = measure_anatomy(
+        "spin", size, params=params, replication=ReplicationSpec(k=k, strategy="ring")
+    )
+    row["spin_wire_ns"] = an.phases["wire"]
+    row["spin_hpu_ns"] = an.phases["hpu"]
+    row["spin_dma_ns"] = an.phases["dma"]
+    row["spin_other_ns"] = an.phases["other"]
+    row["anatomy_ok"] = abs(an.sum_error_ns) <= 1.0
     return row
 
 
@@ -95,6 +106,8 @@ def run(params: Optional[SimParams] = None, quick: bool = False, ks=(2, 4),
 
 
 def check(rows: list[dict]) -> None:
+    shapes.check(all(r["anatomy_ok"] for r in rows),
+                 "sPIN-Ring phase decomposition sums to end-to-end latency")
     for k in sorted({r["k"] for r in rows}):
         sub = {r["size"]: r for r in rows if r["k"] == k}
         sizes = sorted(sub)
@@ -138,5 +151,6 @@ def check(rows: list[dict]) -> None:
 
 def render(rows: list[dict]) -> str:
     cols = ["k", "size_label", "cpu-ring", "cpu-pbt", "rdma-flat",
-            "rdma-hyperloop", "spin-ring", "spin-pbt"]
+            "rdma-hyperloop", "spin-ring", "spin-pbt",
+            "spin_wire_ns", "spin_hpu_ns", "spin_dma_ns", "spin_other_ns"]
     return render_rows(rows, cols, TITLE)

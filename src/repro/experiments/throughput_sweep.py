@@ -10,6 +10,12 @@ and further clients only add queueing latency.
 Claims: aggregate throughput scales with the client population before
 saturation; the sPIN data path sustains higher aggregate throughput
 than host RPC at every population; tail latency (p99) grows with load.
+
+Each row also reports the *latency anatomy* of the measured window —
+per-phase p99s from :mod:`repro.telemetry.anatomy` — plus an ``slo_ok``
+verdict against the per-protocol budgets in :data:`SLOS`, so a sweep
+doubles as a per-scenario SLO report (queueing shows up in
+``host_queue``/``other``, not in the compute phases).
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from typing import Optional
 from ..analysis import shapes
 from ..dfs.cluster import build_testbed
 from ..params import SimParams
+from ..slo import SloSpec, evaluate
 from ..workloads import LoadSpec, closed_loop_write_load
 from .common import KiB, installer_for, render_rows, size_label
 
@@ -34,6 +41,15 @@ PROTOCOLS = ("spin", "rpc")
 CLIENTS = (1, 2, 4, 8, 16)
 QUICK_CLIENTS = (1, 4, 8)
 SIZE = 8 * KiB
+
+#: per-protocol latency budgets, evaluated per row; they must hold at
+#: every population (i.e. through saturation queueing at 16 clients)
+SLOS = {
+    "spin": SloSpec(budgets={"end_to_end.p50": 8_000,
+                             "end_to_end.p99": 15_000}),
+    "rpc": SloSpec(budgets={"end_to_end.p50": 10_000,
+                            "end_to_end.p99": 20_000}),
+}
 
 
 def points(quick: bool = False) -> list[dict]:
@@ -54,7 +70,9 @@ def run_point(point: dict, params: Optional[SimParams] = None) -> dict:
     from ..runner import point_seed
 
     proto, n = point["protocol"], point["n_clients"]
-    tb = build_testbed(n_storage=4, n_clients=min(n, 4), params=params)
+    # telemetry on: spans only observe (timestamps are byte-identical
+    # either way), and they buy the row its latency anatomy below
+    tb = build_testbed(n_storage=4, n_clients=min(n, 4), params=params, telemetry=True)
     installer = installer_for(proto)
     if installer is not None:
         installer(tb)
@@ -67,6 +85,13 @@ def run_point(point: dict, params: Optional[SimParams] = None) -> dict:
         seed=point_seed(ID, point),
     )
     res = closed_loop_write_load(tb, point["size"], proto, spec)
+    phases = res.phase_latency or {}
+
+    def p99(phase: str) -> float:
+        return (phases.get(phase) or {}).get("p99") or 0.0
+
+    report = evaluate(SLOS[proto], phases, scenario=f"{proto}/n{n}",
+                      n_ops=res.ops, max_sum_error_ns=0.0)
     return {
         "protocol": proto,
         "n_clients": n,
@@ -76,6 +101,11 @@ def run_point(point: dict, params: Optional[SimParams] = None) -> dict:
         "goodput_gbps": res.goodput_gbps,
         "p50_ns": res.latency["p50"],
         "p99_ns": res.latency["p99"],
+        "queue_p99_ns": p99("host_queue") + p99("other"),
+        "wire_p99_ns": p99("wire"),
+        "compute_p99_ns": p99("hpu") + p99("cpu"),
+        "dma_p99_ns": p99("dma"),
+        "slo_ok": report.slo_ok,
         "quiesced": res.quiesced,
     }
 
@@ -93,6 +123,8 @@ def check(rows: list[dict]) -> None:
         sub = sorted((r for r in rows if r["protocol"] == proto),
                      key=lambda r: r["n_clients"])
         shapes.check(all(r["quiesced"] for r in sub), f"{proto}: load quiesces")
+        shapes.check(all(r["slo_ok"] for r in sub),
+                     f"{proto}: per-phase latency budgets hold at every population")
         lo, hi = sub[0], sub[-1]
         shapes.check(
             hi["kops_per_s"] > lo["kops_per_s"] * 1.5,
@@ -116,5 +148,6 @@ def check(rows: list[dict]) -> None:
 
 def render(rows: list[dict]) -> str:
     cols = ["protocol", "n_clients", "size_label", "ops",
-            "kops_per_s", "goodput_gbps", "p50_ns", "p99_ns"]
+            "kops_per_s", "goodput_gbps", "p50_ns", "p99_ns",
+            "queue_p99_ns", "wire_p99_ns", "compute_p99_ns", "slo_ok"]
     return render_rows(rows, cols, TITLE)

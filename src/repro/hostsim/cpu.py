@@ -44,10 +44,12 @@ class Cpu:
         to stage data while validating, §IV-A)."""
         return nbytes * self._memcpy_ns_per_byte
 
-    def run(self, duration_ns: float):
+    def run(self, duration_ns: float, trace=None):
         """Generator: occupy one core for ``duration_ns``.
 
-        Usage: ``yield from cpu.run(t)`` inside a process.
+        Usage: ``yield from cpu.run(t)`` inside a process.  ``trace``
+        (a request trace context) attributes the execution to its
+        request's latency anatomy.
         """
         req = self.cores.request()
         yield req
@@ -66,13 +68,15 @@ class Cpu:
                 t0=t0,
                 t1=self.sim.now,
                 cat="host",
+                trace=trace,
+                phase="cpu",
             )
             busy, cores_busy = self._handles.get(tel.metrics)
             busy.inc(duration_ns)
             cores_busy.set(self.sim.now, self.cores.count)
 
-    def run_cycles(self, cycles: float):
-        yield from self.run(self.cycles_ns(cycles))
+    def run_cycles(self, cycles: float, trace=None):
+        yield from self.run(self.cycles_ns(cycles), trace=trace)
 
     def utilisation(self) -> float:
         return self.cores.utilisation()

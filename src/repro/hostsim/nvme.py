@@ -120,6 +120,7 @@ class NvmeTarget(MemoryTarget):
                 t1=self.sim.now,
                 cat="host",
                 args={"bytes": int(data.nbytes), "addr": addr},
+                phase="dma",
             )
             nbytes, ncmds, sq_depth = self._handles.get(tel.metrics)
             nbytes.inc(data.nbytes)

@@ -150,6 +150,7 @@ class Pcie:
                 cat="host",
                 trace=trace,
                 args={"bytes": nbytes},
+                phase="dma",
             )
             busy, tbytes, gauge = self._handles.get(tel.metrics)
             busy.inc(ser)

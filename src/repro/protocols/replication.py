@@ -51,8 +51,9 @@ def _repl_write_handler(node: StorageNode, headers: dict, payload: np.ndarray, s
     greq = headers["greq_id"]
     reply_to = headers["reply_to_client"]
     # validation (per request: only the first chunk pays the full check)
+    tr = headers.get("trace")
     if headers["chunk_idx"] == 0:
-        yield from node.cpu.run(p.rpc_validate_cycles / p.cpu_freq_ghz)
+        yield from node.cpu.run(p.rpc_validate_cycles / p.cpu_freq_ghz, trace=tr)
         authority = headers.get("authority")
         dfs = headers.get("dfs")
         if authority is not None and (
@@ -65,7 +66,7 @@ def _repl_write_handler(node: StorageNode, headers: dict, payload: np.ndarray, s
             node.respond(reply_to, greq, "auth", error=True)
             return
     # staging copy out of the RPC buffer into the storage target
-    yield from node.cpu.run(node.cpu.memcpy_ns(int(payload.nbytes)))
+    yield from node.cpu.run(node.cpu.memcpy_ns(int(payload.nbytes)), trace=tr)
     node.memory.write(headers["addr"] + headers["chunk_off"], payload)
     # forward to children (CPU posts the sends; data must come back out
     # of host memory across PCIe)
@@ -74,7 +75,7 @@ def _repl_write_handler(node: StorageNode, headers: dict, payload: np.ndarray, s
         fwd_headers = dict(headers)
         fwd_headers["rp"] = replace(rp, virtual_rank=child_rank)
         fwd_headers["addr"] = coord.addr
-        yield node.pcie.dma(int(payload.nbytes))  # NIC reads the data back
+        yield node.pcie.dma(int(payload.nbytes), trace=tr)  # NIC reads the data back
         node.nic.send_message(
             dst=coord.node,
             op="rpc",
@@ -83,7 +84,7 @@ def _repl_write_handler(node: StorageNode, headers: dict, payload: np.ndarray, s
             header_bytes=64,
             post_overhead=False,  # CPU posting charged below
         )
-        yield from node.cpu.run(p.rpc_dispatch_ns / 2)
+        yield from node.cpu.run(p.rpc_dispatch_ns / 2, trace=tr)
     # one ack per (node, chunk): unique within the transaction so the
     # client can discard retransmit-induced duplicates
     node.ack(reply_to, greq, dedup=(node.name, "cpu", headers["chunk_idx"]))

@@ -55,16 +55,17 @@ def _rpc_write_handler(node: StorageNode, headers: dict, payload: np.ndarray, sr
     """Storage-node CPU: validate -> staging copy -> place -> respond."""
     p = node.params.host
     # request validation on the CPU
-    yield from node.cpu.run(p.rpc_validate_cycles / p.cpu_freq_ghz)
+    tr = headers.get("trace")
+    yield from node.cpu.run(p.rpc_validate_cycles / p.cpu_freq_ghz, trace=tr)
     if not _validate_on_cpu(node, headers):
         node.respond(src, headers["greq_id"], "auth", error=True)
         return
     # the buffered write must be copied from the staging buffer into the
     # storage target (the memcpy penalty of §IV-A)
-    yield from node.cpu.run(node.cpu.memcpy_ns(int(payload.nbytes)))
+    yield from node.cpu.run(node.cpu.memcpy_ns(int(payload.nbytes)), trace=tr)
     wrh: WriteRequestHeader = headers["wrh"]
     node.memory.write(wrh.addr, payload)
-    yield from node.cpu.run(p.cpu_completion_ns)
+    yield from node.cpu.run(p.cpu_completion_ns, trace=tr)
     node.respond(src, headers["greq_id"], "ok")
 
 

@@ -33,7 +33,8 @@ def install_rpc_rdma_targets(testbed: Testbed) -> None:
 
 def _rpc_rdma_handler(node: StorageNode, headers: dict, payload: np.ndarray, src: str):
     p = node.params.host
-    yield from node.cpu.run(p.rpc_validate_cycles / p.cpu_freq_ghz)
+    tr = headers.get("trace")
+    yield from node.cpu.run(p.rpc_validate_cycles / p.cpu_freq_ghz, trace=tr)
     if not _validate_on_cpu(node, headers):
         node.respond(src, headers["greq_id"], "auth", error=True)
         return
@@ -43,10 +44,10 @@ def _rpc_rdma_handler(node: StorageNode, headers: dict, payload: np.ndarray, src
     res = yield read_done
     # Data streamed into the NIC; place it in the storage target (one
     # PCIe crossing — zero extra host copies).
-    yield node.pcie.dma(length)
+    yield node.pcie.dma(length, trace=tr)
     wrh: WriteRequestHeader = headers["wrh"]
     node.memory.write(wrh.addr, res.data)
-    yield from node.cpu.run(p.cpu_completion_ns)
+    yield from node.cpu.run(p.cpu_completion_ns, trace=tr)
     node.respond(src, headers["greq_id"], "ok")
 
 

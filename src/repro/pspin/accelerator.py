@@ -246,6 +246,7 @@ class HandlerApi:
                 cat="host",
                 trace=self._run.trace,
                 args={"addr": addr, "bytes": int(payload.nbytes)},
+                phase="dma",
             )
             sim = self._accel.sim
             ev.add_callback(lambda _e, s=span: tel.end(s, sim.now))
@@ -636,6 +637,7 @@ class PsPinAccelerator:
                 cat="hpu",
                 trace=run.trace,
                 args={"instructions": cost.instructions, "handler": htype},
+                phase="hpu",
             )
             h = self._handles.get(tel.metrics)
             h["busy"].inc(dur)
@@ -990,6 +992,7 @@ class PsPinAccelerator:
                 cat="hpu",
                 trace=run.trace,
                 args={"instructions": cost.instructions, "handler": "payload"},
+                phase="hpu",
             )
             h = self._handles.get(tel.metrics)
             h["busy"].inc(dur)

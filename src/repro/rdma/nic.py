@@ -97,6 +97,8 @@ class PendingOp:
     watchdog: Optional[object] = None
     #: last time an ack/progress for this op was observed
     last_progress: float = 0.0
+    #: request trace context (for retransmit-backoff telemetry spans)
+    trace: Optional[object] = None
 
 
 class RdmaNic:
@@ -327,6 +329,8 @@ class RdmaNic:
             return
         pending.messages.append(msg)
         pending.last_progress = self.sim.now
+        if pending.trace is None:
+            pending.trace = msg.headers.get("trace")
         if pending.watchdog is None:
             wd = self.sim.process(self._watchdog(gid), name=f"{self.name}.rto({gid})")
             wd._observed = True
@@ -354,6 +358,7 @@ class RdmaNic:
                     tel = sim.telemetry
                     if tel.enabled:
                         self._handles.get(tel.metrics)[3].inc()
+                        self._backoff_span(tel, pending, gid, gave_up=True)
                     pending.nacks.append(
                         {"reason": "timeout", "ack_for": gid, "attempts": pending.attempts}
                     )
@@ -367,12 +372,37 @@ class RdmaNic:
                 tel = sim.telemetry
                 if tel.enabled:
                     self._handles.get(tel.metrics)[2].inc(n)
+                    self._backoff_span(tel, pending, gid, gave_up=False)
                 for msg in pending.messages:
                     sim.process(self._tx_message(msg, False), name=self._pname_rtx)
                 pending.last_progress = sim.now
                 rto = min(rto * fp.rto_backoff, fp.rto_max_ns)
         except Interrupt:
             return
+
+    def _backoff_span(self, tel, pending: PendingOp, gid: int, gave_up: bool) -> None:
+        """Record the stalled window ``[last_progress, now)`` that the
+        retransmission timer just sat out as a ``retransmit``-phase span.
+
+        The phase is attributed at the *lowest* anatomy priority (see
+        :mod:`repro.telemetry.anatomy`): backoff only claims time in
+        which no other stage of the request made progress, which is
+        exactly the latency the fault added.
+        """
+        now = self.sim.now
+        if now <= pending.last_progress:
+            return
+        tel.span(
+            ("rto gave-up" if gave_up else f"rto backoff x{pending.attempts}"),
+            pid="net",
+            tid=self.name,
+            t0=pending.last_progress,
+            t1=now,
+            cat="retransmit",
+            trace=pending.trace,
+            args={"greq_id": gid, "attempts": pending.attempts},
+            phase="retransmit",
+        )
 
     def _tx_message(self, msg: Message, post_overhead: bool):
         sim = self.sim
@@ -383,6 +413,7 @@ class RdmaNic:
         # NIC tx pipeline latency (once per message; packets then stream
         # at line rate through the fixed-depth pipeline).
         yield sim.timeout(self.params.nic_tx_ns)
+        t_submit = sim.now
         self.tx_messages += 1
         pkts = segment_message(msg, self.params.net.mtu)
         train = self.port.try_send_train(pkts) if len(pkts) >= 2 else None
@@ -399,6 +430,23 @@ class RdmaNic:
         tel = sim.telemetry
         if tel.enabled:
             nbytes = msg.data.nbytes if msg.data is not None else 0
+            trace = msg.headers.get("trace")
+            # Submission overhead (WQE build + doorbell + tx pipeline)
+            # is its own anatomy phase; the enclosing tx span is tagged
+            # host_queue, so whatever the wire spans don't carve out of
+            # it (egress-queue wait, inter-packet gaps) is attributed to
+            # host-side queueing.
+            tel.span(
+                f"post {msg.op}",
+                pid="net",
+                tid=self.name,
+                t0=t0,
+                t1=t_submit,
+                cat="net",
+                trace=trace,
+                args={"dst": msg.dst},
+                phase="submit",
+            )
             tel.span(
                 f"tx {msg.op} {nbytes}B",
                 pid="net",
@@ -406,8 +454,9 @@ class RdmaNic:
                 t0=t0,
                 t1=sim.now,
                 cat="net",
-                trace=msg.headers.get("trace"),
+                trace=trace,
                 args={"bytes": nbytes, "packets": len(pkts), "dst": msg.dst},
+                phase="host_queue",
             )
             h = self._handles.get(tel.metrics)
             h[0].inc()

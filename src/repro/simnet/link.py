@@ -28,6 +28,10 @@ from .packet import Packet, PacketTrain
 
 __all__ = ["Port", "Endpoint", "gbps_to_ns_per_byte"]
 
+#: packet ops whose serialization is the *ack leg* of a request — their
+#: wire spans carry the "ack" latency-anatomy phase instead of "wire"
+_ACK_OPS = frozenset(("ack", "nack", "rpc_resp"))
+
 
 def gbps_to_ns_per_byte(gbps: float) -> float:
     """Serialization cost in ns/byte for a line rate in Gbit/s."""
@@ -158,6 +162,7 @@ class Port:
                 cat="net",
                 trace=pkt.trace,
                 args={"bytes": pkt.size, "queued_ns": t0 - pkt.enqueue_t},
+                phase="ack" if pkt.op in _ACK_OPS else "wire",
             )
             gauge, busy, nbytes, npkts = self._handles.get(tel.metrics)
             busy.inc(ser)
@@ -354,6 +359,7 @@ class Port:
                 cat="net",
                 trace=pkt.trace,
                 args={"bytes": pkt.size, "queued_ns": t0 - pkt.enqueue_t},
+                phase="ack" if pkt.op in _ACK_OPS else "wire",
             )
             gauge, busy, nbytes, npkts = self._handles.get(tel.metrics)
             busy.inc(ser)
@@ -434,6 +440,7 @@ class Port:
                 cat="net",
                 trace=pkt.trace,
                 args={"bytes": pkt.size, "queued_ns": t0 - pkt.enqueue_t},
+                phase="ack" if pkt.op in _ACK_OPS else "wire",
             )
             busy.inc(ser)
             nbytes.inc(pkt.size)

@@ -90,17 +90,23 @@ def percentile(sorted_samples: List[float], p: float) -> float:
     return sorted_samples[lo] * (1.0 - frac) + sorted_samples[hi] * frac
 
 
-def summarize(samples: List[float]) -> Dict[str, float]:
+def summarize(samples: List[float]) -> Dict[str, Optional[float]]:
     """Distribution summary for a list of durations.
 
     Percentiles use linear interpolation between order statistics (the
     nearest-rank rule previously used here collapses every tail
     percentile onto the max for small n).  ``std`` is the population
     standard deviation.
+
+    Statistics that would mislead are ``None`` rather than a number:
+    every stat of an *empty* population (a 0.0 "latency" from zero
+    samples reads as an excellent result), and the ``p999`` of fewer
+    than 4 samples (it is just the max wearing a tail-percentile
+    label).  Renderers print them as ``-``.
     """
     keys = ("min", "mean", "median", "p50", "p90", "p99", "p999", "max", "std")
     if not samples:
-        out = {k: 0.0 for k in keys}
+        out: Dict[str, Optional[float]] = {k: None for k in keys}
         out["n"] = 0
         return out
     s = sorted(samples)
@@ -116,7 +122,7 @@ def summarize(samples: List[float]) -> Dict[str, float]:
         "p50": p50,
         "p90": percentile(s, 0.90),
         "p99": percentile(s, 0.99),
-        "p999": percentile(s, 0.999),
+        "p999": percentile(s, 0.999) if n >= 4 else None,
         "max": s[-1],
         "std": var**0.5,
     }

@@ -1,0 +1,419 @@
+"""Per-scenario SLO reports and phase-level latency-regression tracking.
+
+``python -m repro slo`` runs a fixed-seed scenario suite — one isolated
+write per protocol (clean and under seeded packet loss) plus a
+closed-loop load run — and, for every scenario, decomposes each request
+into latency phases (:mod:`repro.telemetry.anatomy`), checks two
+invariants, and evaluates declarative latency budgets:
+
+* **exactness** — per operation the phase times must sum to the
+  end-to-end latency within :data:`SUM_TOLERANCE_NS` (1 ns); any defect
+  means a span is mis-tagged or double-counted and fails the run;
+* **budgets** — each scenario carries an :class:`SloSpec` of
+  ``"<phase>.<stat>"`` ceilings (e.g. ``end_to_end.p99``); a scenario
+  with a blown budget reports ``slo: FAIL``.
+
+Regression tracking mirrors ``repro perf``'s snapshot workflow, but on
+*simulated* time, so it is machine-independent and deterministic:
+
+* ``--out BENCH_slo.json`` / ``--update`` snapshot the per-phase
+  percentiles;
+* ``--check [BENCH_slo.json]`` re-runs the suite and fails (exit 1) if
+  any tracked phase statistic grew beyond the noise band
+  ``base * (1 + rtol) + atol`` — the band absorbs legitimate small
+  timing shifts from model changes while catching real latency
+  regressions phase-by-phase (a +30% ``dma`` tail is flagged even when
+  the end-to-end p50 barely moves).
+
+The suite is the SLO companion of the experiment sweeps: the same
+budgets drive the ``slo_ok`` columns of ``throughput_sweep`` and the
+anatomy columns of ``fig09_latency``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "SUM_TOLERANCE_NS",
+    "SloSpec",
+    "SloReport",
+    "Scenario",
+    "SCENARIOS",
+    "evaluate",
+    "run_scenario",
+    "run_suite",
+    "snapshot",
+    "compare_snapshots",
+    "main",
+]
+
+#: per-operation decomposition defect ceiling: phases must sum to the
+#: end-to-end latency within this (float rounding is orders below it)
+SUM_TOLERANCE_NS = 1.0
+
+#: phase statistics tracked in snapshots and regression-checked
+TRACKED_STATS = ("p50", "p99", "p999")
+
+
+# ------------------------------------------------------------------ specs
+@dataclass(frozen=True)
+class SloSpec:
+    """Declarative latency budgets for one scenario.
+
+    ``budgets`` maps ``"<phase>.<stat>"`` keys — any phase from
+    :data:`repro.telemetry.PHASES` plus ``end_to_end``, any stat from
+    :func:`repro.simnet.trace.summarize` — to ceilings in nanoseconds.
+    """
+
+    budgets: Dict[str, float] = field(default_factory=dict)
+
+    def items(self) -> List[Tuple[str, str, float]]:
+        out = []
+        for key, ns in sorted(self.budgets.items()):
+            phase, _, stat = key.rpartition(".")
+            out.append((phase, stat, ns))
+        return out
+
+
+@dataclass
+class SloReport:
+    """Outcome of one scenario: anatomy stats + budget verdicts."""
+
+    scenario: str
+    n_ops: int
+    phases: Dict[str, Dict[str, Optional[float]]]
+    max_sum_error_ns: float
+    #: (budget key, measured ns, budget ns, within budget)
+    checks: List[Tuple[str, Optional[float], float, bool]]
+
+    @property
+    def slo_ok(self) -> bool:
+        return all(ok for _, _, _, ok in self.checks)
+
+    @property
+    def anatomy_ok(self) -> bool:
+        return self.max_sum_error_ns <= SUM_TOLERANCE_NS
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "n_ops": self.n_ops,
+            "max_sum_error_ns": self.max_sum_error_ns,
+            "slo_ok": self.slo_ok,
+            "phases": {
+                phase: {s: stats.get(s) for s in TRACKED_STATS}
+                for phase, stats in self.phases.items()
+            },
+        }
+
+
+def evaluate(spec: SloSpec, phases: Dict[str, Dict[str, Optional[float]]],
+             scenario: str, n_ops: int, max_sum_error_ns: float) -> SloReport:
+    """Check per-phase statistics against a budget spec."""
+    checks: List[Tuple[str, Optional[float], float, bool]] = []
+    for phase, stat, budget in spec.items():
+        got = phases.get(phase, {}).get(stat)
+        # a missing statistic (too few samples for the tail) cannot
+        # violate a ceiling — it is reported as None and passes
+        checks.append((f"{phase}.{stat}", got, budget, got is None or got <= budget))
+    return SloReport(
+        scenario=scenario,
+        n_ops=n_ops,
+        phases=phases,
+        max_sum_error_ns=max_sum_error_ns,
+        checks=checks,
+    )
+
+
+# -------------------------------------------------------------- scenarios
+@dataclass(frozen=True)
+class Scenario:
+    """One fixed-seed measurement scenario of the SLO suite."""
+
+    name: str
+    protocol: str
+    size: int = 64 * 1024
+    replication: Optional[int] = None
+    ec: Optional[Tuple[int, int]] = None
+    #: seeded per-packet loss probability (0 = clean run)
+    loss: float = 0.0
+    repeats: int = 3
+    load: bool = False            # closed-loop load run instead of isolated writes
+    write_kw: Tuple[Tuple[str, object], ...] = ()
+    slo: SloSpec = field(default_factory=SloSpec)
+
+
+def _e2e_slo(p50_ns: float, p99_ns: Optional[float] = None) -> SloSpec:
+    return SloSpec(budgets={
+        "end_to_end.p50": p50_ns,
+        "end_to_end.p99": p99_ns if p99_ns is not None else p50_ns,
+    })
+
+
+#: Every write protocol, clean and under seeded loss, plus a closed-loop
+#: load run.  Budgets are ~2x the calibrated-default measurements, so
+#: they flag gross model regressions while tolerating retuning; the
+#: fine-grained tracking is the snapshot comparison, not the budgets.
+SCENARIOS: Tuple[Scenario, ...] = (
+    Scenario("raw_64k", "raw", slo=_e2e_slo(8_000)),
+    Scenario("spin_r3_64k", "spin", replication=3, slo=_e2e_slo(15_000)),
+    Scenario("rpc_64k", "rpc", slo=_e2e_slo(20_000)),
+    Scenario("rpc_rdma_64k", "rpc+rdma", slo=_e2e_slo(20_000)),
+    Scenario("cpu_r3_64k", "cpu", replication=3,
+             write_kw=(("chunk_bytes", 32 * 1024),), slo=_e2e_slo(35_000)),
+    Scenario("rdma_flat_r3_64k", "rdma-flat", replication=3, slo=_e2e_slo(15_000)),
+    Scenario("hyperloop_r3_64k", "rdma-hyperloop", replication=3,
+             write_kw=(("chunk_bytes", 32 * 1024),), slo=_e2e_slo(30_000)),
+    Scenario("inec_ec32_64k", "inec", ec=(3, 2), slo=_e2e_slo(50_000)),
+    # seeded loss: the same writes with the reliability layer active.
+    # retransmit-phase time is budgeted explicitly: RTO stalls must stay
+    # bounded, and on a clean run the phase must be (and is) zero.
+    Scenario("spin_r3_64k_lossy", "spin", replication=3, loss=2e-3,
+             slo=SloSpec(budgets={"end_to_end.p99": 500_000,
+                                  "retransmit.p99": 450_000})),
+    Scenario("raw_64k_lossy", "raw", loss=2e-3,
+             slo=SloSpec(budgets={"end_to_end.p99": 500_000,
+                                  "retransmit.p99": 450_000})),
+    Scenario("rdma_flat_r3_64k_lossy", "rdma-flat", replication=3, loss=2e-3,
+             slo=SloSpec(budgets={"end_to_end.p99": 500_000,
+                                  "retransmit.p99": 450_000})),
+    # closed-loop load: anatomy under contention (queueing shows up in
+    # host_queue/other, not in the compute phases)
+    Scenario("load_spin_8k", "spin", size=8 * 1024, load=True,
+             slo=SloSpec(budgets={"end_to_end.p50": 8_000,
+                                  "end_to_end.p99": 12_000})),
+)
+
+#: the subset exercised by ``--quick`` (CI smoke)
+QUICK_NAMES = ("raw_64k", "spin_r3_64k", "rpc_64k", "spin_r3_64k_lossy",
+               "load_spin_8k")
+
+#: seed for fault-injection streams and payloads (fixed: the whole
+#: suite must be deterministic for snapshot comparison)
+SEED = 2
+
+
+def _ops_for(tel, protocol: str) -> Tuple[List, float]:
+    """Decomposed write ops of ``protocol`` + the worst sum defect.
+
+    Request roots carry strategy-qualified protocol labels
+    (``spin-ring``, ``inec-triec-rs(3,2)``), so match on the base name
+    as a prefix; each scenario runs in its own testbed, so only its own
+    writes are in the sink.
+    """
+    from .telemetry.anatomy import decompose
+
+    base = protocol.split("-")[0].split("+")[0]
+    ops = [
+        op for op in decompose(tel)
+        if op.op == "write" and op.ok and op.protocol.startswith(base)
+    ]
+    max_err = max((abs(op.sum_error_ns) for op in ops), default=0.0)
+    return ops, max_err
+
+
+def run_scenario(sc: Scenario) -> SloReport:
+    """Run one scenario with telemetry on; decompose and evaluate."""
+    from .dfs.client import DfsClient
+    from .dfs.cluster import build_testbed
+    from .dfs.layout import EcSpec, ReplicationSpec
+    from .experiments.common import installer_for
+    from .params import SimParams
+    from .telemetry.anatomy import phase_summary
+    from .workloads import LoadSpec, closed_loop_write_load, payload_bytes
+
+    params = SimParams()
+    if sc.loss > 0.0:
+        params = params.with_faults(seed=SEED, loss_prob=sc.loss, retransmit=True)
+    tb = build_testbed(n_storage=6, params=params, telemetry=True)
+    installer = installer_for(sc.protocol)
+    if installer is not None:
+        installer(tb)
+
+    if sc.load:
+        spec = LoadSpec(n_clients=8, outstanding=2, think_ns=2_000.0,
+                        warmup_ns=50_000.0, measure_ns=300_000.0, seed=SEED)
+        res = closed_loop_write_load(tb, sc.size, sc.protocol, spec)
+        if not res.quiesced:
+            raise RuntimeError(f"{sc.name}: load run did not quiesce")
+        _, max_err = _ops_for(tb.telemetry, sc.protocol)
+        assert res.phase_latency is not None
+        return evaluate(sc.slo, res.phase_latency, sc.name, res.ops, max_err)
+
+    client = DfsClient(tb)
+    create_kw: dict = {}
+    if sc.replication:
+        create_kw["replication"] = ReplicationSpec(k=sc.replication)
+    if sc.ec:
+        create_kw["ec"] = EcSpec(k=sc.ec[0], m=sc.ec[1])
+    client.create("/slo", size=max(sc.size, 1) * 2, **create_kw)
+    data = payload_bytes(sc.size, seed=SEED)
+    kw = dict(sc.write_kw)
+    for _ in range(sc.repeats):
+        # transport retransmits are bounded; under heavy loss an op can
+        # give up — retry like an application (still deterministic)
+        for _attempt in range(3):
+            out = client.write_sync("/slo", data, protocol=sc.protocol, **kw)
+            if out.ok:
+                break
+        if not out.ok:
+            raise RuntimeError(f"{sc.name}: write failed: {out.nacks}")
+    # drain trailing acks / parity traffic / retransmission watchdogs so
+    # every child span of the last request is closed
+    deadline = tb.sim.now + 100_000_000
+    tb.run(until=tb.sim.now + 200_000)
+    while sc.loss > 0.0 and tb.sim.now < deadline and any(
+        h.nic.pending_count() for h in [tb.clients[0], *tb.storage_nodes]
+    ):
+        tb.run(until=tb.sim.now + 1_000_000)
+
+    ops, max_err = _ops_for(tb.telemetry, sc.protocol)
+    if len(ops) < sc.repeats:
+        raise RuntimeError(f"{sc.name}: expected >= {sc.repeats} ops, got {len(ops)}")
+    return evaluate(sc.slo, phase_summary(ops), sc.name, len(ops), max_err)
+
+
+def run_suite(quick: bool = False) -> List[SloReport]:
+    names = set(QUICK_NAMES) if quick else None
+    return [
+        run_scenario(sc) for sc in SCENARIOS if names is None or sc.name in names
+    ]
+
+
+# -------------------------------------------------------------- snapshots
+def snapshot(reports: List[SloReport]) -> Dict[str, object]:
+    return {
+        "seed": SEED,
+        "scenarios": {r.scenario: r.to_dict() for r in reports},
+    }
+
+
+def compare_snapshots(snap: Dict[str, object], base: Dict[str, object],
+                      rtol: float = 0.10, atol_ns: float = 200.0) -> List[str]:
+    """Phase-level regression check of ``snap`` against ``base``.
+
+    A tracked statistic regresses when it exceeds the noise band
+    ``base * (1 + rtol) + atol_ns``.  Missing scenarios and newly
+    violated budgets are failures too; improvements never are.
+    Returns human-readable failure strings (empty = pass).
+    """
+    failures: List[str] = []
+    base_sc = base.get("scenarios", {})
+    snap_sc = snap.get("scenarios", {})
+    for name, bdata in sorted(base_sc.items()):
+        sdata = snap_sc.get(name)
+        if sdata is None:
+            failures.append(f"{name}: scenario missing from this run")
+            continue
+        if not sdata["slo_ok"]:
+            failures.append(f"{name}: SLO budget violated")
+        for phase, bstats in sorted(bdata.get("phases", {}).items()):
+            sstats = sdata.get("phases", {}).get(phase, {})
+            for stat in TRACKED_STATS:
+                want, got = bstats.get(stat), sstats.get(stat)
+                if want is None or got is None:
+                    continue
+                ceil = want * (1.0 + rtol) + atol_ns
+                if got > ceil:
+                    failures.append(
+                        f"{name}: {phase}.{stat} {got:,.0f} ns > "
+                        f"baseline {want:,.0f} ns + noise band "
+                        f"(+{rtol:.0%}, +{atol_ns:.0f} ns)"
+                    )
+    return failures
+
+
+# -------------------------------------------------------------------- CLI
+def _render(reports: List[SloReport]) -> str:
+    lines = []
+    head = (f"{'scenario':<22} {'ops':>4} {'e2e p50':>10} {'e2e p99':>10} "
+            f"{'sum err':>8}  {'slo':<4} checks")
+    lines.append(head)
+    lines.append("-" * len(head))
+    for r in reports:
+        e2e = r.phases.get("end_to_end", {})
+        failed = [k for k, _, _, ok in r.checks if not ok]
+
+        def fmt(v: Optional[float]) -> str:
+            return f"{v:,.0f}" if v is not None else "-"
+
+        lines.append(
+            f"{r.scenario:<22} {r.n_ops:>4} {fmt(e2e.get('p50')):>10} "
+            f"{fmt(e2e.get('p99')):>10} {r.max_sum_error_ns:>8.2g}  "
+            f"{'ok' if r.slo_ok else 'FAIL':<4} "
+            + (", ".join(failed) if failed else f"{len(r.checks)} budgets")
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list] = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro slo",
+        description="Run the fixed-seed SLO scenario suite: per-phase "
+                    "latency decomposition, budget checks, and snapshot "
+                    "regression tracking (see docs/observability.md).",
+    )
+    ap.add_argument("--out", metavar="PATH",
+                    help="write the snapshot as JSON")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the committed BENCH_slo.json baseline")
+    ap.add_argument("--check", nargs="?", const="BENCH_slo.json", metavar="PATH",
+                    help="compare against a baseline snapshot "
+                         "(default BENCH_slo.json); exit 1 on regression")
+    ap.add_argument("--quick", action="store_true",
+                    help="run the CI smoke subset of scenarios")
+    ap.add_argument("--rtol", type=float, default=0.10, metavar="FRAC",
+                    help="relative noise band for --check (default 0.10)")
+    ap.add_argument("--atol", type=float, default=200.0, metavar="NS",
+                    help="absolute noise band in ns for --check (default 200)")
+    args = ap.parse_args(argv)
+
+    reports = run_suite(quick=args.quick)
+    print(_render(reports))
+
+    bad_anatomy = [r for r in reports if not r.anatomy_ok]
+    if bad_anatomy:
+        print("\nDECOMPOSITION DEFECT (phases must sum to end-to-end "
+              f"within {SUM_TOLERANCE_NS} ns):")
+        for r in bad_anatomy:
+            print(f"  - {r.scenario}: sum error {r.max_sum_error_ns:.3g} ns")
+        return 1
+
+    snap = snapshot(reports)
+    out_path = args.out or ("BENCH_slo.json" if args.update else None)
+    if out_path:
+        with open(out_path, "w") as fh:
+            json.dump(snap, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nsnapshot written to {out_path}")
+
+    if args.check:
+        with open(args.check) as fh:
+            base = json.load(fh)
+        failures = compare_snapshots(snap, base, rtol=args.rtol, atol_ns=args.atol)
+        if failures:
+            print("\nSLO REGRESSION:")
+            for f in failures:
+                print(f"  - {f}")
+            return 1
+        print(f"\nslo check vs {args.check} passed "
+              f"(noise band +{args.rtol:.0%} / +{args.atol:.0f} ns per phase stat)")
+        return 0
+
+    blown = [r for r in reports if not r.slo_ok]
+    if blown:
+        print("\nSLO BUDGET VIOLATION:")
+        for r in blown:
+            for key, got, budget, ok in r.checks:
+                if not ok:
+                    print(f"  - {r.scenario}: {key} {got:,.0f} ns > "
+                          f"budget {budget:,.0f} ns")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

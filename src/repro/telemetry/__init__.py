@@ -26,22 +26,40 @@ Entry points::
 or from the shell: ``python -m repro trace --protocol spin --replication 3``.
 """
 
+from .anatomy import (
+    PHASES,
+    PRIORITY,
+    CriticalStep,
+    OpAnatomy,
+    critical_path,
+    decompose,
+    decompose_trace,
+    phase_summary,
+)
 from .export import dump_metrics, metrics_snapshot, utilization_report
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .perfetto import chrome_trace, trace_events, write_chrome_trace
 from .spans import Span, Telemetry, TraceContext
 
 __all__ = [
+    "PHASES",
+    "PRIORITY",
     "Counter",
+    "CriticalStep",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "OpAnatomy",
     "Span",
     "Telemetry",
     "TraceContext",
     "chrome_trace",
+    "critical_path",
+    "decompose",
+    "decompose_trace",
     "dump_metrics",
     "metrics_snapshot",
+    "phase_summary",
     "trace_events",
     "utilization_report",
     "write_chrome_trace",

@@ -1,0 +1,310 @@
+"""Latency anatomy: exact critical-path decomposition of request spans.
+
+The raw telemetry of a run is a pile of spans — wire serializations,
+HPU handler executions, PCIe crossings, retransmission backoffs — all
+linked to their originating request by ``trace_id``.  This module turns
+that pile into the paper's actual figures: *where did the latency go?*
+
+Two complementary views per operation:
+
+**Phase decomposition** (:func:`decompose`).  Every instant of the
+request's ``[t0, t1)`` window is attributed to exactly one *phase*.
+Spans carry a phase tag (``wire``, ``hpu``, ``dma``, ...); where tagged
+spans overlap — a DMA flushing while the payload handler still runs —
+the instant goes to the highest-priority phase (:data:`PRIORITY`), and
+time covered by no span at all lands in ``other`` (propagation delays,
+switch/NIC pipeline latencies, completion polling).  Because the phases
+partition the window, they **sum exactly to the end-to-end latency**
+(to float rounding, far below 1 ns) — the invariant the SLO regression
+tracker and the CI gate both assert.
+
+``retransmit`` sits at the *bottom* of the priority order: a backoff
+span only claims time in which nothing else made progress, so under
+seeded loss the decomposition shows precisely the latency the fault
+added, not double-counted wire time.
+
+**Critical path** (:func:`critical_path`).  A backwards "last finisher"
+walk over the request's concurrent child spans: starting from the
+request's completion, repeatedly step to the span that finished latest
+and jump to its start.  Gaps (no span active) become explicit ``wait``
+steps, so the returned steps also tile the window exactly.
+
+Both views are pure post-hoc queries: they never mutate the telemetry
+sink and cost nothing while the simulation runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .spans import Span, Telemetry
+
+__all__ = [
+    "PHASES",
+    "PRIORITY",
+    "OpAnatomy",
+    "CriticalStep",
+    "decompose",
+    "decompose_trace",
+    "critical_path",
+    "phase_summary",
+]
+
+#: every latency-anatomy phase, in pipeline order (`other` = time covered
+#: by no tagged span: propagation, switch/NIC pipelines, completion poll)
+PHASES = (
+    "submit",      # WQE build + doorbell + NIC tx pipeline
+    "host_queue",  # waiting in the sender's egress queue / send loop
+    "wire",        # packet serialization onto links
+    "hpu",         # PsPIN handler execution
+    "cpu",         # host CPU execution (RPC / CPU-replication paths)
+    "dma",         # PCIe crossings, NVMe programs, commit-to-durability
+    "ack",         # serialization of ack / nack / response packets
+    "retransmit",  # RTO backoff: stalled time added by seeded faults
+    "other",       # propagation, switch latency, rx pipelines, CQ poll
+)
+
+#: attribution priority for overlapping spans, highest first.  Compute
+#: (hpu/cpu) beats the DMA it overlaps with, so ``dma`` is the
+#: *non-overlapped* flush tail that actually gates the ack;
+#: ``retransmit`` is last so backoff only claims otherwise-idle time.
+PRIORITY = ("hpu", "cpu", "dma", "ack", "wire", "submit", "host_queue", "retransmit")
+
+_PRIO_INDEX = {p: i for i, p in enumerate(PRIORITY)}
+_N_PRIO = len(PRIORITY)
+
+
+@dataclass
+class OpAnatomy:
+    """Exact phase decomposition of one request."""
+
+    trace_id: int
+    name: str
+    protocol: str
+    op: str
+    nbytes: int
+    ok: bool
+    t0: float
+    t1: float
+    phases: Dict[str, float] = field(default_factory=dict)
+    n_spans: int = 0
+
+    @property
+    def end_to_end_ns(self) -> float:
+        return self.t1 - self.t0
+
+    @property
+    def sum_ns(self) -> float:
+        return sum(self.phases.values())
+
+    @property
+    def sum_error_ns(self) -> float:
+        """Decomposition defect: 0 up to float rounding (well under 1 ns)."""
+        return self.sum_ns - self.end_to_end_ns
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "trace_id": self.trace_id,
+            "name": self.name,
+            "protocol": self.protocol,
+            "op": self.op,
+            "bytes": self.nbytes,
+            "ok": self.ok,
+            "end_to_end_ns": self.end_to_end_ns,
+            "phases": dict(self.phases),
+            "sum_error_ns": self.sum_error_ns,
+        }
+
+
+@dataclass
+class CriticalStep:
+    """One hop of a request's critical path."""
+
+    name: str
+    phase: str
+    pid: str
+    tid: str
+    t0: float
+    t1: float
+
+    @property
+    def duration_ns(self) -> float:
+        return self.t1 - self.t0
+
+
+# ------------------------------------------------------------ decomposition
+def _phase_intervals(
+    root: Span, children: Iterable[Span]
+) -> List[Tuple[float, float, int]]:
+    """Children clipped to the root window as (t0, t1, priority) tuples."""
+    lo, hi = root.t0, root.t1
+    out: List[Tuple[float, float, int]] = []
+    for s in children:
+        if s.t1 is None or s.phase is None:
+            continue
+        prio = _PRIO_INDEX.get(s.phase, _N_PRIO)
+        a = s.t0 if s.t0 > lo else lo
+        b = s.t1 if s.t1 < hi else hi
+        if b > a:
+            out.append((a, b, prio))
+    return out
+
+
+def _attribute(t0: float, t1: float, intervals: List[Tuple[float, float, int]]) -> Dict[str, float]:
+    """Sweep the elementary segments of ``[t0, t1)``, crediting each to
+    the highest-priority active phase (``other`` when none is active).
+    The segments partition the window, so the credited times sum to
+    ``t1 - t0`` up to float rounding."""
+    phases = dict.fromkeys(PHASES, 0.0)
+    if t1 <= t0:
+        return phases
+    events: List[Tuple[float, int, int]] = []
+    for a, b, prio in intervals:
+        events.append((a, prio, 1))
+        events.append((b, prio, -1))
+    events.sort(key=lambda e: e[0])
+    # one extra slot for phases tagged outside PRIORITY ("retransmit"):
+    # they claim time only when nothing ranked is active
+    counts = [0] * (_N_PRIO + 1)
+    retrans_prio = _PRIO_INDEX.get("retransmit", _N_PRIO)
+
+    def credit(a: float, b: float) -> None:
+        for i in range(_N_PRIO + 1):
+            if counts[i] > 0:
+                name = PRIORITY[i] if i < _N_PRIO else "retransmit"
+                phases[name] += b - a
+                return
+        phases["other"] += b - a
+
+    prev = t0
+    j, n = 0, len(events)
+    while j < n:
+        t = events[j][0]
+        if t > prev:
+            credit(prev, t)
+            prev = t
+        while j < n and events[j][0] == t:
+            _, prio, delta = events[j]
+            counts[prio if prio < _N_PRIO else _N_PRIO] += delta
+            j += 1
+    if t1 > prev:
+        credit(prev, t1)
+    # Fold accumulated rounding into `other` so the phases sum to the
+    # end-to-end latency as exactly as floats allow.
+    named = sum(phases[p] for p in PHASES if p != "other")
+    residual = (t1 - t0) - named
+    phases["other"] = residual if residual > 0.0 else 0.0
+    return phases
+
+
+def decompose_trace(root: Span, children: Iterable[Span]) -> OpAnatomy:
+    """Phase decomposition of one finished request span."""
+    assert root.t1 is not None, "decompose_trace needs a finished root"
+    intervals = _phase_intervals(root, children)
+    phases = _attribute(root.t0, root.t1, intervals)
+    args = root.args or {}
+    return OpAnatomy(
+        trace_id=root.trace_id if root.trace_id is not None else -1,
+        name=root.name,
+        protocol=str(args.get("protocol", "")),
+        op=str(args.get("op", "")),
+        nbytes=int(args.get("bytes", 0)),
+        ok=bool(args.get("ok", True)),
+        t0=root.t0,
+        t1=root.t1,
+        phases=phases,
+        n_spans=len(intervals),
+    )
+
+
+def _traces(tel: Telemetry) -> List[Tuple[Span, List[Span]]]:
+    """(root, children) per finished request, in root start order."""
+    by_trace: Dict[int, List[Span]] = {}
+    roots: List[Span] = []
+    for s in tel.spans:
+        if s.trace_id is None:
+            continue
+        if s.cat == "request":
+            if s.t1 is not None:
+                roots.append(s)
+        else:
+            by_trace.setdefault(s.trace_id, []).append(s)
+    roots.sort(key=lambda r: (r.t0, r.span_id))
+    return [(r, by_trace.get(r.trace_id, [])) for r in roots]
+
+
+def decompose(tel: Telemetry) -> List[OpAnatomy]:
+    """Phase decomposition of every finished request in the sink."""
+    return [decompose_trace(root, kids) for root, kids in _traces(tel)]
+
+
+# ------------------------------------------------------------ critical path
+def critical_path(tel: Telemetry, trace_id: int) -> List[CriticalStep]:
+    """Backwards last-finisher walk over one request's child spans.
+
+    The returned steps tile ``[root.t0, root.t1)`` exactly: intervals in
+    which no child span was active appear as explicit ``wait`` steps
+    (phase ``other``), so ``sum(step.duration_ns)`` equals the request's
+    end-to-end latency.
+    """
+    root = None
+    for s in tel.spans:
+        if s.cat == "request" and s.trace_id == trace_id and s.t1 is not None:
+            root = s
+            break
+    if root is None:
+        raise KeyError(f"no finished request span for trace {trace_id}")
+    spans = [
+        s
+        for s in tel.spans
+        if s.trace_id == trace_id
+        and s is not root
+        and s.t1 is not None
+        and s.phase is not None
+        and s.t1 > root.t0
+        and s.t0 < root.t1
+    ]
+    steps: List[CriticalStep] = []
+    cur = root.t1
+    while cur > root.t0:
+        best: Optional[Span] = None
+        best_end = root.t0
+        for s in spans:
+            if s.t0 >= cur:
+                continue
+            end = s.t1 if s.t1 < cur else cur
+            if end <= root.t0:
+                continue
+            # latest finisher wins; ties go to the earliest starter so
+            # the walk jumps as far back as possible in one step
+            if best is None or end > best_end or (end == best_end and s.t0 < best.t0):
+                best, best_end = s, end
+        if best is None:
+            steps.append(CriticalStep("wait", "other", root.pid, root.tid, root.t0, cur))
+            break
+        if best_end < cur:
+            steps.append(CriticalStep("wait", "other", root.pid, root.tid, best_end, cur))
+        start = best.t0 if best.t0 > root.t0 else root.t0
+        steps.append(
+            CriticalStep(best.name, best.phase or "other", best.pid, best.tid, start, best_end)
+        )
+        cur = start
+    steps.reverse()
+    return steps
+
+
+# ---------------------------------------------------------------- summaries
+def phase_summary(ops: List[OpAnatomy]) -> Dict[str, Dict[str, Optional[float]]]:
+    """Per-phase distribution statistics over a population of operations.
+
+    Returns ``{phase: summarize(...)}`` for every phase plus an
+    ``end_to_end`` entry — the shape consumed by :mod:`repro.slo`.
+    """
+    from ..simnet.trace import summarize
+
+    out: Dict[str, Dict[str, Optional[float]]] = {}
+    for phase in PHASES:
+        out[phase] = summarize([op.phases.get(phase, 0.0) for op in ops])
+    out["end_to_end"] = summarize([op.end_to_end_ns for op in ops])
+    return out

@@ -6,11 +6,17 @@ Trace Event Format understood by ``ui.perfetto.dev`` and
 
 * every distinct span ``pid`` becomes a *process* (with a
   ``process_name`` metadata record), every distinct ``(pid, tid)`` a
-  *thread* — so the timeline groups as
-  ``requests / net / pspin:sn0 / host:sn0 / ...``;
+  *thread*.  Process names are prefixed with their simulated
+  *component* (``[request] requests``, ``[wire] net``,
+  ``[hpu] pspin:sn0``, ``[host] host:sn0``) and carry a
+  ``process_sort_index`` so the timeline groups pipeline-order by
+  component instead of alphabetically by bare id;
 * finished spans become complete (``"ph": "X"``) events.  Timestamps
   are microseconds in the wire format, so simulated nanoseconds are
-  divided by 1000 (fractional µs are legal and preserved);
+  divided by 1000 (fractional µs are legal and preserved).  Spans
+  tagged with a latency-anatomy phase (:mod:`repro.telemetry.anatomy`)
+  get the phase in their ``args`` and a per-phase ``cname`` color, so
+  e.g. retransmission backoffs are instantly visible in red;
 * gauges become counter (``"ph": "C"``) tracks, one per gauge name.
 
 The exporter is pure data-out: it never mutates the telemetry sink, and
@@ -24,9 +30,44 @@ from typing import Any, Dict, List, Optional
 
 from .spans import Telemetry
 
-__all__ = ["trace_events", "chrome_trace", "write_chrome_trace"]
+__all__ = ["component_of", "trace_events", "chrome_trace", "write_chrome_trace"]
 
 _NS_PER_US = 1000.0
+
+#: simulated component of a span pid, in pipeline display order
+_COMPONENTS = (
+    ("requests", "request"),
+    ("net", "wire"),
+    ("pspin", "hpu"),
+    ("host", "host"),
+    ("metrics", "metrics"),
+)
+_SORT_INDEX = {comp: i for i, (_, comp) in enumerate(_COMPONENTS)}
+
+
+def component_of(pid_name: str) -> str:
+    """Component of a span pid: ``pspin:sn0`` -> ``hpu``, ``net`` ->
+    ``wire``, ... (unknown pids group under ``other``)."""
+    head = pid_name.split(":", 1)[0]
+    for prefix, comp in _COMPONENTS:
+        if head == prefix:
+            return comp
+    return "other"
+
+
+#: Chrome trace-viewer reserved color per latency-anatomy phase —
+#: distinct hues so a glance separates wire time from compute from
+#: fault-induced stalls (retransmit = "terrible" = red)
+_PHASE_CNAME = {
+    "submit": "startup",
+    "host_queue": "grey",
+    "wire": "rail_response",
+    "hpu": "rail_animation",
+    "cpu": "rail_idle",
+    "dma": "rail_load",
+    "ack": "good",
+    "retransmit": "terrible",
+}
 
 
 def trace_events(
@@ -42,9 +83,14 @@ def trace_events(
         p = pids.get(name)
         if p is None:
             p = pids[name] = len(pids) + 1
+            comp = component_of(name)
             meta.append({
                 "ph": "M", "name": "process_name", "pid": p, "tid": 0,
-                "args": {"name": name},
+                "args": {"name": f"[{comp}] {name}"},
+            })
+            meta.append({
+                "ph": "M", "name": "process_sort_index", "pid": p, "tid": 0,
+                "args": {"sort_index": _SORT_INDEX.get(comp, len(_SORT_INDEX))},
             })
         return p
 
@@ -70,7 +116,7 @@ def trace_events(
         args["span_id"] = span.span_id
         if span.parent_id is not None:
             args["parent_id"] = span.parent_id
-        events.append({
+        event: Dict[str, Any] = {
             "ph": "X",
             "name": span.name,
             "cat": span.cat,
@@ -79,7 +125,13 @@ def trace_events(
             "ts": span.t0 / _NS_PER_US,
             "dur": (span.t1 - span.t0) / _NS_PER_US,
             "args": args,
-        })
+        }
+        if span.phase is not None:
+            args["phase"] = span.phase
+            cname = _PHASE_CNAME.get(span.phase)
+            if cname is not None:
+                event["cname"] = cname
+        events.append(event)
 
     if include_counters:
         for name, gauge in sorted(tel.metrics.gauges.items()):

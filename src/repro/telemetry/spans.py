@@ -15,7 +15,12 @@ The model is deliberately small, shaped after OpenTelemetry / Chrome
 * a **trace context** is the tiny ``(trace_id, span_id)`` tuple carried
   on :class:`~repro.simnet.packet.Packet` objects so spans emitted deep
   in the stack (handler executions, PCIe commits, ack serialization)
-  attach to the originating DFS request.
+  attach to the originating DFS request;
+* a **phase** is an optional latency-anatomy label (``"wire"``,
+  ``"hpu"``, ``"dma"``, ``"retransmit"``, ...) consumed by
+  :mod:`repro.telemetry.anatomy` to decompose a request's end-to-end
+  latency into non-overlapping stages.  See ``docs/observability.md``
+  for the taxonomy.
 
 Zero-overhead-when-disabled contract: every instrumentation site guards
 with ``if tel.enabled:`` — a disabled simulation pays one attribute load
@@ -51,7 +56,7 @@ class Span:
 
     __slots__ = (
         "name", "cat", "pid", "tid", "t0", "t1",
-        "span_id", "trace_id", "parent_id", "args",
+        "span_id", "trace_id", "parent_id", "args", "phase",
     )
 
     def __init__(
@@ -65,6 +70,7 @@ class Span:
         trace_id: Optional[int] = None,
         parent_id: Optional[int] = None,
         args: Optional[Dict[str, Any]] = None,
+        phase: Optional[str] = None,
     ):
         self.name = name
         self.cat = cat
@@ -76,6 +82,7 @@ class Span:
         self.trace_id = trace_id
         self.parent_id = parent_id
         self.args = args
+        self.phase = phase
 
     @property
     def duration_ns(self) -> float:
@@ -117,6 +124,7 @@ class Telemetry:
         cat: str = "span",
         trace: Optional[TraceContext] = None,
         args: Optional[Dict[str, Any]] = None,
+        phase: Optional[str] = None,
     ) -> Span:
         """Open a span; close it later with :meth:`end`."""
         span = Span(
@@ -125,6 +133,7 @@ class Telemetry:
             trace_id=trace.trace_id if trace is not None else None,
             parent_id=trace.span_id if trace is not None else None,
             args=args,
+            phase=phase,
         )
         self.spans.append(span)
         return span
@@ -144,9 +153,11 @@ class Telemetry:
         cat: str = "span",
         trace: Optional[TraceContext] = None,
         args: Optional[Dict[str, Any]] = None,
+        phase: Optional[str] = None,
     ) -> Span:
         """Record an already-finished span."""
-        s = self.begin(name, pid, tid, t0, cat=cat, trace=trace, args=args)
+        s = self.begin(name, pid, tid, t0, cat=cat, trace=trace, args=args,
+                       phase=phase)
         s.t1 = t1
         return s
 

@@ -211,6 +211,10 @@ class LoadResult:
     latency: dict                 # summarize() over measured latencies
     per_client: List[dict]
     quiesced: bool
+    #: per-phase latency anatomy over the measured operations
+    #: (:func:`repro.telemetry.phase_summary` shape) — populated only
+    #: when the testbed ran with telemetry enabled, else None
+    phase_latency: Optional[Dict[str, dict]] = None
 
     @property
     def kops_per_s(self) -> float:
@@ -285,6 +289,19 @@ def run_closed_loop(
     all_lat: List[float] = []
     for st in stats:
         all_lat.extend(st.latencies)
+    # Latency anatomy of the measured window: with telemetry on, every
+    # request left a span tree; decompose the ones that *completed*
+    # inside the window (same population the latency stats count).
+    phase_latency = None
+    tel = sim.telemetry
+    if tel.enabled:
+        from .telemetry.anatomy import decompose, phase_summary
+
+        measured = [
+            op for op in decompose(tel) if op.ok and t_warm <= op.t1 < t_stop
+        ]
+        if measured:
+            phase_latency = phase_summary(measured)
     return LoadResult(
         spec=spec,
         op_bytes=op_bytes,
@@ -295,6 +312,7 @@ def run_closed_loop(
         latency=summarize(all_lat),
         per_client=[st.summary(spec.measure_ns) for st in stats],
         quiesced=quiesced,
+        phase_latency=phase_latency,
     )
 
 

@@ -62,9 +62,9 @@ def _assert_quiesced(tb, label):
                 assert not cl.hpus.users, (label, node.name)
 
 
-def _run_write(protocol, create_kw, params, app_retries=3):
+def _run_write(protocol, create_kw, params, app_retries=3, telemetry=False):
     """One verified write under ``params``; returns the testbed + stats."""
-    tb = build_testbed(n_storage=8, params=params)
+    tb = build_testbed(n_storage=8, params=params, telemetry=telemetry)
     wire_protocol = protocol.replace("-repl", "").replace("-ec", "")
     installer = installer_for(wire_protocol)
     if installer:
@@ -103,6 +103,51 @@ def test_loss_actually_recovers_via_retransmit():
     assert sum(n.retransmits for n in nics) > 0
     assert np.array_equal(c.read_back("/f")[:SIZE], DATA)
     _assert_quiesced(tb, "spin@1e-2")
+
+
+# -------------------------------------- trace context across retransmissions
+@pytest.mark.parametrize("protocol", ["raw", "spin"])
+def test_retransmit_spans_join_request_trace(protocol):
+    """A retransmitted packet stays in its request's span tree: the RTO
+    backoff windows appear as ``retransmit``-phase children of the same
+    trace, and the phase decomposition stays exact under faults."""
+    from repro.telemetry.anatomy import decompose
+
+    params = SimParams().with_faults(loss_prob=1e-2, seed=1, retransmit=True)
+    tb, c, out = _run_write(protocol, {}, params, telemetry=True)
+    assert out.ok, out.nacks
+    assert tb.faults.drops > 0
+    nics = [tb.clients[0].nic, *(n.nic for n in tb.storage_nodes)]
+    assert sum(n.retransmits for n in nics) > 0
+
+    tel = tb.telemetry
+    backoffs = [s for s in tel.finished_spans() if s.phase == "retransmit"]
+    assert backoffs, "retransmissions must leave backoff spans"
+    roots = {
+        s.trace_id: s for s in tel.finished_spans() if s.cat == "request"
+    }
+    for s in backoffs:
+        # same span tree as the request whose packet was dropped
+        assert s.trace_id in roots
+        assert s.parent_id == roots[s.trace_id].span_id
+
+    ops = [op for op in decompose(tel) if op.op == "write" and op.ok]
+    assert ops
+    # the stall the fault added is attributed to the retransmit phase...
+    assert any(op.phases["retransmit"] > 0.0 for op in ops)
+    # ...and phases still sum exactly to the end-to-end latency
+    for op in ops:
+        assert abs(op.sum_error_ns) <= 1.0, (op.name, op.sum_error_ns)
+
+
+def test_clean_run_has_no_retransmit_phase():
+    tb, c, out = _run_write("spin", {}, SimParams(), telemetry=True)
+    assert out.ok
+    from repro.telemetry.anatomy import decompose
+
+    assert all(s.phase != "retransmit" for s in tb.telemetry.finished_spans())
+    for op in decompose(tb.telemetry):
+        assert op.phases["retransmit"] == 0.0
 
 
 # ----------------------------------------------------------- determinism

@@ -58,9 +58,12 @@ def test_tracer_disabled_is_noop():
 
 
 def test_summarize_empty():
+    # Zero samples produce no statistics: a 0.0 "latency" from an empty
+    # population reads as an excellent result instead of a missing one.
     s = summarize([])
-    assert s["n"] == 0 and s["mean"] == 0.0
-    assert s["p90"] == s["p999"] == s["std"] == 0.0
+    assert s["n"] == 0
+    assert s["mean"] is None and s["p90"] is None
+    assert s["p999"] is None and s["std"] is None
 
 
 def test_summarize_stats():
@@ -91,4 +94,12 @@ def test_summarize_matches_numpy():
 def test_summarize_single():
     s = summarize([7.0])
     assert s["min"] == s["max"] == s["median"] == s["p99"] == 7.0
-    assert s["p999"] == 7.0 and s["std"] == 0.0
+    assert s["std"] == 0.0
+    # a tail percentile needs a tail: below 4 samples p999 is just the
+    # max wearing a misleading label
+    assert s["p999"] is None
+
+
+def test_summarize_small_n_has_no_p999():
+    assert summarize([1.0, 2.0, 3.0])["p999"] is None
+    assert summarize([1.0, 2.0, 3.0, 4.0])["p999"] is not None

@@ -99,6 +99,25 @@ def test_replicated_write_spans_every_layer_one_trace():
     assert len(hpu_nodes) == 3
 
 
+def test_child_spans_carry_anatomy_phase_tags():
+    # the latency-anatomy decomposition relies on child spans being
+    # phase-tagged at the source: a traced sPIN write must label its
+    # client submit, wire serialization, handler execution, and
+    # durability commit, while the request root stays untagged (it is
+    # the window being decomposed, not a phase of it)
+    from repro.telemetry.anatomy import PHASES
+
+    tb, _ = _traced_replicated_write()
+    tel = tb.telemetry
+    (root,) = tel.spans_by_cat("request")
+    assert root.phase is None
+    children = [s for s in tel.spans_for_trace(root.trace_id) if s is not root]
+    tagged = {s.phase for s in children if s.phase is not None}
+    assert {"submit", "wire", "hpu", "dma"} <= tagged
+    # every tag used is a phase the decomposition knows about
+    assert tagged <= set(PHASES)
+
+
 def test_nested_span_timestamps_are_ordered():
     tb, _ = _traced_replicated_write()
     for s in tb.telemetry.finished_spans():

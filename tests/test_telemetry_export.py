@@ -72,14 +72,55 @@ def test_perfetto_round_trip(traced_testbed, tmp_path):
 
 
 def test_perfetto_track_names_cover_layers(traced_testbed):
+    # process names lead with the simulated component, so the viewer
+    # groups tracks by pipeline stage instead of bare ids
     events = trace_events(traced_testbed.telemetry)
     names = {
         e["args"]["name"] for e in events
         if e["ph"] == "M" and e["name"] == "process_name"
     }
-    assert "requests" in names and "net" in names and "metrics" in names
-    assert any(n.startswith("pspin:") for n in names)
-    assert any(n.startswith("host:") for n in names)
+    assert "[request] requests" in names
+    assert "[wire] net" in names
+    assert "[metrics] metrics" in names
+    assert any(n.startswith("[hpu] pspin:") for n in names)
+    assert any(n.startswith("[host] host:") for n in names)
+
+
+def test_perfetto_component_sort_order(traced_testbed):
+    # sort indices put components in pipeline order: request tracks
+    # first, then wire, hpu, host, metrics
+    events = trace_events(traced_testbed.telemetry)
+    name_by_pid = {
+        e["pid"]: e["args"]["name"] for e in events
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    sort_by_pid = {
+        e["pid"]: e["args"]["sort_index"] for e in events
+        if e["ph"] == "M" and e["name"] == "process_sort_index"
+    }
+    assert set(sort_by_pid) == set(name_by_pid)  # every process is ranked
+
+    def rank(prefix):
+        return {v for p, v in sort_by_pid.items() if name_by_pid[p].startswith(prefix)}
+
+    (req,) = rank("[request]")
+    (wire,) = rank("[wire]")
+    assert req < wire < min(rank("[hpu]")) < min(rank("[host]")) < min(rank("[metrics]"))
+
+
+def test_perfetto_phase_colors(traced_testbed):
+    # phase-tagged spans carry the phase in args and a distinct cname
+    events = trace_events(traced_testbed.telemetry)
+    slices = [e for e in events if e["ph"] == "X"]
+    phased = [e for e in slices if "phase" in e["args"]]
+    assert phased
+    cnames = {e["args"]["phase"]: e.get("cname") for e in phased}
+    assert {"wire", "hpu", "dma"} <= set(cnames)
+    assert all(c is not None for c in cnames.values())
+    assert len(set(cnames.values())) == len(cnames)  # distinct per phase
+    # request roots are unphased: they are the window being decomposed
+    roots = [e for e in slices if e["cat"] == "request"]
+    assert roots and all("phase" not in e["args"] for e in roots)
 
 
 def test_perfetto_timestamps_are_microseconds():
