@@ -146,6 +146,19 @@ print(f"load engine OK: {res.ops} ops, {res.kops_per_s:.0f} kops/s, "
 PY
 
 echo
+echo "== recovery-storm smoke (fixed seed, byte-identical schedule) =="
+# kills a whole failure domain mid-load: heartbeat detection, bounded
+# re-replication through the data plane, and shape checks must all
+# pass; a second run must reproduce the rows (incl. the repair-schedule
+# digest) byte-for-byte
+python -m repro.experiments recovery_storm --quick --no-cache \
+    --csv "$tmpdir/storm1.csv"
+python -m repro.experiments recovery_storm --quick --no-cache --no-check \
+    --csv "$tmpdir/storm2.csv" > /dev/null
+cmp "$tmpdir/storm1.csv" "$tmpdir/storm2.csv"
+echo "recovery storm deterministic: repeated run byte-identical"
+
+echo
 echo "== simulator perf guard (vs committed BENCH_simulator.json) =="
 # wide 30% wall-clock tolerance absorbs CI machine noise; the
 # events-per-packet count is deterministic and capped at +5%

@@ -1,5 +1,6 @@
 """DFS substrate: control-plane services, layouts, nodes, client endpoint."""
 
+from .allocator import AllocError, ExtentAllocator, FreeList
 from .capability import (
     CAPABILITY_WIRE_BYTES,
     Capability,
@@ -11,25 +12,50 @@ from .cluster import Testbed, build_testbed
 from .layout import EcSpec, Extent, FileLayout, ReplicationSpec
 from .management import AuthError, ManagementService
 from .metadata import MetadataError, MetadataService
+from .monitor import HeartbeatMonitor, MonitorConfig, install_monitor
 from .nodes import ClientNode, Host, StorageNode
+from .placement import (
+    CapacityAwarePolicy,
+    FailureDomainPolicy,
+    NodeView,
+    PlacementPolicy,
+    RoundRobinPolicy,
+    make_policy,
+)
+from .replicator import RepairRecord, ReplicatorConfig, ReReplicator
 
 __all__ = [
+    "AllocError",
     "AuthError",
     "CAPABILITY_WIRE_BYTES",
     "Capability",
     "CapabilityAuthority",
+    "CapacityAwarePolicy",
     "ClientNode",
     "DfsClient",
     "EcSpec",
     "Extent",
+    "ExtentAllocator",
+    "FailureDomainPolicy",
     "FileLayout",
+    "FreeList",
+    "HeartbeatMonitor",
     "Host",
     "ManagementService",
     "MetadataError",
     "MetadataService",
+    "MonitorConfig",
+    "NodeView",
     "PROTOCOLS",
+    "PlacementPolicy",
+    "RepairRecord",
     "ReplicationSpec",
+    "ReplicatorConfig",
+    "ReReplicator",
+    "RoundRobinPolicy",
     "StorageNode",
     "Testbed",
     "build_testbed",
+    "install_monitor",
+    "make_policy",
 ]

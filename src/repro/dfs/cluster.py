@@ -27,14 +27,20 @@ __all__ = ["Testbed", "build_testbed"]
 
 class _LeafPlacementShim:
     """Adapter giving a LeafSpineNetwork the Network.register interface:
-    clients land on leaf 0, storage nodes on leaf 1."""
+    clients land on leaf 0, storage-role hosts (storage nodes and the
+    metadata node, which reuses the StorageNode machinery) on leaf 1.
+
+    Placement is derived from the endpoint's host *role*, not its name —
+    keying on the ``"sn"`` prefix silently dropped any differently-named
+    storage node onto the client leaf."""
 
     def __init__(self, fabric):
         self.fabric = fabric
         self.cfg = fabric.cfg
 
     def register(self, endpoint):
-        leaf = 1 if endpoint.name.startswith("sn") or endpoint.name == "mds" else 0
+        host = getattr(endpoint, "host", None)
+        leaf = 1 if isinstance(host, StorageNode) else 0
         return self.fabric.register(endpoint, leaf=leaf)
 
     @property
@@ -47,7 +53,9 @@ class Testbed:
 
     def __init__(self, params: SimParams, n_storage: int, n_clients: int,
                  storage_backend: str = "nvmm", topology: str = "star",
-                 uplink_gbps: Optional[float] = None, telemetry: bool = False):
+                 uplink_gbps: Optional[float] = None, telemetry: bool = False,
+                 placement: str = "roundrobin",
+                 failure_domains: Optional[Dict[str, int]] = None):
         # Restart packet/message/greq id allocation: the counters and the
         # derived-id memo are module-level, so without this a long sweep
         # (or a pool worker reusing its interpreter) leaks entries across
@@ -86,6 +94,8 @@ class Testbed:
             storage_nodes=list(self.storage),
             node_capacity=params.storage_capacity_bytes,
             authority=self.authority,
+            placement=placement,
+            failure_domains=failure_domains,
         )
         self.clients: List[ClientNode] = [
             ClientNode(self.sim, self.net, f"client{i}", params)
@@ -120,12 +130,18 @@ def build_testbed(
     topology: str = "star",
     uplink_gbps: Optional[float] = None,
     telemetry: bool = False,
+    placement: str = "roundrobin",
+    failure_domains: Optional[Dict[str, int]] = None,
 ) -> Testbed:
     """Construct a testbed.  Defaults to the paper's flat network
     (§III-D); ``topology="leafspine"`` puts clients and storage on
     separate leaves with configurable uplink bandwidth.
     ``telemetry=True`` turns on span/metric collection (see
-    :mod:`repro.telemetry`)."""
+    :mod:`repro.telemetry`).  ``placement`` selects the metadata
+    service's block-placement policy (``roundrobin`` / ``capacity`` /
+    ``domain``; see :mod:`repro.dfs.placement`), and
+    ``failure_domains`` assigns storage nodes to racks for the
+    domain-aware policy."""
     return Testbed(
         params or SimParams(),
         n_storage=n_storage,
@@ -134,4 +150,6 @@ def build_testbed(
         topology=topology,
         uplink_gbps=uplink_gbps,
         telemetry=telemetry,
+        placement=placement,
+        failure_domains=failure_domains,
     )

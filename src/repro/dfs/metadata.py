@@ -1,10 +1,17 @@
 """Metadata service: indexes objects and allocates storage extents.
 
 Control-plane component (Fig. 1a): clients query it for file layouts
-(step 1/2) before touching storage nodes (step 3).  Placement is
-round-robin with a bump allocator per node — enough to distribute
-primaries, replicas, and parity chunks across distinct failure domains,
-which is all the data-plane experiments need.
+(step 1/2) before touching storage nodes (step 3).  Storage is managed
+by a per-node free-list allocator (:mod:`repro.dfs.allocator`) —
+``delete()`` and recovery-driven ``update_layout()`` return extents to
+the pool, so churny workloads never leak space — and placement is
+delegated to a pluggable :class:`~repro.dfs.placement.PlacementPolicy`
+over capacity- and liveness-filtered candidates.  ``create()`` is
+transactional: a failure mid-layout rolls back every extent already
+allocated and the policy's rotation cursor.
+
+Liveness is fed by the heartbeat monitor (:mod:`repro.dfs.monitor`):
+nodes marked dead stop receiving placements until marked alive again.
 
 Consistency coordination (who may write what, capability revocation) is
 control-plane and out of the paper's scope (§VII); we expose a simple
@@ -14,10 +21,12 @@ exclusive-writer check to make the examples honest.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
+from .allocator import AllocError, ExtentAllocator
 from .capability import CapabilityAuthority, Rights
 from .layout import EcSpec, Extent, FileLayout, ReplicationSpec
+from .placement import NodeView, PlacementPolicy, make_policy
 
 __all__ = ["MetadataService", "MetadataError"]
 
@@ -34,62 +43,150 @@ class MetadataService:
         storage_nodes: Sequence[str],
         node_capacity: int,
         authority: CapabilityAuthority,
+        placement: Union[str, PlacementPolicy] = "roundrobin",
+        failure_domains: Optional[Dict[str, int]] = None,
     ):
         if not storage_nodes:
             raise MetadataError("need at least one storage node")
         self.nodes = list(storage_nodes)
         self.node_capacity = node_capacity
         self.authority = authority
-        self._cursor: Dict[str, int] = {n: 0 for n in self.nodes}
-        self._rr = 0
-        self._objects: Dict[str, FileLayout] = {}
+        self.allocator = ExtentAllocator(node_capacity, self.nodes)
+        self.policy = make_policy(placement)
+        #: failure domain per node; defaults to one domain per node, so
+        #: the domain policy degenerates to plain spreading
+        self.domains: Dict[str, int] = (
+            dict(failure_domains)
+            if failure_domains is not None
+            else {n: i for i, n in enumerate(self.nodes)}
+        )
+        self._dead: Dict[str, bool] = {}
+        self._objects: Dict[str, object] = {}
         self._object_ids = itertools.count(1)
         self._writers: Dict[str, int] = {}
 
+    # ---------------------------------------------------------- liveness
+    def mark_dead(self, node: str) -> None:
+        """Exclude ``node`` from placement (heartbeat monitor verdict)."""
+        self._dead[node] = True
+
+    def mark_alive(self, node: str) -> None:
+        self._dead.pop(node, None)
+
+    def is_alive(self, node: str) -> bool:
+        return node not in self._dead
+
+    def dead_nodes(self) -> List[str]:
+        return [n for n in self.nodes if n in self._dead]
+
     # ------------------------------------------------------------ alloc
     def _alloc_on(self, node: str, length: int) -> Extent:
-        off = self._cursor[node]
-        if off + length > self.node_capacity:
-            raise MetadataError(f"storage node {node} full")
-        self._cursor[node] = off + length
+        try:
+            off = self.allocator.alloc(node, length)
+        except AllocError as e:
+            raise MetadataError(f"storage node {node} full: {e}") from None
         return Extent(node=node, addr=off, length=length)
 
     def allocate_extent(self, node: str, length: int) -> Extent:
         """Allocate a replacement extent on a specific node (used by the
         recovery coordinator when rebuilding lost chunks)."""
+        if not self.is_alive(node):
+            raise MetadataError(f"storage node {node} is dead")
         return self._alloc_on(node, length)
 
+    def allocate_auto(self, length: int, exclude: Sequence[str] = ()) -> Extent:
+        """Allocate one extent on a policy-picked healthy node (used by
+        the re-replicator to place repaired copies)."""
+        (node,) = self._pick_nodes(1, length, exclude=exclude)
+        return self._alloc_on(node, length)
+
+    def free_extent(self, extent: Extent) -> None:
+        """Return one extent to the pool."""
+        try:
+            self.allocator.free(extent.node, extent.addr, extent.length)
+        except AllocError as e:
+            raise MetadataError(f"bad free on {extent.node}: {e}") from None
+
+    def _free_layout(self, layout: object) -> None:
+        """Free every extent a layout pins.  Striped layouts are
+        aliases — their regions are registered (and freed) under their
+        own ``path#rN`` entries."""
+        if isinstance(layout, FileLayout):
+            for e in list(layout.extents) + list(layout.parity_extents):
+                self.free_extent(e)
+
     def update_layout(self, path: str, layout: FileLayout) -> None:
-        """Swap in a rebuilt placement after recovery."""
-        if path not in self._objects:
+        """Swap in a rebuilt placement after recovery.
+
+        Extents of the old layout that the new one no longer references
+        are returned to the allocator — the seed leaked them forever.
+        """
+        old = self._objects.get(path)
+        if old is None:
             raise MetadataError(f"no such object {path!r}")
+        keep = {
+            (e.node, e.addr, e.length)
+            for e in list(layout.extents) + list(layout.parity_extents)
+        }
+        if isinstance(old, FileLayout):
+            for e in list(old.extents) + list(old.parity_extents):
+                if (e.node, e.addr, e.length) not in keep:
+                    self.free_extent(e)
         self._objects[path] = layout
 
-    def _pick_nodes(self, n: int, exclude: Sequence[str] = ()) -> list[str]:
-        avail = [x for x in self.nodes if x not in exclude]
-        if len(avail) < n:
-            raise MetadataError(
-                f"need {n} distinct storage nodes, have {len(avail)} available"
-            )
-        picked = []
-        for _ in range(n):
-            picked.append(avail[self._rr % len(avail)])
-            self._rr += 1
-        # de-duplicate while preserving rotation
-        seen, out = set(), []
-        for node in picked:
-            if node in seen:
+    # -------------------------------------------------------- accounting
+    def allocated_bytes(self) -> int:
+        """Bytes currently held by the allocator across all nodes."""
+        return self.allocator.allocated_bytes()
+
+    def live_layout_bytes(self) -> int:
+        """Bytes pinned by live (non-alias) layouts.  With no external
+        ``allocate_extent`` holdings in flight this equals
+        :meth:`allocated_bytes` — the leak-freedom invariant."""
+        total = 0
+        for lay in self._objects.values():
+            if isinstance(lay, FileLayout):
+                total += sum(
+                    e.length for e in list(lay.extents) + list(lay.parity_extents)
+                )
+        return total
+
+    def paths(self) -> List[str]:
+        """All registered paths, in creation order (deterministic)."""
+        return list(self._objects)
+
+    # --------------------------------------------------------- placement
+    def _views(self, length: int, exclude: Sequence[str]) -> List[NodeView]:
+        """Candidate views: alive, not excluded, room for the extent."""
+        ex = set(exclude)
+        out = []
+        for i, n in enumerate(self.nodes):
+            if n in ex or n in self._dead:
                 continue
-            seen.add(node)
-            out.append(node)
-        i = 0
-        while len(out) < n:
-            cand = avail[i % len(avail)]
-            i += 1
-            if cand not in seen:
-                seen.add(cand)
-                out.append(cand)
+            if not self.allocator.can_fit(n, length):
+                continue
+            out.append(
+                NodeView(
+                    name=n,
+                    index=i,
+                    free_bytes=self.allocator.free_bytes(n),
+                    domain=self.domains.get(n, i),
+                )
+            )
         return out
+
+    def _pick_nodes(
+        self, n: int, length: int, exclude: Sequence[str] = ()
+    ) -> List[str]:
+        views = self._views(length, exclude)
+        if len(views) < n:
+            alive = sum(1 for x in self.nodes if x not in self._dead)
+            raise MetadataError(
+                f"need {n} distinct storage nodes with {length} B free, "
+                f"have {len(views)} eligible ({alive} alive of "
+                f"{len(self.nodes)})"
+            )
+        return self.policy.pick(views, n)
 
     # ------------------------------------------------------------ create
     def create(
@@ -99,9 +196,12 @@ class MetadataService:
         replication: Optional[ReplicationSpec] = None,
         ec: Optional[EcSpec] = None,
     ) -> FileLayout:
-        """Create an object and pin its placement.
+        """Create an object and pin its placement — transactionally.
 
-        Replication and EC are mutually exclusive (§VI-B).
+        Replication and EC are mutually exclusive (§VI-B).  If anything
+        fails mid-layout, every extent already allocated is freed and
+        the placement cursor is restored, so a failed create leaves no
+        trace (the seed leaked both).
         """
         if path in self._objects:
             raise MetadataError(f"object {path!r} already exists")
@@ -109,42 +209,52 @@ class MetadataService:
             raise MetadataError("replication and EC are mutually exclusive (§VI-B)")
         if size <= 0:
             raise MetadataError("object size must be positive")
-        oid = next(self._object_ids)
 
-        if replication is not None and replication.k > 1:
-            nodes = self._pick_nodes(replication.k)
-            extents = tuple(self._alloc_on(n, size) for n in nodes)
-            layout = FileLayout(
-                object_id=oid,
-                size=size,
-                extents=extents,
-                resiliency="replication",
-                replication=replication,
-            )
-        elif ec is not None:
-            chunk = -(-size // ec.k)
-            nodes = self._pick_nodes(ec.k + ec.m)
-            data_nodes, parity_nodes = nodes[: ec.k], nodes[ec.k :]
-            extents = tuple(self._alloc_on(n, chunk) for n in data_nodes)
-            parity = tuple(self._alloc_on(n, chunk) for n in parity_nodes)
-            layout = FileLayout(
-                object_id=oid,
-                size=size,
-                extents=extents,
-                resiliency="ec",
-                ec=ec,
-                parity_extents=parity,
-            )
-        else:
-            (node,) = self._pick_nodes(1)
-            layout = FileLayout(
-                object_id=oid, size=size, extents=(self._alloc_on(node, size),)
-            )
+        allocated: List[Extent] = []
+        token = self.policy.snapshot()
+
+        def alloc(node: str, length: int) -> Extent:
+            ext = self._alloc_on(node, length)
+            allocated.append(ext)
+            return ext
+
+        extents: tuple
+        parity: tuple = ()
+        resiliency = "none"
+        try:
+            if replication is not None and replication.k > 1:
+                nodes = self._pick_nodes(replication.k, size)
+                extents = tuple(alloc(n, size) for n in nodes)
+                resiliency = "replication"
+            elif ec is not None:
+                chunk = -(-size // ec.k)
+                nodes = self._pick_nodes(ec.k + ec.m, chunk)
+                extents = tuple(alloc(n, chunk) for n in nodes[: ec.k])
+                parity = tuple(alloc(n, chunk) for n in nodes[ec.k :])
+                resiliency = "ec"
+            else:
+                (node,) = self._pick_nodes(1, size)
+                extents = (alloc(node, size),)
+        except MetadataError:
+            for e in allocated:
+                self.free_extent(e)
+            self.policy.restore(token)
+            raise
+        # the object id is burned only once the allocation committed
+        layout = FileLayout(
+            object_id=next(self._object_ids),
+            size=size,
+            extents=extents,
+            resiliency=resiliency,
+            replication=replication if resiliency == "replication" else None,
+            ec=ec,
+            parity_extents=parity,
+        )
         self._objects[path] = layout
         return layout
 
     # ------------------------------------------------------------ query
-    def lookup(self, path: str) -> FileLayout:
+    def lookup(self, path: str):
         try:
             return self._objects[path]
         except KeyError:
@@ -153,10 +263,15 @@ class MetadataService:
     def exists(self, path: str) -> bool:
         return path in self._objects
 
+    def objects(self) -> Iterable[tuple]:
+        """(path, layout) pairs in creation order."""
+        return list(self._objects.items())
+
     def delete(self, path: str) -> None:
         if path not in self._objects:
             raise MetadataError(f"no such object {path!r}")
-        del self._objects[path]
+        layout = self._objects.pop(path)
+        self._free_layout(layout)
         self._writers.pop(path, None)
 
     # ------------------------------------------------- write coordination

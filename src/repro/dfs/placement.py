@@ -1,0 +1,170 @@
+"""Pluggable block-placement policies for the metadata service.
+
+The seed hard-wired capacity- and liveness-blind round-robin into
+``MetadataService._pick_nodes``; HDFS-style control planes make this a
+policy point (Shvachko et al. 2010: default/rack-aware placement).  The
+metadata service now builds a deterministic candidate list — alive
+nodes, excluding the caller's exclusions, each with room for the
+requested extent — and hands it to a :class:`PlacementPolicy`:
+
+* :class:`RoundRobinPolicy` — the seed's rotation, now over eligible
+  nodes only (the default; preserves the historical placement order);
+* :class:`CapacityAwarePolicy` — most-free-first, so hot nodes shed
+  load and a nearly-full node stops attracting extents long before it
+  turns ``create()`` into a cluster-wide error;
+* :class:`FailureDomainPolicy` — spreads the picks across failure
+  domains (racks) round-robin, capacity-aware within each domain, so a
+  whole-domain outage costs at most ``ceil(k / n_domains)`` replicas of
+  any object.
+
+Policies are plain deterministic objects; the only state is a rotation
+cursor, exposed through ``snapshot()``/``restore()`` so the metadata
+service can unwind a pick when a transactional create aborts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Union
+
+__all__ = [
+    "NodeView",
+    "PlacementPolicy",
+    "RoundRobinPolicy",
+    "CapacityAwarePolicy",
+    "FailureDomainPolicy",
+    "make_policy",
+]
+
+
+@dataclass(frozen=True)
+class NodeView:
+    """What a policy may know about one candidate storage node."""
+
+    name: str
+    #: stable position in the metadata service's node order (tie-break)
+    index: int
+    free_bytes: int
+    #: failure domain (rack) id; defaults to the node's own index
+    domain: int
+
+
+class PlacementPolicy:
+    """Strategy interface: pick ``n`` distinct nodes from ``views``.
+
+    ``views`` is pre-filtered by the metadata service (alive, not
+    excluded, room for the extent) and ordered by node index; the
+    caller guarantees ``n <= len(views)``.  Implementations must be
+    deterministic.
+    """
+
+    name = "abstract"
+
+    def pick(self, views: Sequence[NodeView], n: int) -> List[str]:
+        raise NotImplementedError
+
+    # transactional create: unwind any cursor the pick advanced
+    def snapshot(self) -> object:
+        return None
+
+    def restore(self, token: object) -> None:
+        pass
+
+
+class RoundRobinPolicy(PlacementPolicy):
+    """The seed's rotation, restricted to eligible candidates."""
+
+    name = "roundrobin"
+
+    def __init__(self) -> None:
+        self._rr = 0
+
+    def pick(self, views: Sequence[NodeView], n: int) -> List[str]:
+        k = len(views)
+        out = [views[(self._rr + i) % k].name for i in range(n)]
+        self._rr += n
+        return out
+
+    def snapshot(self) -> object:
+        return self._rr
+
+    def restore(self, token: object) -> None:
+        self._rr = int(token)  # type: ignore[arg-type]
+
+
+class CapacityAwarePolicy(PlacementPolicy):
+    """Most free space first; node index breaks ties deterministically."""
+
+    name = "capacity"
+
+    def pick(self, views: Sequence[NodeView], n: int) -> List[str]:
+        ranked = sorted(views, key=lambda v: (-v.free_bytes, v.index))
+        return [v.name for v in ranked[:n]]
+
+
+class FailureDomainPolicy(PlacementPolicy):
+    """Spread across failure domains, capacity-aware within each.
+
+    Domains are visited round-robin (a cursor rotates the starting
+    domain between calls so primaries spread too); within a domain the
+    most-free node is taken first.  When ``n`` exceeds the number of
+    populated domains the rotation wraps and takes seconds per domain.
+    """
+
+    name = "domain"
+
+    def __init__(self) -> None:
+        self._rr = 0
+
+    def pick(self, views: Sequence[NodeView], n: int) -> List[str]:
+        by_domain: Dict[int, List[NodeView]] = {}
+        for v in views:
+            by_domain.setdefault(v.domain, []).append(v)
+        for members in by_domain.values():
+            members.sort(key=lambda v: (-v.free_bytes, v.index))
+        domains = sorted(by_domain)
+        start = self._rr % len(domains)
+        self._rr += 1
+        out: List[str] = []
+        round_i = 0
+        while len(out) < n:
+            progressed = False
+            for j in range(len(domains)):
+                dom = domains[(start + j) % len(domains)]
+                members = by_domain[dom]
+                if round_i < len(members):
+                    out.append(members[round_i].name)
+                    progressed = True
+                    if len(out) == n:
+                        break
+            round_i += 1
+            if not progressed:  # caller guarantees n <= len(views)
+                break
+        return out
+
+    def snapshot(self) -> object:
+        return self._rr
+
+    def restore(self, token: object) -> None:
+        self._rr = int(token)  # type: ignore[arg-type]
+
+
+_FACTORY = {
+    "roundrobin": RoundRobinPolicy,
+    "rr": RoundRobinPolicy,
+    "capacity": CapacityAwarePolicy,
+    "domain": FailureDomainPolicy,
+}
+
+
+def make_policy(spec: Union[str, PlacementPolicy]) -> PlacementPolicy:
+    """Resolve a policy name (or pass an instance through)."""
+    if isinstance(spec, PlacementPolicy):
+        return spec
+    cls = _FACTORY.get(spec)
+    if cls is None:
+        raise ValueError(
+            f"unknown placement policy {spec!r}; pick one of "
+            f"{sorted(set(_FACTORY))}"
+        )
+    return cls()

@@ -24,6 +24,7 @@ from . import (
     fig16_hpu_budget,
     fig16_table2_ec_handlers,
     loss_sweep,
+    recovery_storm,
     table3_survey,
     throughput_sweep,
 )
@@ -43,6 +44,7 @@ REGISTRY: dict[str, ModuleType] = {
         fig16_table2_ec_handlers,
         fig16_hpu_budget,
         loss_sweep,
+        recovery_storm,
         table3_survey,
         throughput_sweep,
     )

@@ -322,7 +322,11 @@ class RdmaNic:
         the SAME msg_id, so targets can suppress duplicates.
         """
         fp = self.params.faults
-        if not (fp.retransmit and fp.active):
+        # arm on ``retransmit`` alone: a node crash produces no wire
+        # faults (``active`` stays False so packet-train coalescing is
+        # untouched) yet still needs the watchdog to turn a silently
+        # dropped op into a bounded-time nack
+        if not fp.retransmit:
             return
         pending = self._pending.get(gid)
         if pending is None or pending.event.triggered:

@@ -175,6 +175,11 @@ class LoadSpec:
     warmup_ns: float = 50_000.0
     measure_ns: float = 1_000_000.0
     seed: int = 1
+    #: tolerate failed operations instead of aborting the run — needed
+    #: for fault-injection loads (recovery storms) where some writes
+    #: land on crashed replicas; failures inside the measure window are
+    #: counted separately and excluded from the latency statistics
+    allow_failures: bool = False
 
 
 @dataclass
@@ -185,6 +190,7 @@ class ClientLoadStats:
     ops: int = 0
     bytes: int = 0
     issued: int = 0
+    failures: int = 0
     latencies: List[float] = field(default_factory=list)
 
     def summary(self, measure_ns: float) -> dict:
@@ -193,6 +199,7 @@ class ClientLoadStats:
         out = summarize(self.latencies)
         out["ops"] = self.ops
         out["issued"] = self.issued
+        out["failures"] = self.failures
         out["kops_per_s"] = self.ops / measure_ns * 1e6 if measure_ns else 0.0
         out["goodput_gbps"] = self.bytes * 8.0 / measure_ns if measure_ns else 0.0
         return out
@@ -207,6 +214,7 @@ class LoadResult:
     ops: int                      # completions inside the measure window
     bytes: int
     issued: int                   # total issued, incl. warm-up/drain ops
+    failures: int                 # failed ops in the measure window
     elapsed_ns: float             # first issue -> full quiesce
     latency: dict                 # summarize() over measured latencies
     per_client: List[dict]
@@ -265,14 +273,18 @@ def run_closed_loop(
             next_op[cid] = i + 1
             st.issued += 1
             out = yield issue(cid, i)
-            if isinstance(out, WriteOutcome) and not out.ok:
+            failed = isinstance(out, WriteOutcome) and not out.ok
+            if failed and not spec.allow_failures:
                 raise RuntimeError(f"client {cid} op {i} failed: {out.nacks}")
             if t_warm <= sim.now < t_stop:
-                st.ops += 1
-                st.bytes += op_bytes
-                lat = getattr(out, "latency_ns", None)
-                if lat is not None:
-                    st.latencies.append(lat)
+                if failed:
+                    st.failures += 1
+                else:
+                    st.ops += 1
+                    st.bytes += op_bytes
+                    lat = getattr(out, "latency_ns", None)
+                    if lat is not None:
+                        st.latencies.append(lat)
             if spec.think_ns > 0.0:
                 d = rng.exponential(spec.think_ns) if spec.think_jitter else spec.think_ns
                 if d > 0.0:
@@ -308,6 +320,7 @@ def run_closed_loop(
         ops=sum(st.ops for st in stats),
         bytes=sum(st.bytes for st in stats),
         issued=sum(st.issued for st in stats),
+        failures=sum(st.failures for st in stats),
         elapsed_ns=sim.now - t_start,
         latency=summarize(all_lat),
         per_client=[st.summary(spec.measure_ns) for st in stats],

@@ -11,8 +11,8 @@ def test_registry_complete():
     expected = {
         "fig04", "fig06", "fig07", "fig09_latency", "fig09_goodput",
         "fig10", "fig11_table1", "fig15_latency", "fig15_bandwidth",
-        "fig16_table2", "fig16_budget", "loss", "table3",
-        "throughput_sweep",
+        "fig16_table2", "fig16_budget", "loss", "recovery_storm",
+        "table3", "throughput_sweep",
     }
     assert set(REGISTRY) == expected
 

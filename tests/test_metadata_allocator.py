@@ -1,0 +1,220 @@
+"""Free-list allocator + transactional metadata service (leak fixes)."""
+
+import pytest
+
+from repro.dfs.allocator import AllocError, ExtentAllocator, FreeList
+from repro.dfs.capability import CapabilityAuthority
+from repro.dfs.layout import EcSpec, Extent, FileLayout, ReplicationSpec
+from repro.dfs.metadata import MetadataError, MetadataService
+
+
+def make_md(n=4, cap=10_000, **kw):
+    return MetadataService(
+        storage_nodes=[f"sn{i}" for i in range(n)],
+        node_capacity=cap,
+        authority=CapabilityAuthority(key=b"k"),
+        **kw,
+    )
+
+
+# ------------------------------------------------------------------ FreeList
+def test_freelist_alloc_free_roundtrip():
+    fl = FreeList(1000)
+    a = fl.alloc(300)
+    b = fl.alloc(300)
+    assert (a, b) == (0, 300)
+    assert fl.free_bytes == 400
+    fl.free(a, 300)
+    fl.check()
+    # first fit reuses the hole at the front
+    assert fl.alloc(300) == 0
+    fl.free(0, 300)
+    fl.free(b, 300)
+    fl.check()
+    # everything coalesced back into one hole
+    assert fl.largest_hole() == 1000
+    assert fl.used == 0
+
+
+def test_freelist_coalesces_both_neighbours():
+    fl = FreeList(900)
+    a, b, c = fl.alloc(300), fl.alloc(300), fl.alloc(300)
+    fl.free(a, 300)
+    fl.free(c, 300)
+    fl.free(b, 300)  # middle free must merge with both sides
+    fl.check()
+    assert fl.largest_hole() == 900
+
+
+def test_freelist_detects_double_free():
+    fl = FreeList(1000)
+    a = fl.alloc(100)
+    fl.free(a, 100)
+    with pytest.raises(AllocError):
+        fl.free(a, 100)
+    with pytest.raises(AllocError):
+        fl.free(900, 200)  # past capacity
+
+
+def test_freelist_exhaustion_reports_fragmentation():
+    fl = FreeList(1000)
+    a = fl.alloc(400)
+    fl.alloc(400)
+    fl.free(a, 400)
+    # 600 B free but the largest hole is only 400 B
+    assert fl.free_bytes == 600
+    assert not fl.can_fit(500)
+    with pytest.raises(AllocError):
+        fl.alloc(500)
+
+
+def test_extent_allocator_per_node_accounting():
+    ea = ExtentAllocator(1000, ["a", "b"])
+    ea.alloc("a", 400)
+    off = ea.alloc("b", 250)
+    assert ea.used_bytes("a") == 400
+    assert ea.allocated_bytes() == 650
+    ea.free("b", off, 250)
+    assert ea.allocated_bytes() == 400
+    ea.check()
+    with pytest.raises(AllocError):
+        ea.alloc("nope", 10)
+
+
+# ------------------------------------------------- delete/update free extents
+def test_delete_returns_storage():
+    """The seed's bump cursor leaked every deleted object's extents."""
+    md = make_md(n=2, cap=1000)
+    # churn 20x the total capacity through create/delete
+    for i in range(40):
+        md.create(f"/x{i}", size=900)
+        md.delete(f"/x{i}")
+    assert md.allocated_bytes() == 0
+    md.allocator.check()
+
+
+def test_update_layout_frees_replaced_extents():
+    md = make_md(n=3, cap=1000)
+    lay = md.create("/f", size=600, replication=ReplicationSpec(k=2))
+    before = md.allocated_bytes()
+    # simulate recovery: slot 1 moves to a fresh extent
+    new_ext = md.allocate_extent("sn2", 600)
+    md.update_layout(
+        "/f",
+        FileLayout(
+            object_id=lay.object_id,
+            size=lay.size,
+            extents=(lay.extents[0], new_ext),
+            resiliency="replication",
+            replication=lay.replication,
+        ),
+    )
+    # the dead extent came back to the pool: no net growth
+    assert md.allocated_bytes() == before
+    assert md.allocated_bytes() == md.live_layout_bytes()
+
+
+def test_churn_invariant_allocated_equals_live():
+    """allocated bytes == live layout bytes after arbitrary churn."""
+    md = make_md(n=6, cap=100_000)
+    alive = []
+    for i in range(30):
+        kind = i % 3
+        if kind == 0:
+            md.create(f"/r{i}", size=4_000, replication=ReplicationSpec(k=3))
+        elif kind == 1:
+            md.create(f"/e{i}", size=6_000, ec=EcSpec(k=4, m=2))
+        else:
+            md.create(f"/p{i}", size=2_500)
+        alive.append(i)
+        if i % 2 == 1:  # delete every other object as we go
+            j = alive.pop(0)
+            md.delete(f"/{'rep'[j % 3]}{j}")
+    assert md.allocated_bytes() == md.live_layout_bytes()
+    md.allocator.check()
+
+
+# ------------------------------------------------------- transactional create
+def test_create_rolls_back_on_midway_failure(monkeypatch):
+    md = make_md(n=3, cap=10_000)
+    cursor0 = md.policy.snapshot()
+    real = md._alloc_on
+    calls = {"n": 0}
+
+    def flaky(node, length):
+        calls["n"] += 1
+        if calls["n"] == 2:  # second replica's allocation explodes
+            raise MetadataError("injected")
+        return real(node, length)
+
+    monkeypatch.setattr(md, "_alloc_on", flaky)
+    with pytest.raises(MetadataError):
+        md.create("/f", size=1_000, replication=ReplicationSpec(k=3))
+    monkeypatch.undo()
+    # no trace: no bytes held, no object registered, cursor restored
+    assert md.allocated_bytes() == 0
+    assert not md.exists("/f")
+    assert md.policy.snapshot() == cursor0
+    # and the next create starts from the same rotation the seed would
+    lay = md.create("/f", size=1_000)
+    assert lay.extents[0].node == "sn0"
+
+
+def test_failed_create_leaves_no_partial_object():
+    md = make_md(n=4, cap=1000)
+    md.create("/big", size=900)  # fills sn0
+    # k=4 needs 4 eligible nodes with 900 B free; sn0 can't fit
+    with pytest.raises(MetadataError):
+        md.create("/r", size=900, replication=ReplicationSpec(k=4))
+    assert md.allocated_bytes() == md.live_layout_bytes() == 900
+
+
+def test_bad_free_is_detected():
+    md = make_md(n=1, cap=1000)
+    with pytest.raises(MetadataError):
+        md.free_extent(Extent(node="sn0", addr=500, length=100))
+
+
+# ------------------------------------------------------------ placement fixes
+def test_capacity_aware_placement_avoids_full_nodes():
+    md = make_md(n=3, cap=1000, placement="capacity")
+    md.create("/fill", size=800)  # lands on sn0 (all equal, index tie-break)
+    assert md.lookup("/fill").extents[0].node == "sn0"
+    # the seed's capacity-blind rotation would now try sn1, sn2, sn0
+    # and explode on sn0's third extent; capacity-aware never does
+    for i in range(3):
+        md.create(f"/f{i}", size=500)
+    nodes = [md.lookup(f"/f{i}").extents[0].node for i in range(3)]
+    assert "sn0" not in nodes
+    assert md.allocated_bytes() == md.live_layout_bytes()
+
+
+def test_roundrobin_skips_full_nodes_instead_of_failing():
+    md = make_md(n=3, cap=1000)  # default roundrobin
+    md.create("/a", size=900)  # sn0 nearly full
+    # 500 B extents can only fit on sn1/sn2; rotation must skip sn0
+    for i in range(4):
+        lay = md.create(f"/b{i}", size=500)
+        assert lay.extents[0].node != "sn0"
+
+
+def test_dead_nodes_excluded_from_placement():
+    md = make_md(n=3, cap=10_000)
+    md.mark_dead("sn1")
+    for i in range(4):
+        lay = md.create(f"/f{i}", size=100, replication=ReplicationSpec(k=2))
+        assert all(e.node != "sn1" for e in lay.extents)
+    with pytest.raises(MetadataError):
+        md.allocate_extent("sn1", 100)
+    with pytest.raises(MetadataError):  # only 2 alive, k=3 impossible
+        md.create("/r", size=100, replication=ReplicationSpec(k=3))
+    md.mark_alive("sn1")
+    md.create("/r", size=100, replication=ReplicationSpec(k=3))
+
+
+def test_allocate_auto_respects_exclusions():
+    md = make_md(n=3, cap=10_000)
+    ext = md.allocate_auto(500, exclude=["sn0", "sn1"])
+    assert ext.node == "sn2"
+    md.free_extent(ext)
+    assert md.allocated_bytes() == 0

@@ -1,0 +1,82 @@
+"""Placement policy unit tests (deterministic pick behaviour)."""
+
+import pytest
+
+from repro.dfs.placement import (
+    CapacityAwarePolicy,
+    FailureDomainPolicy,
+    NodeView,
+    RoundRobinPolicy,
+    make_policy,
+)
+
+
+def views(free, domains=None):
+    domains = domains or list(range(len(free)))
+    return [
+        NodeView(name=f"sn{i}", index=i, free_bytes=f, domain=domains[i])
+        for i, f in enumerate(free)
+    ]
+
+
+def test_round_robin_matches_seed_rotation():
+    pol = RoundRobinPolicy()
+    vs = views([100] * 4)
+    assert pol.pick(vs, 2) == ["sn0", "sn1"]
+    assert pol.pick(vs, 2) == ["sn2", "sn3"]
+    assert pol.pick(vs, 3) == ["sn0", "sn1", "sn2"]  # wraps
+
+
+def test_round_robin_snapshot_restore():
+    pol = RoundRobinPolicy()
+    vs = views([100] * 4)
+    pol.pick(vs, 2)
+    token = pol.snapshot()
+    pol.pick(vs, 2)
+    pol.restore(token)
+    assert pol.pick(vs, 2) == ["sn2", "sn3"]
+
+
+def test_capacity_aware_prefers_most_free():
+    pol = CapacityAwarePolicy()
+    vs = views([50, 400, 200, 400])
+    # ties broken by index: sn1 before sn3
+    assert pol.pick(vs, 3) == ["sn1", "sn3", "sn2"]
+
+
+def test_failure_domain_spreads_across_racks():
+    pol = FailureDomainPolicy()
+    # two nodes per rack, three racks
+    vs = views([100] * 6, domains=[0, 0, 1, 1, 2, 2])
+    picks = pol.pick(vs, 3)
+    assert len({v.domain for v in vs if v.name in picks}) == 3
+
+
+def test_failure_domain_rotates_start_and_wraps():
+    pol = FailureDomainPolicy()
+    vs = views([100] * 4, domains=[0, 0, 1, 1])
+    first = pol.pick(vs, 2)
+    second = pol.pick(vs, 2)
+    # both picks span the two domains, but start from different racks
+    assert first != second
+    # n > n_domains wraps: takes a second node from some rack
+    triple = pol.pick(vs, 3)
+    assert len(triple) == len(set(triple)) == 3
+
+
+def test_failure_domain_capacity_aware_within_rack():
+    pol = FailureDomainPolicy()
+    vs = views([10, 500, 10, 500], domains=[0, 0, 1, 1])
+    picks = pol.pick(vs, 2)
+    assert set(picks) == {"sn1", "sn3"}  # most free in each rack
+
+
+def test_factory_resolves_and_rejects():
+    assert isinstance(make_policy("roundrobin"), RoundRobinPolicy)
+    assert isinstance(make_policy("rr"), RoundRobinPolicy)
+    assert isinstance(make_policy("capacity"), CapacityAwarePolicy)
+    assert isinstance(make_policy("domain"), FailureDomainPolicy)
+    inst = CapacityAwarePolicy()
+    assert make_policy(inst) is inst
+    with pytest.raises(ValueError):
+        make_policy("alphabetical")
