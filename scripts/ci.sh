@@ -92,6 +92,16 @@ cmp "$tmpdir/serial.csv" "$tmpdir/parallel.csv"
 echo "parallel sweep rows identical to serial"
 
 echo
+echo "== partitioned engine (fixed seed: serial vs 4-way byte-identical) =="
+# five write protocols through the conservative-window engine; the CSV
+# carries per-op completion times, final clocks, and every counter, so
+# cmp proves the cut changes nothing observable
+python -m repro parallel --partitions 1 --out "$tmpdir/eng-serial.csv" > /dev/null
+python -m repro parallel --partitions 4 --out "$tmpdir/eng-part4.csv" > /dev/null
+cmp "$tmpdir/eng-serial.csv" "$tmpdir/eng-part4.csv"
+echo "partitioned engine (4-way inline) identical to serial"
+
+echo
 echo "== coalesced events-per-packet budget (deterministic, 5% cap) =="
 # event/packet counts of the coalesced pipeline are fully deterministic:
 # any growth past +5% of the committed baseline is a real de-coalescing
@@ -163,6 +173,15 @@ echo "== simulator perf guard (vs committed BENCH_simulator.json) =="
 # wide 30% wall-clock tolerance absorbs CI machine noise; the
 # events-per-packet count is deterministic and capped at +5%
 python -m repro perf --check BENCH_simulator.json --tolerance 0.30
+
+echo
+echo "== single-core kernel guard (serial events/s within 10%) =="
+# the partitioned engine must not tax the serial kernel: the kernel
+# section's wall-clock gate runs at a tight 10% (2x the 5% CLI
+# tolerance), so a coordination-overhead leak into the hot dispatch
+# loop fails CI even when the wider 30% gate above would absorb it
+python -m repro perf --check BENCH_simulator.json --tolerance 0.05 \
+    --section kernel
 
 echo
 echo "CI gate passed."

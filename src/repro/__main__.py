@@ -15,6 +15,9 @@ Subcommands:
 * ``lint``   — simulation-aware static analysis (determinism,
   coroutine-protocol, resource- and telemetry-hygiene rules; see
   ``docs/simlint.md``);
+* ``parallel`` — run a fixed-seed scenario on the serial or partitioned
+  engine and emit a deterministic CSV; CI diffs the two byte-for-byte
+  (see ``docs/parallel_engine.md``);
 * ``bench``  — alias pointing at the experiment runner.
 """
 
@@ -236,10 +239,76 @@ def _trace(argv) -> int:
     return 0 if out.ok else 1
 
 
+def _parallel(argv) -> int:
+    """Fixed-seed determinism probe for the partitioned engine: the CSV
+    this emits must be byte-identical for every --partitions/--mode
+    combination (CI runs 1 vs 4 and ``cmp``s the files)."""
+    import numpy as np
+
+    from repro import DfsClient, EcSpec, ReplicationSpec, build_testbed
+    from repro.experiments.common import installer_for
+
+    ap = argparse.ArgumentParser(
+        prog="repro parallel",
+        description="Run a fixed-seed multi-protocol scenario and emit a "
+                    "deterministic CSV (engine-independent observables "
+                    "only: outcomes, sim timestamps, merged counters).")
+    ap.add_argument("--partitions", type=int, default=1, metavar="K",
+                    help="conservative-window partitions (1 = serial kernel)")
+    ap.add_argument("--mode", choices=["inline", "process"], default="inline",
+                    help="partition execution mode (ignored for K=1)")
+    ap.add_argument("--ops", type=int, default=4, metavar="N",
+                    help="writes per protocol (default 4)")
+    ap.add_argument("--out", default=None, metavar="PATH",
+                    help="CSV path (default: stdout)")
+    args = ap.parse_args(argv)
+
+    scenarios = [
+        ("spin", {}, {}),
+        ("raw", {}, {}),
+        ("rpc", {}, {}),
+        ("rdma-flat", {"replication": ReplicationSpec(k=3)}, {}),
+        ("inec", {"ec": EcSpec(k=3, m=2)}, {}),
+    ]
+    lines = ["kind,protocol,op,ok,t_end,latency_ns"]
+    for proto, create_kw, write_kw in scenarios:
+        tb = build_testbed(n_storage=8, n_clients=2, telemetry=True,
+                           partitions=args.partitions,
+                           parallel_mode=args.mode)
+        installer = installer_for(proto)
+        if installer is not None:
+            installer(tb)
+        c = DfsClient(tb)
+        size = 96 * 1024 if proto == "inec" else 64 * 1024
+        c.create("/f", size=size, **create_kw)
+        data = np.random.default_rng(1).integers(0, 256, size, dtype=np.uint8)
+        for i in range(args.ops):
+            out = c.write_sync("/f", data, protocol=proto, **write_kw)
+            lines.append(f"op,{proto},{i},{int(out.ok)},"
+                         f"{tb.sim.now!r},{out.latency_ns!r}")
+        # drain to a fixed horizon so trailing acks/sweeper ticks land
+        # identically, then fold in every engine-independent counter
+        tb.run(until=30_000_000.0)
+        tb.finish()
+        lines.append(f"now,{proto},,,{tb.sim.now!r},")
+        for name, ctr in sorted(tb.telemetry.metrics.counters.items()):
+            lines.append(f"counter,{proto},{name},,{ctr.value!r},")
+    text = "\n".join(lines) + "\n"
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {len(lines)} rows to {args.out} "
+              f"(partitions={args.partitions}, mode={args.mode})")
+    else:
+        print(text, end="")
+    return 0
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(prog="repro")
     ap.add_argument("command",
-                    choices=["info", "demo", "trace", "perf", "slo", "lint", "bench"],
+                    choices=["info", "demo", "trace", "perf", "slo", "lint",
+                             "parallel", "bench"],
                     nargs="?", default="info")
     args, rest = ap.parse_known_args(argv)
     if args.command == "info":
@@ -248,6 +317,8 @@ def main(argv=None) -> int:
         return _demo(rest)
     if args.command == "trace":
         return _trace(rest)
+    if args.command == "parallel":
+        return _parallel(rest)
     if args.command == "perf":
         from repro.perfsnap import main as perf_main
 

@@ -48,6 +48,18 @@ class _LeafPlacementShim:
         return self.fabric.switch
 
 
+def _partition_assignment(n_storage: int, n_clients: int, k: int) -> Dict[str, int]:
+    """Role-aware k-way cut: clients (and late control-plane nodes, which
+    default to rank 0) share the driver partition so driver-side Python —
+    request issue, measurement, metadata — sees live state even in
+    process mode; storage nodes spread contiguously over ranks 1..k-1."""
+    assignment = {f"client{i}": 0 for i in range(n_clients)}
+    spread = k - 1
+    for i in range(n_storage):
+        assignment[f"sn{i}"] = 1 + (i * spread) // n_storage if spread else 0
+    return assignment
+
+
 class Testbed:
     """A wired cluster ready for protocol configuration."""
 
@@ -55,23 +67,52 @@ class Testbed:
                  storage_backend: str = "nvmm", topology: str = "star",
                  uplink_gbps: Optional[float] = None, telemetry: bool = False,
                  placement: str = "roundrobin",
-                 failure_domains: Optional[Dict[str, int]] = None):
+                 failure_domains: Optional[Dict[str, int]] = None,
+                 partitions: int = 1, parallel_mode: str = "inline"):
         # Restart packet/message/greq id allocation: the counters and the
         # derived-id memo are module-level, so without this a long sweep
         # (or a pool worker reusing its interpreter) leaks entries across
         # testbeds and produces history-dependent ids.
         reset_id_state()
         self.params = params
-        self.sim = Simulator()
+        self.partitions = int(partitions)
+        if self.partitions > 1:
+            if topology != "star":
+                raise ValueError(
+                    "partitioned runs support only the star topology "
+                    "(the cut lives inside the single switch core)"
+                )
+            from ..simnet.parallel import ParallelSimulator, PartitionedNetwork
+            from ..simnet.topology import star_topology
+
+            names = [f"sn{i}" for i in range(n_storage)]
+            names += [f"client{i}" for i in range(n_clients)]
+            topo = star_topology(names, params.net)
+            spec = topo.partition(
+                self.partitions,
+                _partition_assignment(n_storage, n_clients, self.partitions),
+            )
+            self.sim = ParallelSimulator(spec, mode=parallel_mode)
+        else:
+            self.sim = Simulator()
         # span/metric collection is off by default (zero overhead); flip
         # ``sim.telemetry.enabled`` at any time to start recording
         self.sim.telemetry.enabled = telemetry
         self.telemetry = self.sim.telemetry
         self.sim.coalescing = params.coalescing
-        self.faults = install_faults(self.sim, params.faults)
-        if topology == "star":
+        if self.partitions > 1:
+            for s in self.sim.sims:
+                install_faults(s, params.faults)
+            # the driver partition's injector doubles as the testbed-level
+            # handle; per-partition injectors share the (seed, link name)
+            # RNG scheme, so verdict streams match the serial run's
+            self.faults = self.sim.faults = self.sim.driver_sim.faults
+            self.net = PartitionedNetwork(self.sim, params.net)
+        elif topology == "star":
+            self.faults = install_faults(self.sim, params.faults)
             self.net = Network(self.sim, params.net)
         elif topology == "leafspine":
+            self.faults = install_faults(self.sim, params.faults)
             # clients on leaf 0, storage on leaf 1: every data-plane
             # byte crosses the (possibly oversubscribed) spine uplinks
             from ..simnet.topology import LeafSpineNetwork
@@ -88,7 +129,8 @@ class Testbed:
         for i in range(n_storage):
             name = f"sn{i}"
             self.storage[name] = StorageNode(
-                self.sim, self.net, name, params, storage_backend=storage_backend
+                self._sim_for(name), self.net, name, params,
+                storage_backend=storage_backend
             )
         self.metadata = MetadataService(
             storage_nodes=list(self.storage),
@@ -98,9 +140,14 @@ class Testbed:
             failure_domains=failure_domains,
         )
         self.clients: List[ClientNode] = [
-            ClientNode(self.sim, self.net, f"client{i}", params)
+            ClientNode(self._sim_for(f"client{i}"), self.net, f"client{i}", params)
             for i in range(n_clients)
         ]
+
+    def _sim_for(self, name: str) -> Simulator:
+        """The simulator a host named ``name`` must be built on: its
+        partition's kernel when partitioned, the single kernel otherwise."""
+        return self.sim.sim_for(name) if self.partitions > 1 else self.sim
 
     # ------------------------------------------------------------ helpers
     @property
@@ -121,6 +168,12 @@ class Testbed:
         """Drive the simulation until every event fires; return values."""
         return [self.sim.run_until_event(ev) for ev in events]
 
+    def finish(self) -> None:
+        """Join process-mode partition workers (no-op otherwise)."""
+        fin = getattr(self.sim, "finish", None)
+        if fin is not None:
+            fin()
+
 
 def build_testbed(
     n_storage: int = 8,
@@ -132,6 +185,8 @@ def build_testbed(
     telemetry: bool = False,
     placement: str = "roundrobin",
     failure_domains: Optional[Dict[str, int]] = None,
+    partitions: int = 1,
+    parallel_mode: str = "inline",
 ) -> Testbed:
     """Construct a testbed.  Defaults to the paper's flat network
     (§III-D); ``topology="leafspine"`` puts clients and storage on
@@ -141,7 +196,10 @@ def build_testbed(
     service's block-placement policy (``roundrobin`` / ``capacity`` /
     ``domain``; see :mod:`repro.dfs.placement`), and
     ``failure_domains`` assigns storage nodes to racks for the
-    domain-aware policy."""
+    domain-aware policy.  ``partitions > 1`` shards the simulation into
+    that many conservative-window partitions (clients with the driver,
+    storage spread over the rest; see :mod:`repro.simnet.parallel`), and
+    ``parallel_mode`` picks ``"inline"`` or ``"process"`` execution."""
     return Testbed(
         params or SimParams(),
         n_storage=n_storage,
@@ -152,4 +210,6 @@ def build_testbed(
         telemetry=telemetry,
         placement=placement,
         failure_domains=failure_domains,
+        partitions=partitions,
+        parallel_mode=parallel_mode,
     )

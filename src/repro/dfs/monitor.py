@@ -62,10 +62,11 @@ class HeartbeatMonitor:
         self.mds = mds if mds is not None else install_control_plane(testbed)
         self.mds.register_rpc(HEARTBEAT_RPC, _heartbeat_rpc)
         self.mds.monitor = self  # type: ignore[attr-defined]
-        sim = testbed.sim
         #: last heartbeat arrival per node (nodes start trusted: a node
         #: only becomes suspect after it actually misses beats)
-        self.last_seen: Dict[str, float] = {n: sim.now for n in testbed.storage}
+        self.last_seen: Dict[str, float] = {
+            n: self.mds.sim.now for n in testbed.storage
+        }
         #: declared-dead nodes -> detection time
         self.dead: Dict[str, float] = {}
         #: death declarations in detection order: (node, t_detect)
@@ -73,12 +74,16 @@ class HeartbeatMonitor:
         self.beats_received = 0
         #: callbacks fired on each death declaration: f(node_name)
         self.on_death: List[Callable[[str], None]] = []
+        # each agent runs on its node's own simulator and the sweep on
+        # the metadata node's: under the partitioned engine a process
+        # must live where the state it drives lives (all one simulator
+        # in the serial case)
         for i, node in enumerate(testbed.storage.values()):
-            sim.process(
+            node.sim.process(
                 self._beat(node, i * self.config.stagger_ns),
                 name=f"{node.name}.heartbeat",
             )
-        sim.process(self._sweep(), name=f"{self.mds.name}.livesweep")
+        self.mds.sim.process(self._sweep(), name=f"{self.mds.name}.livesweep")
 
     # ------------------------------------------------------------ agents
     def _beat(self, node: StorageNode, offset_ns: float):
@@ -87,12 +92,12 @@ class HeartbeatMonitor:
         A crashed node (``node.failed``) stops beating — exactly the
         signal the detector is built to notice."""
         if offset_ns > 0.0:
-            yield self.testbed.sim.timeout(offset_ns)
+            yield node.sim.timeout(offset_ns)
         while not node.failed:
             node.nic.send_control(
                 self.mds.name, "rpc", {"rpc": HEARTBEAT_RPC, "node": node.name}
             )
-            yield self.testbed.sim.timeout(self.config.interval_ns)
+            yield node.sim.timeout(self.config.interval_ns)
 
     def note_beat(self, node: str) -> None:
         """Record a heartbeat arrival (called by the RPC handler)."""
@@ -101,7 +106,7 @@ class HeartbeatMonitor:
             # explicit operator action (out of scope here)
             return
         if node in self.last_seen:
-            self.last_seen[node] = self.testbed.sim.now
+            self.last_seen[node] = self.mds.sim.now
             self.beats_received += 1
 
     # ---------------------------------------------------------- detector
@@ -109,8 +114,8 @@ class HeartbeatMonitor:
         cfg = self.config
         deadline = cfg.miss_threshold * cfg.interval_ns
         while True:
-            yield self.testbed.sim.timeout(cfg.interval_ns)
-            now = self.testbed.sim.now
+            yield self.mds.sim.timeout(cfg.interval_ns)
+            now = self.mds.sim.now
             for name in self.testbed.storage:  # registration order
                 if name in self.dead:
                     continue
@@ -122,7 +127,7 @@ class HeartbeatMonitor:
         and the death subscribers (re-replicator)."""
         if node in self.dead:
             return
-        now = self.testbed.sim.now
+        now = self.mds.sim.now
         self.dead[node] = now
         self.deaths.append((node, now))
         self.testbed.metadata.mark_dead(node)

@@ -7,13 +7,17 @@ worker processes (``max_inflight``) drains the queue — so recovery
 traffic competes with foreground load at a controlled intensity instead
 of an unthrottled storm (the HDFS ``replication streams`` knob).
 
-Repairs are *real* data-plane traffic: the source replica's NIC posts a
-DFS write (service capability, same validation path as client writes)
-carrying the replica bytes to a policy-picked replacement node, so
-recovery shares wire, switch, and target resources with the foreground
-workload and shows up honestly in its tail latency.  Erasure-coded
-objects delegate to the timed rebuild coordinator
-(:func:`repro.protocols.recovery.rebuild_object`).
+Repairs are *real* data-plane traffic, commanded over the control
+plane: the metadata node posts a ``md_repair`` RPC to the surviving
+replica's node, whose handler reads the replica over local PCIe and
+posts a DFS write (service capability shipped in the RPC headers, same
+validation path as client writes) to a policy-picked replacement node.
+Recovery therefore shares wire, switch, and target resources with the
+foreground workload and shows up honestly in its tail latency — and,
+because the data never touches driver-side Python, the same path runs
+unchanged under the partitioned engine (the source node may live in
+any partition).  Erasure-coded objects delegate to the timed rebuild
+coordinator (:func:`repro.protocols.recovery.rebuild_object`).
 
 Every step is deterministic: tasks are enqueued in namespace order,
 workers drain FIFO, and the repair schedule (a list of
@@ -35,7 +39,12 @@ from .layout import FileLayout
 from .metadata import MetadataError
 from .monitor import HeartbeatMonitor
 
-__all__ = ["ReplicatorConfig", "RepairTask", "RepairRecord", "ReReplicator"]
+__all__ = ["REPAIR_RPC", "ReplicatorConfig", "RepairTask", "RepairRecord",
+           "ReReplicator"]
+
+#: RPC the metadata node sends to a surviving replica's node to command
+#: one extent repair (handler: read replica -> DMA -> DFS write to dst)
+REPAIR_RPC = "md_repair"
 
 
 @dataclass(frozen=True)
@@ -74,6 +83,34 @@ class RepairRecord:
     t_done: float
 
 
+def _repair_rpc(node, headers, payload, src):
+    """``md_repair`` handler, running on the surviving replica's node:
+    read the replica over local PCIe, push it to the replacement as a
+    real DFS write (capability shipped in the command), report back."""
+    data = node.memory.read(headers["src_addr"], headers["src_len"])
+    yield node.pcie.dma(headers["src_len"])
+    greq = fresh_greq_id()
+    dfs = DfsHeader(
+        greq_id=greq, op="write", client_id=0,
+        capability=headers["cap"], reply_to=node.name,
+    )
+    wrh = WriteRequestHeader(addr=headers["dst_addr"])
+    res = yield node.nic.post_write(
+        headers["dst"],
+        data,
+        headers={"dfs": dfs, "wrh": wrh, "write_len": headers["dst_len"]},
+        header_bytes=request_header_bytes(dfs, wrh),
+        greq_id=greq,
+    )
+    ok = bool(getattr(res, "ok", False))
+    node.respond(
+        src,
+        headers["greq_id"],
+        {"ok": ok, "nacks": getattr(res, "nacks", None)},
+        error=not ok,
+    )
+
+
 class ReReplicator:
     """Bounded-concurrency repair worker pool fed by death events."""
 
@@ -85,7 +122,10 @@ class ReReplicator:
     ):
         self.testbed = testbed
         self.config = config or ReplicatorConfig()
-        self._queue: Store = Store(testbed.sim, name="replicator.q")
+        # the queue and workers are driver-side: under the partitioned
+        # engine they live on the driver partition's kernel
+        sim = getattr(testbed.sim, "driver_sim", testbed.sim)
+        self._queue: Store = Store(sim, name="replicator.q")
         self.schedule: List[RepairRecord] = []
         self.failed_repairs: List[tuple] = []
         self.extents_repaired = 0
@@ -93,8 +133,13 @@ class ReReplicator:
         self.last_done_t = 0.0
         self.outstanding = 0
         self.peak_inflight = 0
+        #: the control-plane node commanding repairs (None -> legacy
+        #: driver-driven data path, serial engine only)
+        self.commander = monitor.mds if monitor is not None else None
+        for node in testbed.storage.values():
+            node.register_rpc(REPAIR_RPC, _repair_rpc)
         for w in range(self.config.max_inflight):
-            testbed.sim.process(self._worker(), name=f"replicator.w{w}")
+            sim.process(self._worker(), name=f"replicator.w{w}")
         if monitor is not None:
             monitor.on_death.append(self.on_node_death)
 
@@ -173,11 +218,6 @@ class ReReplicator:
             self.failed_repairs.append((task.path, task.slot, str(e)))
             return
         t_start = self.testbed.sim.now
-        src_node = self.testbed.node(src_ext.node)
-        # fetch the surviving replica over the source's PCIe ...
-        data = src_node.memory.read(src_ext.addr, src_ext.length)
-        yield src_node.pcie.dma(src_ext.length)
-        # ... and push it to the replacement as a real DFS write
         service_cap = self.testbed.authority.issue(
             client_id=0,
             object_id=layout.object_id,
@@ -185,25 +225,57 @@ class ReReplicator:
             length=self.testbed.params.storage_capacity_bytes,
             rights=Rights.WRITE,
         )
-        greq = fresh_greq_id()
-        dfs = DfsHeader(
-            greq_id=greq, op="write", client_id=0,
-            capability=service_cap, reply_to=src_node.name,
-        )
-        wrh = WriteRequestHeader(addr=new_ext.addr)
-        res = yield src_node.nic.post_write(
-            new_ext.node,
-            data,
-            headers={"dfs": dfs, "wrh": wrh, "write_len": new_ext.length},
-            header_bytes=request_header_bytes(dfs, wrh),
-            greq_id=greq,
-        )
-        if not getattr(res, "ok", False):
-            md.free_extent(new_ext)
-            self.failed_repairs.append(
-                (task.path, task.slot, f"write rejected: {getattr(res, 'nacks', None)}")
+        if self.commander is not None:
+            # command the surviving replica's node over the control
+            # plane; its handler moves the bytes (works in any partition)
+            res = yield self.commander.nic.post_rpc(
+                src_ext.node,
+                {
+                    "rpc": REPAIR_RPC,
+                    "src_addr": src_ext.addr,
+                    "src_len": src_ext.length,
+                    "dst": new_ext.node,
+                    "dst_addr": new_ext.addr,
+                    "dst_len": new_ext.length,
+                    "object_id": layout.object_id,
+                    "cap": service_cap,
+                },
+                header_bytes=64,
             )
-            return
+            reply = getattr(res, "data", None) or {}
+            if not (getattr(res, "ok", False) and reply.get("ok", False)):
+                md.free_extent(new_ext)
+                self.failed_repairs.append(
+                    (task.path, task.slot,
+                     f"write rejected: {reply.get('nacks')}")
+                )
+                return
+        else:
+            # legacy driver-driven path: touches remote node state from
+            # driver-side Python, so it is valid on the serial engine only
+            src_node = self.testbed.node(src_ext.node)
+            data = src_node.memory.read(src_ext.addr, src_ext.length)
+            yield src_node.pcie.dma(src_ext.length)
+            greq = fresh_greq_id()
+            dfs = DfsHeader(
+                greq_id=greq, op="write", client_id=0,
+                capability=service_cap, reply_to=src_node.name,
+            )
+            wrh = WriteRequestHeader(addr=new_ext.addr)
+            res = yield src_node.nic.post_write(
+                new_ext.node,
+                data,
+                headers={"dfs": dfs, "wrh": wrh, "write_len": new_ext.length},
+                header_bytes=request_header_bytes(dfs, wrh),
+                greq_id=greq,
+            )
+            if not getattr(res, "ok", False):
+                md.free_extent(new_ext)
+                self.failed_repairs.append(
+                    (task.path, task.slot,
+                     f"write rejected: {getattr(res, 'nacks', None)}")
+                )
+                return
         # commit: swap the slot in the *fresh* layout (other slots may
         # have been repaired concurrently); update_layout frees the
         # dead extent

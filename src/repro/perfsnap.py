@@ -8,7 +8,15 @@
   per-write events dispatched, packets through the switch, and the
   derived events-per-packet cost of the packet pipeline;
 * **sweep** — a small experiment sweep run serially and with two worker
-  processes, recording the parallel speedup of :mod:`repro.runner`.
+  processes, recording the parallel speedup of :mod:`repro.runner`;
+* **parallel** — one big closed-loop simulation run on the serial
+  kernel vs the partitioned engine (``repro.simnet.parallel``), inline
+  and forked, recording kernel-event throughput, speedups, and a
+  result-equality verdict.
+
+``--section`` restricts both collection and checking (CI gates the
+machine-sensitive kernel number at a tight tolerance without paying for
+the full suite).
 
 ``--out BENCH_simulator.json`` snapshots the numbers;
 ``--check BENCH_simulator.json`` re-measures and fails (exit 1) if the
@@ -125,25 +133,127 @@ def _sweep_snapshot(jobs: int = 2) -> Dict[str, Any]:
     }
 
 
-def collect_snapshot(sweep_jobs: int = 2) -> Dict[str, Any]:
+def _physical_cpus() -> Optional[int]:
+    """Distinct (physical id, core id) pairs from /proc/cpuinfo, or None
+    when the platform does not expose it (SMT makes this differ from the
+    logical count)."""
+    pairs = set()
+    phys = core = None
+    try:
+        with open("/proc/cpuinfo") as fh:
+            for line in fh:
+                if ":" not in line:
+                    phys = core = None
+                    continue
+                key, _, val = line.partition(":")
+                key = key.strip()
+                if key == "physical id":
+                    phys = val.strip()
+                elif key == "core id":
+                    core = val.strip()
+                if phys is not None and core is not None:
+                    pairs.add((phys, core))
+                    phys = core = None
+    except OSError:
+        return None
+    return len(pairs) or None
+
+
+def _meta() -> Dict[str, Any]:
+    try:
+        affinity: Optional[int] = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        affinity = None
+    try:
+        loadavg: Optional[List[float]] = [round(x, 2) for x in os.getloadavg()]
+    except OSError:  # pragma: no cover - non-POSIX
+        loadavg = None
     return {
-        "meta": {
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-            # parallel sweep speedup is bounded by this; on a 1-CPU box
-            # jobs>1 can only add overhead
-            "cpus": os.cpu_count(),
-        },
-        "kernel_events_per_s": round(_kernel_events_per_s()),
-        "pipeline": _pipeline_snapshot(),
-        "sweep": _sweep_snapshot(jobs=sweep_jobs),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        # parallel speedups (sweep pool and partitioned engine alike)
+        # are bounded by these; on a 1-CPU box extra workers can only
+        # add overhead — record all of it so a snapshot says what the
+        # box could possibly have delivered
+        "cpus": os.cpu_count(),
+        "cpus_logical": os.cpu_count(),
+        "cpus_physical": _physical_cpus(),
+        "cpus_affinity": affinity,
+        "loadavg": loadavg,
     }
+
+
+def _parallel_snapshot(partitions: int = 4) -> Dict[str, Any]:
+    """One big closed-loop simulation, serial vs partitioned (inline and
+    forked): kernel-event throughput, wall time, and equality of the
+    load results.  Speedup > 1 needs real cores; on a 1-CPU container
+    the honest number is <= 1 and the value of the section is the
+    equality verdict plus the per-mode event rates."""
+    from .dfs.cluster import build_testbed
+    from .workloads import LoadSpec, closed_loop_write_load
+
+    spec = LoadSpec(n_clients=8, outstanding=2, think_ns=2_000.0,
+                    warmup_ns=50_000.0, measure_ns=300_000.0, seed=7)
+
+    def once(k: int, mode: str) -> Dict[str, Any]:
+        tb = build_testbed(n_storage=64, n_clients=4,
+                           partitions=k, parallel_mode=mode)
+        t0 = time.perf_counter()
+        res = closed_loop_write_load(tb, 16 * 1024, "raw", spec)
+        wall = time.perf_counter() - t0
+        tb.finish()
+        events = tb.sim.events_dispatched
+        return {
+            "events": events,
+            "wall_s": round(wall, 3),
+            "events_per_wall_s": round(events / wall) if wall > 0 else 0,
+            "result": (res.ops, res.bytes, res.issued, res.failures,
+                       res.elapsed_ns),
+        }
+
+    serial = once(1, "inline")
+    inline = once(partitions, "inline")
+    forked = once(partitions, "process")
+    out = {
+        "scenario": f"closed_loop 64sn raw 16KiB x{partitions}",
+        "partitions": partitions,
+        "serial": serial,
+        "inline": inline,
+        "process": forked,
+        "speedup_inline": round(serial["wall_s"] / inline["wall_s"], 2)
+        if inline["wall_s"] else 0.0,
+        "speedup_process": round(serial["wall_s"] / forked["wall_s"], 2)
+        if forked["wall_s"] else 0.0,
+        "identical": serial["result"] == inline["result"] == forked["result"],
+    }
+    for d in (serial, inline, forked):
+        d.pop("result")
+    return out
+
+
+SECTIONS = ("kernel", "pipeline", "sweep", "parallel")
+
+
+def collect_snapshot(sweep_jobs: int = 2,
+                     sections: Optional[List[str]] = None) -> Dict[str, Any]:
+    want = set(sections or SECTIONS)
+    snap: Dict[str, Any] = {"meta": _meta()}
+    if "kernel" in want:
+        snap["kernel_events_per_s"] = round(_kernel_events_per_s())
+    if "pipeline" in want:
+        snap["pipeline"] = _pipeline_snapshot()
+    if "sweep" in want:
+        snap["sweep"] = _sweep_snapshot(jobs=sweep_jobs)
+    if "parallel" in want:
+        snap["parallel"] = _parallel_snapshot()
+    return snap
 
 
 def check_against(snap: Dict[str, Any], base: Dict[str, Any],
                   tolerance: float = 0.30) -> List[str]:
     """Compare a fresh snapshot against a committed baseline.  Returns a
-    list of human-readable failures (empty = pass)."""
+    list of human-readable failures (empty = pass).  Sections absent
+    from either side (``--section``) are skipped."""
     failures: List[str] = []
 
     def floor(name: str, got: float, want: float, tol: float = tolerance) -> None:
@@ -154,17 +264,27 @@ def check_against(snap: Dict[str, Any], base: Dict[str, Any],
 
     # the bare-kernel microbenchmark is the most frequency/SMT-sensitive
     # number (tens of ms of pure dispatch); give it double headroom
-    floor("kernel_events_per_s", snap["kernel_events_per_s"],
-          base["kernel_events_per_s"], tol=min(2 * tolerance, 0.9))
-    floor("pipeline.events_per_wall_s", snap["pipeline"]["events_per_wall_s"],
-          base["pipeline"]["events_per_wall_s"])
+    if "kernel_events_per_s" in snap and "kernel_events_per_s" in base:
+        floor("kernel_events_per_s", snap["kernel_events_per_s"],
+              base["kernel_events_per_s"], tol=min(2 * tolerance, 0.9))
+    if "pipeline" in snap and "pipeline" in base:
+        floor("pipeline.events_per_wall_s",
+              snap["pipeline"]["events_per_wall_s"],
+              base["pipeline"]["events_per_wall_s"])
 
-    # deterministic counts: any growth is a real pipeline regression
-    got_epp = snap["pipeline"]["events_per_packet"]
-    base_epp = base["pipeline"]["events_per_packet"]
-    if got_epp > base_epp * 1.05:
+        # deterministic counts: any growth is a real pipeline regression
+        got_epp = snap["pipeline"]["events_per_packet"]
+        base_epp = base["pipeline"]["events_per_packet"]
+        if got_epp > base_epp * 1.05:
+            failures.append(
+                f"pipeline.events_per_packet: {got_epp} > baseline {base_epp} (+5% cap)"
+            )
+    # the partitioned engine's equality verdict is a hard correctness
+    # gate whenever the section was collected; the speedups are
+    # machine-bound facts, recorded but never gated
+    if "parallel" in snap and not snap["parallel"]["identical"]:
         failures.append(
-            f"pipeline.events_per_packet: {got_epp} > baseline {base_epp} (+5% cap)"
+            "parallel: partitioned results diverged from the serial kernel"
         )
     return failures
 
@@ -182,18 +302,35 @@ def main(argv: Optional[list] = None) -> int:
                     help="allowed wall-clock slowdown vs baseline (default 0.30)")
     ap.add_argument("--sweep-jobs", type=int, default=2, metavar="N",
                     help="worker processes for the sweep comparison (default 2)")
+    ap.add_argument("--section", action="append", choices=list(SECTIONS),
+                    metavar="NAME", dest="sections",
+                    help="collect/check only this section (repeatable); "
+                         f"default: all of {', '.join(SECTIONS)}")
     args = ap.parse_args(argv)
 
-    snap = collect_snapshot(sweep_jobs=args.sweep_jobs)
-    pipe, sweep = snap["pipeline"], snap["sweep"]
-    print(f"kernel   : {snap['kernel_events_per_s']:,.0f} events/s")
-    print(f"pipeline : {pipe['events_per_wall_s']:,.0f} events/s, "
-          f"{pipe['packets_per_wall_s']:,.0f} packets/s, "
-          f"{pipe['events_per_packet']} events/packet "
-          f"({pipe['events']} events / {pipe['packets']} packets)")
-    print(f"sweep    : {sweep['experiment']} x{sweep['points']} serial "
-          f"{sweep['serial_wall_s']}s vs jobs={sweep['jobs']} "
-          f"{sweep['parallel_wall_s']}s ({sweep['speedup']}x)")
+    snap = collect_snapshot(sweep_jobs=args.sweep_jobs, sections=args.sections)
+    if "kernel_events_per_s" in snap:
+        print(f"kernel   : {snap['kernel_events_per_s']:,.0f} events/s")
+    if "pipeline" in snap:
+        pipe = snap["pipeline"]
+        print(f"pipeline : {pipe['events_per_wall_s']:,.0f} events/s, "
+              f"{pipe['packets_per_wall_s']:,.0f} packets/s, "
+              f"{pipe['events_per_packet']} events/packet "
+              f"({pipe['events']} events / {pipe['packets']} packets)")
+    if "sweep" in snap:
+        sweep = snap["sweep"]
+        print(f"sweep    : {sweep['experiment']} x{sweep['points']} serial "
+              f"{sweep['serial_wall_s']}s vs jobs={sweep['jobs']} "
+              f"{sweep['parallel_wall_s']}s ({sweep['speedup']}x)")
+    if "parallel" in snap:
+        par = snap["parallel"]
+        print(f"parallel : {par['scenario']}: serial "
+              f"{par['serial']['events_per_wall_s']:,.0f} ev/s vs inline "
+              f"{par['inline']['events_per_wall_s']:,.0f} ev/s "
+              f"({par['speedup_inline']}x) vs process "
+              f"{par['process']['events_per_wall_s']:,.0f} ev/s "
+              f"({par['speedup_process']}x), "
+              f"identical={par['identical']}")
 
     if args.out:
         with open(args.out, "w") as fh:

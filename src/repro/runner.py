@@ -25,10 +25,23 @@ point, params, experiment module source).  Editing the experiment
 module or changing ``SimParams`` invalidates automatically; delete the
 cache directory (default ``.repro_cache/``, override with
 ``$REPRO_CACHE_DIR`` or ``--cache-dir``) to force a full re-run.
+
+Worker pool
+-----------
+The worker pool is *persistent*: the first parallel sweep forks it, and
+later :func:`run_sweep` calls reuse the warm workers (``atexit`` tears
+it down).  Whether a sweep uses the pool at all is a measured
+break-even decision: the runner keeps a per-experiment EMA of the
+per-point compute cost and goes parallel only when the estimated serial
+time exceeds the pool's spin-up + dispatch overhead — a sweep of
+millisecond points runs serially instead of paying fork costs for a
+sub-1x "speedup".  The verdict is recorded in
+:attr:`SweepStats.pool_decision`.
 """
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import json
 import os
@@ -43,6 +56,7 @@ __all__ = [
     "point_key",
     "point_seed",
     "run_sweep",
+    "shutdown_pool",
 ]
 
 #: bump when the cache entry layout changes (invalidates old entries)
@@ -64,6 +78,14 @@ class SweepStats:
     wall_s: float = 0.0
     cache_dir: Optional[str] = None
     errors: List[str] = field(default_factory=list)
+    #: True when this sweep ran on already-forked (warm) pool workers
+    pool_reused: bool = False
+    #: how the pool-vs-serial break-even came out: ``pool:warm``,
+    #: ``pool:cold``, ``serial:jobs=1``, ``serial:few-points``,
+    #: ``serial:break-even``, or ``serial:custom-fn``
+    pool_decision: str = "serial:jobs=1"
+    #: the per-point cost estimate (EMA seconds) the decision used, if any
+    est_point_s: Optional[float] = None
 
     def summary(self) -> str:
         src = f"{self.n_cached} cached + {self.n_computed} computed"
@@ -153,6 +175,61 @@ def _cache_store(cdir: str, key: str, eid: str, point: Dict[str, Any], row: Any)
             pass
 
 
+# --------------------------------------------------------- worker pool
+#: cold-pool spin-up cost (fork + package import + IPC handshake); the
+#: persistent pool pays this once per process instead of once per sweep
+POOL_SPINUP_S = 0.25
+#: per-point pickle/IPC overhead of the pool path
+POOL_DISPATCH_S = 0.002
+#: EMA weight of the newest per-point cost sample
+_COST_ALPHA = 0.5
+
+_POOL: Any = None
+_POOL_WORKERS = 0
+#: per-experiment EMA of per-point compute seconds (the break-even input)
+_COST_EMA: Dict[str, float] = {}
+
+
+def shutdown_pool() -> None:
+    """Tear down the persistent worker pool (atexit; tests)."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.shutdown(wait=True)
+        _POOL = None
+        _POOL_WORKERS = 0
+
+
+atexit.register(shutdown_pool)
+
+
+def _acquire_pool(jobs: int):
+    """Return a pool with >= ``jobs`` workers, reusing the warm one when
+    it is big enough (growing replaces it)."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None and _POOL_WORKERS >= jobs:
+        return _POOL, True
+    shutdown_pool()
+    import multiprocessing as mp
+    from concurrent.futures import ProcessPoolExecutor
+
+    # fork keeps the already-imported repro package (and is the only
+    # start method that works without a __main__ guard in arbitrary
+    # callers); fall back to the platform default.
+    try:
+        ctx = mp.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX
+        ctx = mp.get_context()
+    _POOL = ProcessPoolExecutor(max_workers=jobs, mp_context=ctx)
+    _POOL_WORKERS = jobs
+    return _POOL, False
+
+
+def _note_point_cost(eid: str, per_point_s: float) -> None:
+    old = _COST_EMA.get(eid)
+    _COST_EMA[eid] = (per_point_s if old is None
+                      else _COST_ALPHA * per_point_s + (1 - _COST_ALPHA) * old)
+
+
 # ------------------------------------------------------------- execution
 def _exec_point(eid: str, point: Dict[str, Any], params: Any) -> Any:
     """Run one sweep point (this is the pool-worker entry point, so it
@@ -208,27 +285,42 @@ def run_sweep(
         todo = list(range(len(points)))
 
     if todo:
-        # Pool spin-up (fork + import + IPC) costs tens of milliseconds;
-        # it only pays off when every worker gets at least two points.
-        if jobs > 1 and len(todo) >= 2 * jobs:
-            import multiprocessing as mp
-            from concurrent.futures import ProcessPoolExecutor
-
-            # fork keeps the already-imported repro package (and is the
-            # only start method that works without a __main__ guard in
-            # arbitrary callers); fall back to the platform default.
-            try:
-                ctx = mp.get_context("fork")
-            except ValueError:  # pragma: no cover - non-POSIX
-                ctx = mp.get_context()
-            with ProcessPoolExecutor(max_workers=min(jobs, len(todo)),
-                                     mp_context=ctx) as ex:
-                futs = {
-                    i: ex.submit(_exec_point, eid, points[i], params)
-                    for i in todo
-                }
-                for i in todo:
-                    results[i] = futs[i].result()
+        n = len(todo)
+        workers = min(jobs, n)
+        est = _COST_EMA.get(eid)
+        stats.est_point_s = est
+        use_pool = jobs > 1 and n >= 2 and run_point is None
+        if run_point is not None and jobs > 1:
+            stats.pool_decision = "serial:custom-fn"
+        if use_pool:
+            warm = _POOL is not None and _POOL_WORKERS >= jobs
+            if est is not None:
+                # break-even: go parallel only when the estimated serial
+                # time beats the pool path (spin-up amortized away once
+                # the persistent pool is warm)
+                serial_s = est * n
+                pool_s = (est * n / workers
+                          + (0.0 if warm else POOL_SPINUP_S)
+                          + POOL_DISPATCH_S * n)
+                if serial_s <= pool_s:
+                    use_pool = False
+                    stats.pool_decision = "serial:break-even"
+            elif not warm and n < 2 * jobs:
+                # no cost estimate yet: only pay a cold fork when every
+                # worker gets at least two points
+                use_pool = False
+                stats.pool_decision = "serial:few-points"
+        t_compute0 = time.perf_counter()  # simlint: disable=SIM101 -- sweep wall-clock stats
+        if use_pool:
+            ex, reused = _acquire_pool(jobs)
+            stats.pool_reused = reused
+            stats.pool_decision = "pool:warm" if reused else "pool:cold"
+            futs = {
+                i: ex.submit(_exec_point, eid, points[i], params)
+                for i in todo
+            }
+            for i in todo:
+                results[i] = futs[i].result()
         else:
             stats.jobs = 1
             fn = run_point
@@ -240,7 +332,11 @@ def run_sweep(
                     results[i] = fn(points[i], params)
                 else:
                     results[i] = _exec_point(eid, points[i], params)
-        stats.n_computed = len(todo)
+        t_compute = time.perf_counter() - t_compute0  # simlint: disable=SIM101 -- sweep wall-clock stats
+        # update the per-point cost EMA (pool runs approximate per-point
+        # cost as wall * workers / n)
+        _note_point_cost(eid, t_compute * (workers if use_pool else 1) / n)
+        stats.n_computed = n
         if cache:
             for i in todo:
                 _cache_store(cdir, keys[i], eid, points[i], results[i])

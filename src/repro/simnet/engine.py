@@ -519,6 +519,61 @@ class Simulator:
             self._wall_s += time.perf_counter() - wall0  # simlint: disable=SIM101 -- kernel self-profile
         return self.now
 
+    def run_window(self, horizon: float, inclusive: bool = False) -> float:
+        """Process events with ``t < horizon`` (``t <= horizon`` when
+        ``inclusive``), then stop WITHOUT advancing ``now`` to the bound.
+
+        The conservative-window primitive of the partitioned engine
+        (:mod:`repro.simnet.parallel`): between windows the coordinator
+        injects cross-partition packets, so ``now`` must stay at the last
+        *dispatched* event — jumping it to the horizon (as ``run(until)``
+        does) would put later boundary injections in this partition's
+        past.  Events at or beyond the bound stay queued untouched.
+        """
+        if self._running:
+            raise SimulationError("run() called re-entrantly")
+        self._running = True
+        wall0 = time.perf_counter()  # simlint: disable=SIM101 -- kernel self-profile
+        # inlined stepping + dispatch — keep in sync with _step()/_dispatch()
+        heap = self._heap
+        pop = heapq.heappop
+        hw = self._heap_high_water
+        ndisp = self.events_dispatched
+        try:
+            while heap:
+                t0 = heap[0][0]
+                if t0 > horizon or (t0 == horizon and not inclusive):
+                    break
+                entry = pop(heap)
+                n = len(heap)
+                if n >= hw:
+                    hw = n + 1
+                t = entry[0]
+                if t < self.now - 1e-9:
+                    raise SimulationError("time went backwards")
+                self.now = t
+                ndisp += 1
+                item = entry[2]
+                if isinstance(item, Event):
+                    callbacks = item.callbacks
+                    item.callbacks = _DISPATCHED
+                    if callbacks:
+                        for cb in callbacks:
+                            cb(item)
+                    elif item._exc is not None:
+                        if not isinstance(item, Process) or not item._observed:
+                            raise item._exc
+                elif len(entry) == 3:
+                    item()
+                else:
+                    item(entry[3])
+        finally:
+            self._heap_high_water = hw
+            self.events_dispatched = ndisp
+            self._running = False
+            self._wall_s += time.perf_counter() - wall0  # simlint: disable=SIM101 -- kernel self-profile
+        return self.now
+
     def run_until_event(self, ev: Event, limit: Optional[float] = None) -> Any:
         """Run until ``ev`` fires; return its value (or raise its error).
 

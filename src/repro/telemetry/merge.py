@@ -1,0 +1,160 @@
+"""Merge per-partition telemetry sinks into one stream.
+
+The partitioned engine (:mod:`repro.simnet.parallel`) gives every
+partition its own :class:`~repro.telemetry.spans.Telemetry` so the hot
+instrumentation path stays lock-free and identical to the serial
+kernel.  Trace/span id streams are offset per partition at construction
+time (rank ``r`` allocates ``1 + r * 10**9, ...``), so ids never
+collide and merging is pure concatenation — no re-numbering pass.
+
+:func:`merge_telemetry` produces a plain :class:`Telemetry` snapshot:
+
+* **spans** — concatenated and sorted by ``(t0, t1, pid, tid, name)``,
+  restoring the single global timeline exporters expect;
+* **counters** — summed by name (partition slices of one logical
+  component, e.g. the distributed star switch, share a name);
+* **gauges** — unique names pass through; colliding names are rebuilt
+  by replaying all samples in ``(time, rank)`` order;
+* **histograms** — unique names pass through; colliding names are
+  concatenated in rank order.
+
+:class:`MergedTelemetry` wraps the live per-partition sinks behind the
+``Telemetry`` API: *writes* (``root``/``begin``/``span``/``end``) go to
+the driver partition's sink, *queries* (``spans``/``metrics``/...)
+rebuild the merged snapshot on access.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .spans import Span, Telemetry
+
+__all__ = ["merge_telemetry", "MergedTelemetry", "PARTITION_ID_STRIDE"]
+
+#: id-stream offset between partitions: rank r allocates trace/span ids
+#: from ``1 + r * PARTITION_ID_STRIDE`` — collision-free for any
+#: realistic span count, keeping merged ids stable without re-numbering
+PARTITION_ID_STRIDE = 1_000_000_000
+
+
+def _span_key(s: Span) -> Tuple[float, float, str, str, str]:
+    t1 = s.t1 if s.t1 is not None else float("inf")
+    return (s.t0, t1, s.pid, s.tid, s.name)
+
+
+def merge_telemetry(parts: Sequence[Telemetry]) -> Telemetry:
+    """Snapshot-merge partition sinks into one plain :class:`Telemetry`.
+
+    The result is a read-side view: instruments with a unique name are
+    shared (not copied) with the source registries.
+    """
+    out = Telemetry(enabled=any(p.enabled for p in parts))
+    out.spans = sorted((s for p in parts for s in p.spans), key=_span_key)
+    m = out.metrics = MetricsRegistry()
+    for name in sorted({n for p in parts for n in p.metrics.counters}):
+        owners = [p.metrics.counters[name] for p in parts
+                  if name in p.metrics.counters]
+        if len(owners) == 1:
+            m.counters[name] = owners[0]
+        else:
+            c = m.counters[name] = Counter(name)
+            c.value = sum(o.value for o in owners)
+    for name in sorted({n for p in parts for n in p.metrics.gauges}):
+        owners = [(rank, p.metrics.gauges[name]) for rank, p in enumerate(parts)
+                  if name in p.metrics.gauges]
+        if len(owners) == 1:
+            m.gauges[name] = owners[0][1]
+        else:
+            m.gauges[name] = _replay_gauges(name, owners)
+    for name in sorted({n for p in parts for n in p.metrics.histograms}):
+        owners = [p.metrics.histograms[name] for p in parts
+                  if name in p.metrics.histograms]
+        if len(owners) == 1:
+            m.histograms[name] = owners[0]
+        else:
+            h = Histogram(name)
+            for o in owners:
+                h.values.extend(o.values)
+            m.histograms[name] = h
+    return out
+
+
+def _replay_gauges(name: str, owners: List[Tuple[int, Gauge]]) -> Gauge:
+    """Rebuild one gauge by replaying all samples in (time, rank) order."""
+    samples = sorted(
+        (t, rank, v)
+        for rank, g in owners
+        for t, v in zip(g.times, g.values)
+    )
+    merged = Gauge(name)
+    for t, _rank, v in samples:
+        merged.set(t, v)
+    return merged
+
+
+class MergedTelemetry:
+    """Live Telemetry facade over per-partition sinks.
+
+    Mutations delegate to the driver partition (rank 0); queries merge
+    on access.  ``reset()`` resets every partition sink (their id
+    streams keep running, so offsets survive a reset).
+    """
+
+    def __init__(self, parts: Sequence[Telemetry]):
+        self._parts = list(parts)
+
+    # ------------------------------------------------------ master switch
+    @property
+    def enabled(self) -> bool:
+        return self._parts[0].enabled
+
+    @enabled.setter
+    def enabled(self, on: bool) -> None:
+        for p in self._parts:
+            p.enabled = on
+
+    # ------------------------------------------------------------ writes
+    @property
+    def _driver(self) -> Telemetry:
+        return self._parts[0]
+
+    def begin(self, *args: Any, **kw: Any) -> Span:
+        return self._driver.begin(*args, **kw)
+
+    @staticmethod
+    def end(span: Span, t1: float) -> Span:
+        return Telemetry.end(span, t1)
+
+    def span(self, *args: Any, **kw: Any) -> Span:
+        return self._driver.span(*args, **kw)
+
+    def root(self, *args: Any, **kw: Any):
+        return self._driver.root(*args, **kw)
+
+    # ----------------------------------------------------------- queries
+    @property
+    def spans(self) -> List[Span]:
+        return merge_telemetry(self._parts).spans
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return merge_telemetry(self._parts).metrics
+
+    def finished_spans(self) -> List[Span]:
+        return [s for s in self.spans if s.t1 is not None]
+
+    def spans_by_cat(self, cat: str) -> List[Span]:
+        return [s for s in self.spans if s.cat == cat]
+
+    def spans_for_trace(self, trace_id: int) -> List[Span]:
+        return [s for s in self.spans if s.trace_id == trace_id]
+
+    def snapshot(self) -> Telemetry:
+        """A frozen plain-:class:`Telemetry` merge (for exporters)."""
+        return merge_telemetry(self._parts)
+
+    def reset(self) -> None:
+        for p in self._parts:
+            p.reset()

@@ -16,9 +16,14 @@ def _dumps(rows):
 def test_parallel_rows_identical_to_serial(monkeypatch):
     """--jobs N must be byte-identical to --jobs 1 (same rows, same order)."""
     serial = fig06.run(quick=True, jobs=1, cache=False)
-    # pretend to have cores so the clamp doesn't serialize us on 1-CPU CI
+    # pretend to have cores so the clamp doesn't serialize us on 1-CPU CI,
+    # and a costly point so the break-even heuristic picks the pool
     monkeypatch.setattr(runner.os, "cpu_count", lambda: 4)
-    parallel = fig06.run(quick=True, jobs=2, cache=False)
+    monkeypatch.setattr(runner, "_COST_EMA", {"fig06": 1.0})
+    try:
+        parallel = fig06.run(quick=True, jobs=2, cache=False)
+    finally:
+        runner.shutdown_pool()
     assert _dumps(serial) == _dumps(parallel)
     assert runner.LAST_STATS.jobs == 2
     assert runner.LAST_STATS.n_computed == len(serial)
@@ -34,7 +39,13 @@ def test_small_sweeps_skip_the_pool():
 
 def test_jobs_clamped_to_cpu_count(monkeypatch):
     monkeypatch.setattr(runner.os, "cpu_count", lambda: 2)
-    rows = fig06.run(quick=True, jobs=64, cache=False)
+    # a costly estimate keeps the break-even heuristic out of the way:
+    # this test is about the core-count clamp only
+    monkeypatch.setattr(runner, "_COST_EMA", {"fig06": 1.0})
+    try:
+        rows = fig06.run(quick=True, jobs=64, cache=False)
+    finally:
+        runner.shutdown_pool()
     assert rows
     assert runner.LAST_STATS.jobs == 2
 
@@ -114,3 +125,46 @@ def test_single_point_matches_full_sweep_row(eid):
     rows = mod.run(quick=True, jobs=1, cache=False)
     row = runner._exec_point(eid, mod.points(quick=True)[0], None)
     assert _dumps([rows[0]]) == _dumps([row])
+
+
+# ------------------------------------------------ warm pool + break-even
+
+def test_pool_decision_and_cost_ema_recorded(monkeypatch):
+    """A serial sweep records its decision and seeds the per-experiment
+    cost estimate the break-even heuristic feeds on."""
+    monkeypatch.setattr(runner, "_COST_EMA", {})
+    fig06.run(quick=True, jobs=1, cache=False)
+    assert runner.LAST_STATS.pool_decision == "serial:jobs=1"
+    assert runner.LAST_STATS.est_point_s is None  # nothing known yet
+    assert runner._COST_EMA["fig06"] > 0.0  # ...but now there is
+
+
+def test_break_even_keeps_cheap_sweeps_serial(monkeypatch):
+    """With a known tiny per-point cost, forking can never pay off: the
+    sweep runs serial and says why."""
+    monkeypatch.setattr(runner.os, "cpu_count", lambda: 4)
+    monkeypatch.setattr(runner, "_COST_EMA", {"fig06": 1e-6})
+    rows = fig06.run(quick=True, jobs=2, cache=False)
+    assert rows
+    assert runner.LAST_STATS.pool_decision == "serial:break-even"
+    assert runner.LAST_STATS.jobs == 1
+    assert runner.LAST_STATS.est_point_s == 1e-6
+
+
+def test_warm_pool_is_reused_across_sweeps(monkeypatch):
+    """The worker pool persists between run_sweep calls: the first
+    parallel sweep pays the fork, the second reuses it."""
+    monkeypatch.setattr(runner.os, "cpu_count", lambda: 4)
+    # a (fake) expensive point makes the pool path the clear winner
+    monkeypatch.setattr(runner, "_COST_EMA", {"fig06": 1.0})
+    runner.shutdown_pool()
+    try:
+        fig06.run(quick=True, jobs=2, cache=False)
+        assert runner.LAST_STATS.pool_decision == "pool:cold"
+        assert not runner.LAST_STATS.pool_reused
+        monkeypatch.setitem(runner._COST_EMA, "fig06", 1.0)
+        fig06.run(quick=True, jobs=2, cache=False)
+        assert runner.LAST_STATS.pool_decision == "pool:warm"
+        assert runner.LAST_STATS.pool_reused
+    finally:
+        runner.shutdown_pool()
