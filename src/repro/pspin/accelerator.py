@@ -1039,7 +1039,8 @@ class PsPinAccelerator:
 
     def _train_materialize(self, at: _AccelTrain) -> None:
         sim = self.sim
-        for j in range(len(at.pkts)):
+        n = len(at.pkts)
+        for j in range(n):
             stage = at.stage[j]
             if j == 0:
                 if stage == 3:
@@ -1057,6 +1058,15 @@ class PsPinAccelerator:
             if j >= at.wire.cut:
                 continue  # never reached this NIC; re-sent the slow way
             if stage >= 6:
+                if j == n - 1 and at.run is not None and not at.run.finished:
+                    # The completion packet's payload handler committed
+                    # during catch-up (its end time can precede other
+                    # packets' — the short tail packet copies and computes
+                    # fastest), so no per-packet pipeline remains to run
+                    # the completion handler once phs_done fires; without
+                    # a successor the run leaks until the cleanup sweeper
+                    # and the initiator never sees an ack.
+                    sim.process(self._train_cont_completion(at))
                 continue
             if stage == 0:
                 sim._call_at1(self._train_ingest_late, (at, j), at.t_in[j])
@@ -1157,6 +1167,18 @@ class PsPinAccelerator:
                 return
             yield from self._exec(run, "completion", pkt, run.cluster)
             self._finish(run)
+
+    def _train_cont_completion(self, at: _AccelTrain):
+        """The driver's completion tail, reparented after a teardown that
+        found the completion packet already committed."""
+        run = at.run
+        if not run.phs_done.triggered:
+            yield run.phs_done
+        if run.finished:
+            self.packets_dropped += 1
+            return
+        yield from self._exec(run, "completion", at.pkts[-1], run.cluster)
+        self._finish(run)
 
     def _finish(self, run: _MessageRun) -> None:
         run.finished = True

@@ -1,0 +1,36 @@
+"""Declarative workload scenarios and the matrix runner.
+
+* :mod:`repro.scenarios.spec` — the :class:`ScenarioSpec` tree
+  (topology × population × popularity × size × faults × protocol) with
+  dict/TOML round-trips;
+* :mod:`repro.scenarios.builtin` — the headline scenarios
+  (``hot_shard``, ``incast``, …) and the default matrix;
+* :mod:`repro.scenarios.matrix` — spec + seed → one deterministic row.
+"""
+
+from .builtin import MATRIX_NAMES, QUICK_NAMES, SCENARIOS, get, quick_variant
+from .matrix import run_scenario, scenario_row_keys
+from .spec import (
+    FaultCampaign,
+    ScenarioSpec,
+    TopologySpec,
+    load_toml,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+__all__ = [
+    "ScenarioSpec",
+    "TopologySpec",
+    "FaultCampaign",
+    "spec_from_dict",
+    "spec_to_dict",
+    "load_toml",
+    "SCENARIOS",
+    "MATRIX_NAMES",
+    "QUICK_NAMES",
+    "get",
+    "quick_variant",
+    "run_scenario",
+    "scenario_row_keys",
+]

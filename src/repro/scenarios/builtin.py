@@ -1,0 +1,178 @@
+"""Built-in scenarios: the headline regimes of the workload matrix.
+
+* ``hot_shard`` — Zipf(α=1.2) popularity with the 64 hottest objects
+  pinned onto one storage node: the skew regime where one server takes
+  the brunt of a million users' traffic (§VIII motivation — per-packet
+  NIC handlers matter most when a single node melts).
+* ``incast`` — synchronized fan-in: large client populations join
+  periodic bursts aimed at a small cluster, the classic DFS incast
+  pattern.
+* ``uniform_onoff`` — self-similar background: superposed heavy-tailed
+  on/off sources with uniform popularity over host-RPC, the contrast
+  column for the skewed scenarios.
+* ``hot_shard_lossy`` — the hot shard under seeded packet loss with the
+  reliability layer on and per-phase SLO budgets enforced (telemetry).
+* ``hot_shard_1m`` — the acceptance monster: 1,000,000 users over three
+  simulated minutes; excluded from the default matrix (run it via
+  ``python -m repro scenario --name hot_shard_1m`` or ``repro perf``).
+
+``MATRIX_NAMES`` is the default sweep; ``QUICK_NAMES`` the 3-scenario
+CI mini-matrix.  ``quick_variant`` shrinks any spec ~10x for smoke use.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from ..workloads.openloop import (
+    ArrivalSpec,
+    OpenLoopSpec,
+    PopularitySpec,
+    SizeSpec,
+)
+from .spec import FaultCampaign, ScenarioSpec, TopologySpec
+
+__all__ = [
+    "SCENARIOS",
+    "MATRIX_NAMES",
+    "QUICK_NAMES",
+    "get",
+    "quick_variant",
+]
+
+_KiB = 1024
+
+_ZIPF_HOT = PopularitySpec(n_objects=4096, alpha=1.2)
+_SIZES_LOGN = SizeSpec(
+    dist="lognormal", median_bytes=4 * _KiB, sigma=0.7,
+    min_bytes=1 * _KiB, max_bytes=16 * _KiB,
+)
+
+HOT_SHARD = ScenarioSpec(
+    name="hot_shard",
+    topology=TopologySpec(n_storage=8, n_clients=4),
+    workload=OpenLoopSpec(
+        n_users=50_000,
+        arrival=ArrivalSpec(kind="poisson", rate_hz=2.0),
+        popularity=_ZIPF_HOT,
+        size=_SIZES_LOGN,
+        warmup_ns=10e6,
+        measure_ns=100e6,
+    ),
+    protocol="spin",
+    pin_top=64,
+    pin_node_index=0,
+)
+
+INCAST = ScenarioSpec(
+    name="incast",
+    topology=TopologySpec(n_storage=8, n_clients=4),
+    workload=OpenLoopSpec(
+        n_users=20_000,
+        arrival=ArrivalSpec(
+            kind="burst",
+            burst_period_ns=1e6,
+            burst_jitter_ns=50_000.0,
+            burst_join=0.02,
+        ),
+        popularity=PopularitySpec(n_objects=1024, alpha=0.8),
+        size=SizeSpec(dist="fixed", fixed_bytes=2 * _KiB),
+        warmup_ns=2e6,
+        measure_ns=20e6,
+    ),
+    protocol="spin",
+)
+
+UNIFORM_ONOFF = ScenarioSpec(
+    name="uniform_onoff",
+    topology=TopologySpec(n_storage=8, n_clients=4),
+    workload=OpenLoopSpec(
+        n_users=5_000,
+        arrival=ArrivalSpec(
+            kind="onoff",
+            rate_hz=20.0,
+            on_alpha=1.5, on_min_ns=2e6,
+            off_alpha=1.5, off_min_ns=5e6,
+        ),
+        popularity=PopularitySpec(n_objects=2048, alpha=0.0),
+        size=_SIZES_LOGN,
+        warmup_ns=10e6,
+        measure_ns=100e6,
+    ),
+    protocol="rpc",
+)
+
+HOT_SHARD_LOSSY = ScenarioSpec(
+    name="hot_shard_lossy",
+    topology=TopologySpec(n_storage=8, n_clients=4),
+    workload=OpenLoopSpec(
+        n_users=10_000,
+        arrival=ArrivalSpec(kind="poisson", rate_hz=2.0),
+        popularity=_ZIPF_HOT,
+        size=_SIZES_LOGN,
+        warmup_ns=5e6,
+        measure_ns=30e6,
+    ),
+    protocol="spin",
+    pin_top=64,
+    pin_node_index=0,
+    faults=FaultCampaign(loss=5e-4),
+    telemetry=True,
+    slo_budgets=(
+        ("end_to_end.p99", 2_000_000.0),
+        ("retransmit.p99", 1_500_000.0),
+    ),
+)
+
+HOT_SHARD_1M = ScenarioSpec(
+    name="hot_shard_1m",
+    topology=TopologySpec(n_storage=8, n_clients=4),
+    workload=OpenLoopSpec(
+        n_users=1_000_000,
+        # 1.25 mHz per user: each user writes about once every 13
+        # simulated minutes, 1250 req/s aggregate — the "day of traffic
+        # from a million users" point compressed to 3 minutes
+        arrival=ArrivalSpec(kind="poisson", rate_hz=0.00125),
+        popularity=_ZIPF_HOT,
+        size=_SIZES_LOGN,
+        warmup_ns=10e9,
+        measure_ns=170e9,
+    ),
+    protocol="spin",
+    pin_top=64,
+    pin_node_index=0,
+)
+
+SCENARIOS: Dict[str, ScenarioSpec] = {
+    s.name: s
+    for s in (HOT_SHARD, INCAST, UNIFORM_ONOFF, HOT_SHARD_LOSSY, HOT_SHARD_1M)
+}
+
+#: the default matrix sweep (the 1M monster is opt-in)
+MATRIX_NAMES = ("hot_shard", "incast", "uniform_onoff", "hot_shard_lossy")
+#: the CI mini-matrix: 3 scenarios, covering all three arrival kinds
+QUICK_NAMES = ("hot_shard", "incast", "uniform_onoff")
+
+
+def quick_variant(spec: ScenarioSpec) -> ScenarioSpec:
+    """A ~10x smaller version of ``spec`` for smoke runs: fewer users,
+    shorter horizon, same shape (pins, faults, budgets untouched)."""
+    w = spec.workload
+    wq = dataclasses.replace(
+        w,
+        n_users=max(1000, w.n_users // 10),
+        warmup_ns=w.warmup_ns / 5.0,
+        measure_ns=w.measure_ns / 5.0,
+    )
+    return dataclasses.replace(spec, workload=wq)
+
+
+def get(name: str, quick: bool = False) -> ScenarioSpec:
+    try:
+        spec = SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r} (have: {', '.join(sorted(SCENARIOS))})"
+        ) from None
+    return quick_variant(spec) if quick else spec

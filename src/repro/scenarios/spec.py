@@ -1,0 +1,222 @@
+"""Declarative scenario specs: topology × population × faults × protocol.
+
+A :class:`ScenarioSpec` names everything one simulated experiment run
+needs — cluster shape, open-loop workload (population, arrival process,
+popularity, sizes), data-plane protocol/resiliency, placement pinning,
+fault campaign and optional SLO budgets — as one frozen value that can
+round-trip through plain dicts and TOML.  The matrix runner
+(:mod:`repro.scenarios.matrix`) turns a spec into a row; the
+``scenario_matrix`` experiment sweeps a list of them through
+:mod:`repro.runner` with the usual caching/parallelism.
+
+TOML format (``load_toml``): one ``[[scenario]]`` array-of-tables per
+spec, with nested tables mirroring the dataclass tree::
+
+    [[scenario]]
+    name = "hot_shard_demo"
+    protocol = "spin"
+    pin_top = 64
+    pin_node_index = 0
+    [scenario.topology]
+    n_storage = 8
+    [scenario.workload]
+    n_users = 50000
+    [scenario.workload.arrival]
+    kind = "poisson"
+    rate_hz = 2.0
+    [scenario.workload.popularity]
+    n_objects = 4096
+    alpha = 1.2
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..workloads.openloop import (
+    ArrivalSpec,
+    OpenLoopSpec,
+    PopularitySpec,
+    SizeSpec,
+    WorkloadClass,
+)
+
+__all__ = [
+    "TopologySpec",
+    "FaultCampaign",
+    "ScenarioSpec",
+    "spec_from_dict",
+    "spec_to_dict",
+    "load_toml",
+]
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Cluster shape for one scenario."""
+
+    n_storage: int = 8
+    n_clients: int = 4          # client *hosts* (endpoints), not users
+    storage_mib: int = 64      # per-node capacity
+    placement: str = "roundrobin"
+
+    def validate(self) -> None:
+        if self.n_storage < 1 or self.n_clients < 1:
+            raise ValueError("topology needs >= 1 storage and client node")
+
+
+@dataclass(frozen=True)
+class FaultCampaign:
+    """Seeded faults active during the scenario (seed comes from the
+    scenario seed, so campaigns are deterministic per point)."""
+
+    loss: float = 0.0           # per-packet drop probability
+    corrupt: float = 0.0        # per-packet corruption probability
+    #: crash this storage node index at ``kill_at_ns`` into the run
+    kill_node_index: Optional[int] = None
+    kill_at_ns: float = 0.0
+
+    @property
+    def active(self) -> bool:
+        return self.loss > 0.0 or self.corrupt > 0.0 \
+            or self.kill_node_index is not None
+
+    def validate(self) -> None:
+        if not (0.0 <= self.loss < 1.0 and 0.0 <= self.corrupt < 1.0):
+            raise ValueError("fault probabilities must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Everything one scenario run needs, declaratively."""
+
+    name: str
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    workload: OpenLoopSpec = field(default_factory=OpenLoopSpec)
+    protocol: str = "spin"
+    replication_k: int = 1      # 1 = no replication
+    object_bytes: Optional[int] = None
+    #: pin the ``pin_top`` hottest objects onto storage node
+    #: ``pin_node_index`` (the hot-shard lever); 0 = no pinning
+    pin_top: int = 0
+    pin_node_index: int = 0
+    faults: FaultCampaign = field(default_factory=FaultCampaign)
+    telemetry: bool = False
+    #: optional ``"<phase>.<stat>" -> ns`` budgets (needs telemetry)
+    slo_budgets: Tuple[Tuple[str, float], ...] = ()
+
+    def validate(self) -> None:
+        self.topology.validate()
+        self.workload.validate()
+        self.faults.validate()
+        if self.replication_k < 1:
+            raise ValueError("replication_k must be >= 1")
+        if self.pin_top < 0:
+            raise ValueError("pin_top must be >= 0")
+        if self.pin_top > 0 and not (
+            0 <= self.pin_node_index < self.topology.n_storage
+        ):
+            raise ValueError("pin_node_index outside the topology")
+        if self.faults.kill_node_index is not None and not (
+            0 <= self.faults.kill_node_index < self.topology.n_storage
+        ):
+            raise ValueError("kill_node_index outside the topology")
+        if self.slo_budgets and not self.telemetry:
+            raise ValueError("slo_budgets need telemetry=True")
+
+
+# --------------------------------------------------------- dict round-trip
+def _prune(d: dict) -> dict:
+    """Drop None values so dumps stay minimal and TOML-representable."""
+    return {k: v for k, v in d.items() if v is not None}
+
+
+def spec_to_dict(spec: ScenarioSpec) -> dict:
+    """A plain nested-dict form of ``spec`` (JSON/TOML friendly)."""
+    d = dataclasses.asdict(spec)
+    d["topology"] = _prune(d["topology"])
+    w = d["workload"]
+    w["classes"] = [
+        _prune(c) for c in w["classes"]
+    ]
+    if not w["classes"]:
+        del w["classes"]
+    d["workload"] = _prune(w)
+    d["faults"] = _prune(d["faults"])
+    d["slo_budgets"] = {k: v for k, v in spec.slo_budgets}
+    if not d["slo_budgets"]:
+        del d["slo_budgets"]
+    return _prune(d)
+
+
+def _arrival_from(d: Optional[dict]) -> Optional[ArrivalSpec]:
+    return None if d is None else ArrivalSpec(**d)
+
+
+def _size_from(d: Optional[dict]) -> Optional[SizeSpec]:
+    return None if d is None else SizeSpec(**d)
+
+
+def workload_from_dict(d: dict) -> OpenLoopSpec:
+    d = dict(d)
+    if "arrival" in d:
+        d["arrival"] = _arrival_from(d["arrival"])
+    if "popularity" in d:
+        d["popularity"] = PopularitySpec(**d["popularity"])
+    if "size" in d:
+        d["size"] = _size_from(d["size"])
+    if "classes" in d:
+        d["classes"] = tuple(
+            WorkloadClass(
+                name=c["name"],
+                fraction=c["fraction"],
+                arrival=_arrival_from(c.get("arrival")),
+                size=_size_from(c.get("size")),
+            )
+            for c in d["classes"]
+        )
+    return OpenLoopSpec(**d)
+
+
+def spec_from_dict(d: dict) -> ScenarioSpec:
+    """Rebuild a :class:`ScenarioSpec` from :func:`spec_to_dict` output
+    (all fields optional except ``name``; validation runs)."""
+    d = dict(d)
+    if "topology" in d:
+        d["topology"] = TopologySpec(**d["topology"])
+    if "workload" in d:
+        d["workload"] = workload_from_dict(d["workload"])
+    if "faults" in d:
+        d["faults"] = FaultCampaign(**d["faults"])
+    if "slo_budgets" in d:
+        budgets = d["slo_budgets"]
+        if isinstance(budgets, dict):
+            d["slo_budgets"] = tuple(sorted(budgets.items()))
+        else:
+            d["slo_budgets"] = tuple((k, v) for k, v in budgets)
+    spec = ScenarioSpec(**d)
+    spec.validate()
+    return spec
+
+
+def load_toml(path: str) -> List[ScenarioSpec]:
+    """Load ``[[scenario]]`` tables from a TOML file."""
+    import tomllib
+
+    with open(path, "rb") as fh:
+        doc = tomllib.load(fh)
+    tables = doc.get("scenario")
+    if not tables:
+        raise ValueError(f"{path}: no [[scenario]] tables")
+    return [spec_from_dict(t) for t in tables]
+
+
+def scenario_index(specs: List[ScenarioSpec]) -> Dict[str, ScenarioSpec]:
+    out: Dict[str, ScenarioSpec] = {}
+    for s in specs:
+        if s.name in out:
+            raise ValueError(f"duplicate scenario name {s.name!r}")
+        out[s.name] = s
+    return out

@@ -632,6 +632,15 @@ class ParallelSimulator:
         return self.run_until_event(proc, limit=until)
 
     # ------------------------------------------------------ process mode
+    def start_workers(self) -> None:
+        """Fork the worker pool *now* instead of lazily on the first
+        window.  Call after the testbed is fully built and before any
+        timed region: fork + import cost lands outside the measurement
+        (the perf harness warms pools this way).  No-op in inline mode
+        or when the pool is already up."""
+        if self.mode == "process" and self._workers is None:
+            self._start_workers()
+
     def _start_workers(self) -> None:
         """Fork partitions 1..k-1 (copy-on-write: call after the full
         testbed is built).  The driver partition stays in the parent."""

@@ -1,4 +1,4 @@
-"""Workload generators and measurement drivers.
+"""Closed-system workload generators and measurement drivers.
 
 Three measurement styles:
 
@@ -14,6 +14,10 @@ Three measurement styles:
   closed-system model: offered load is set by the client population, not
   an open arrival process, so the system can never be driven past
   saturation into unbounded queues.
+
+The open-system counterpart — arrival processes decoupled from
+completions, aggregated over huge client populations — lives in
+:mod:`repro.workloads.openloop`.
 """
 
 from __future__ import annotations
@@ -23,10 +27,10 @@ from typing import Callable, Dict, Iterable, List, Optional
 
 import numpy as np
 
-from .dfs.client import DfsClient
-from .dfs.cluster import Testbed
-from .protocols.base import WriteOutcome
-from .simnet.engine import Event
+from ..dfs.client import DfsClient
+from ..dfs.cluster import Testbed
+from ..protocols.base import WriteOutcome
+from ..simnet.engine import Event
 
 __all__ = [
     "measure_write_latency",
@@ -44,9 +48,31 @@ __all__ = [
 ]
 
 
+#: payload cache: (seed, size) -> frozen array.  Million-request load
+#: runs used to rebuild a Generator and an array per request; the cache
+#: turns repeat payloads into a dict hit.  Bounded so a sweep over many
+#: distinct sizes cannot grow it without limit.
+_PAYLOAD_CACHE: dict[tuple[int, int], np.ndarray] = {}
+_PAYLOAD_CACHE_MAX = 128
+
+
 def payload_bytes(size: int, seed: int = 0) -> np.ndarray:
-    """Deterministic pseudo-random payload (content-checkable)."""
-    return np.random.default_rng(seed).integers(0, 256, size=size, dtype=np.uint8)
+    """Deterministic pseudo-random payload (content-checkable).
+
+    Cached by ``(seed, size)`` and returned *read-only*: every caller
+    treats payloads as immutable write sources, and the read-only flag
+    turns any accidental in-place mutation (which would corrupt every
+    later request sharing the buffer) into an immediate ``ValueError``.
+    """
+    key = (seed, size)
+    arr = _PAYLOAD_CACHE.get(key)
+    if arr is None:
+        arr = np.random.default_rng(seed).integers(0, 256, size=size, dtype=np.uint8)
+        arr.setflags(write=False)
+        if len(_PAYLOAD_CACHE) >= _PAYLOAD_CACHE_MAX:
+            _PAYLOAD_CACHE.clear()
+        _PAYLOAD_CACHE[key] = arr
+    return arr
 
 
 def measure_write_latency(
@@ -129,7 +155,7 @@ def measure_latency_distribution(
     :func:`~repro.simnet.trace.summarize` statistics — useful for tail
     behaviour under contention (p99 vs median).
     """
-    from .simnet.trace import summarize
+    from ..simnet.trace import summarize
 
     sim = testbed.sim
     in_flight: List[Event] = [issue(i) for i in range(min(window, n_ops))]
@@ -194,7 +220,7 @@ class ClientLoadStats:
     latencies: List[float] = field(default_factory=list)
 
     def summary(self, measure_ns: float) -> dict:
-        from .simnet.trace import summarize
+        from ..simnet.trace import summarize
 
         out = summarize(self.latencies)
         out["ops"] = self.ops
@@ -248,7 +274,7 @@ def run_closed_loop(
     think times from its own seeded generator, and the simulator's event
     order does the rest.
     """
-    from .simnet.trace import summarize
+    from ..simnet.trace import summarize
 
     sim = testbed.sim
     # The load workers live with the client hosts on the driver
@@ -312,7 +338,7 @@ def run_closed_loop(
     phase_latency = None
     tel = sim.telemetry
     if tel.enabled:
-        from .telemetry.anatomy import decompose, phase_summary
+        from ..telemetry.anatomy import decompose, phase_summary
 
         measured = [
             op for op in decompose(tel) if op.ok and t_warm <= op.t1 < t_stop

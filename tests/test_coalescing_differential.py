@@ -288,3 +288,34 @@ def test_trains_never_skip_link_down_window(monkeypatch):
     assert rf[0][0] is True  # the write succeeded despite the outage
     rs, _ = _run_spin_scenario("auth", False, False, faults=faults)
     assert rf == rs
+
+
+@pytest.mark.parametrize("delay_ns", [390, 420, 435, 450, 480])
+def test_teardown_after_completion_commit_still_acks(delay_ns):
+    """A competing write landing just after a paced train's completion
+    handler committed (the short tail packet finishes before full-MTU
+    packets) tears the train down with stage[last] already final.  The
+    reparented completion tail must still run — for a ~60 ns window of
+    ``delay_ns`` the first write used to hang forever, reaped by the
+    cleanup sweeper without ever acking the client."""
+    tb = build_testbed(n_storage=2, n_clients=2)
+    install_spin_targets(tb)
+    a = DfsClient(tb, client_index=0, principal="a")
+    b = DfsClient(tb, client_index=1, principal="b")
+    tb.metadata.create("/big", size=16384, pin_nodes=["sn0"])
+    tb.metadata.create("/small", size=2048, pin_nodes=["sn0"])
+    a.open("/big")
+    b.open("/small")
+    big = _data(16384)
+    small = _data(2048, seed=1)
+    evs = []
+
+    def go():
+        evs.append(a.write("/big", big, protocol="spin"))
+        yield tb.sim.timeout(float(delay_ns))
+        evs.append(b.write("/small", small, protocol="spin"))
+
+    tb.sim.process(go())
+    tb.run(until=5_000_000)
+    assert all(e.triggered for e in evs), "a write never completed"
+    assert all(e.value.ok for e in evs)

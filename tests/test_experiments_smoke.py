@@ -12,7 +12,7 @@ def test_registry_complete():
         "fig04", "fig06", "fig07", "fig09_latency", "fig09_goodput",
         "fig10", "fig11_table1", "fig15_latency", "fig15_bandwidth",
         "fig16_table2", "fig16_budget", "loss", "recovery_storm",
-        "table3", "throughput_sweep",
+        "scenario_matrix", "table3", "throughput_sweep",
     }
     assert set(REGISTRY) == expected
 
