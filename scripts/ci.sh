@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# CI gate: tier-1 tests, trace-export smoke, telemetry-overhead guard,
-# parallel-sweep smoke, simulator perf guard.
+# CI gate: tier-1 tests, trace-export smoke, simsan sanitize stage,
+# telemetry-overhead guard, parallel-sweep smoke, simulator perf guard.
 #
 # Usage: scripts/ci.sh            (from the repo root)
 set -euo pipefail
@@ -21,7 +21,8 @@ else
     echo "ruff not installed; skipping (pip install -e .[lint] to enable)"
 fi
 if python -m mypy --version > /dev/null 2>&1; then
-    python -m mypy src/repro/simnet src/repro/simlint
+    python -m mypy src/repro/simnet src/repro/simlint \
+        src/repro/workloads src/repro/scenarios
 else
     echo "mypy not installed; skipping (pip install -e .[lint] to enable)"
 fi
@@ -69,6 +70,26 @@ echo "== fault-injection smoke (seeded loss, all protocols, quiesce) =="
 # seed 2 is known to drop packets at p=1e-3, so the retransmission
 # path is actually exercised, not just compiled
 python -m repro demo --loss 1e-3 --seed 2
+
+echo
+echo "== simsan gate (quick scenario + faulty protocol point, zero findings) =="
+# the runtime sanitizer must come back clean on a live schedule and on
+# a seeded-loss protocol point (schedule races, quiesce leaks, orphan
+# spans); see docs/simsan.md
+python - <<'PY'
+from repro.runner import point_seed
+from repro.scenarios import get, run_scenario
+
+spec = get("hot_shard", quick=True)
+seed = point_seed("scenario_matrix", {"scenario": spec.name, "quick": True})
+timings = {}
+row = run_scenario(spec, seed=seed, timings=timings, sanitize=True)
+report = timings["sanitizer"]
+assert row["quiesced"], "hot_shard quick failed to quiesce"
+assert report.ok, f"sanitizer findings on hot_shard quick:\n{report.summary()}"
+print(f"hot_shard quick sanitized clean: {report.summary()}")
+PY
+python -m repro sanitize --demo --loss 1e-3 --seed 2
 
 echo
 echo "== telemetry disabled-overhead guard (<3%) =="

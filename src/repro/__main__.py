@@ -390,7 +390,7 @@ def main(argv=None) -> int:
     ap = argparse.ArgumentParser(prog="repro")
     ap.add_argument("command",
                     choices=["info", "demo", "trace", "perf", "slo", "lint",
-                             "parallel", "scenario", "bench"],
+                             "sanitize", "parallel", "scenario", "bench"],
                     nargs="?", default="info")
     args, rest = ap.parse_known_args(argv)
     if args.command == "info":
@@ -415,6 +415,10 @@ def main(argv=None) -> int:
         from repro.simlint.cli import main as lint_main
 
         return lint_main(rest)
+    if args.command == "sanitize":
+        from repro.simsan.cli import main as sanitize_main
+
+        return sanitize_main(rest)
     from repro.experiments.__main__ import main as exp_main
 
     return exp_main(rest or ["list"])

@@ -68,7 +68,8 @@ class Testbed:
                  uplink_gbps: Optional[float] = None, telemetry: bool = False,
                  placement: str = "roundrobin",
                  failure_domains: Optional[Dict[str, int]] = None,
-                 partitions: int = 1, parallel_mode: str = "inline"):
+                 partitions: int = 1, parallel_mode: str = "inline",
+                 sanitize: bool = False):
         # Restart packet/message/greq id allocation: the counters and the
         # derived-id memo are module-level, so without this a long sweep
         # (or a pool worker reusing its interpreter) leaks entries across
@@ -92,9 +93,11 @@ class Testbed:
                 self.partitions,
                 _partition_assignment(n_storage, n_clients, self.partitions),
             )
-            self.sim = ParallelSimulator(spec, mode=parallel_mode)
+            self.sim = ParallelSimulator(
+                spec, mode=parallel_mode, sanitize=sanitize
+            )
         else:
-            self.sim = Simulator()
+            self.sim = Simulator(sanitize=sanitize)
         # span/metric collection is off by default (zero overhead); flip
         # ``sim.telemetry.enabled`` at any time to start recording
         self.sim.telemetry.enabled = telemetry
@@ -174,6 +177,31 @@ class Testbed:
         if fin is not None:
             fin()
 
+    # ------------------------------------------------------- sanitizer
+    @property
+    def sanitizer(self):
+        """The (driver) kernel's sanitizer; None unless sanitize=True."""
+        return getattr(self.sim, "sanitizer", None)
+
+    def sanitize_report(self, quiesce: bool = True):
+        """Run the quiesce sweep on every partition kernel and return the
+        merged :class:`repro.simsan.Report` (requires sanitize=True)."""
+        from ..simsan import report_for
+
+        if self.sanitizer is None:
+            raise ValueError("testbed was not built with sanitize=True")
+        sims = getattr(self.sim, "sims", None) or [self.sim]
+        for s in sims:
+            if s.sanitizer is None:
+                continue
+            if quiesce:
+                s.sanitizer.check_quiesce()
+            else:
+                # never quiesced: leak sweeps would misfire on work still
+                # legitimately in flight, but orphan budgets still apply
+                s.sanitizer.check_orphans()
+        return report_for(self.sim)
+
 
 def build_testbed(
     n_storage: int = 8,
@@ -187,6 +215,7 @@ def build_testbed(
     failure_domains: Optional[Dict[str, int]] = None,
     partitions: int = 1,
     parallel_mode: str = "inline",
+    sanitize: bool = False,
 ) -> Testbed:
     """Construct a testbed.  Defaults to the paper's flat network
     (§III-D); ``topology="leafspine"`` puts clients and storage on
@@ -199,7 +228,9 @@ def build_testbed(
     domain-aware policy.  ``partitions > 1`` shards the simulation into
     that many conservative-window partitions (clients with the driver,
     storage spread over the rest; see :mod:`repro.simnet.parallel`), and
-    ``parallel_mode`` picks ``"inline"`` or ``"process"`` execution."""
+    ``parallel_mode`` picks ``"inline"`` or ``"process"`` execution.
+    ``sanitize=True`` attaches the runtime sanitizer to every kernel
+    (see :mod:`repro.simsan`; the schedule is unchanged)."""
     return Testbed(
         params or SimParams(),
         n_storage=n_storage,
@@ -212,4 +243,5 @@ def build_testbed(
         failure_domains=failure_domains,
         partitions=partitions,
         parallel_mode=parallel_mode,
+        sanitize=sanitize,
     )

@@ -376,6 +376,23 @@ class PsPinAccelerator:
         #: timelessly (plain memory write) — allows the train driver to
         #: batch all handler commits into one wake-up
         self.dma_lazy_ok = False
+        san = sim.sanitizer
+        if san is not None:
+            san.adopt("accel", self)
+            # the train fast path replays per-packet/per-handler times
+            # from one precomputed array: its driver and continuation
+            # coroutines coincide with the paced schedule by design; the
+            # per-packet pipeline and the egress pump both tick on the
+            # same line-rate wire clock, so their same-instant meetings
+            # are engineered too
+            san.declare_coincident(
+                f"proc:{node_name}.train",
+                f"proc:{node_name}.accel-egress",
+                "proc:_train_driver",
+                "proc:_train_cont_exec",
+                "proc:_train_cont_hpu",
+                "proc:_pipeline",
+            )
 
     def _egress_pump(self):
         """Drain the handler egress queue at line rate (one in-flight

@@ -52,6 +52,9 @@ class NicMemory:
         self.wide = Container(
             sim, params.dfs_wide_state_bytes, name=f"{name}.wide"
         )
+        # DFS-wide state lives for the whole run by design (§VI-B2):
+        # tell the sanitizer its outstanding units are not a leak
+        self.wide.sanitize_arena = True
         self.denials = 0
         self.l2_spills = 0
 

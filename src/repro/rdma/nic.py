@@ -146,6 +146,16 @@ class RdmaNic:
         self.dup_completions = 0
         self.incomplete_drops = 0
         self.rx_dropped = 0
+        san = sim.sanitizer
+        if san is not None:
+            san.adopt("nic", self)
+
+    def _track_pending(self, gid: int, label: str) -> None:
+        """Sanitizer hook: record who posted this logical request (the
+        acquisition backtrace makes a leaked greq report actionable)."""
+        san = self.sim.sanitizer
+        if san is not None:
+            san.claim("greq", (self.name, gid), label)
 
     # ------------------------------------------------------------ wiring
     def attach_port(self, port: Port) -> None:
@@ -192,6 +202,7 @@ class RdmaNic:
             self._pending[gid] = PendingOp(
                 event=done, t_start=self.sim.now, greq_id=gid, expected_acks=expected_acks
             )
+            self._track_pending(gid, op)
         self.sim.process(self._tx_message(msg, post_overhead), name=self._pname_tx)
         self._track_for_retry(gid, msg)
         return done
@@ -207,6 +218,7 @@ class RdmaNic:
         op.data = np.zeros(length, dtype=np.uint8)
         op.acks = 0  # bytes received accumulate in op
         self._pending[gid] = op
+        self._track_pending(gid, "read")
         self.sim.process(self._tx_message(msg, True), name=self._pname_tx)
         self._track_for_retry(gid, msg)
         return done
@@ -234,6 +246,7 @@ class RdmaNic:
         )
         done = self.sim.event(name="rpc")
         self._pending[gid] = PendingOp(event=done, t_start=self.sim.now, greq_id=gid)
+        self._track_pending(gid, "rpc")
         self.sim.process(self._tx_message(msg, post_overhead), name=self._pname_tx)
         self._track_for_retry(gid, msg)
         return done
@@ -251,6 +264,7 @@ class RdmaNic:
         self._pending[gid] = PendingOp(
             event=done, t_start=self.sim.now, greq_id=gid, expected_acks=expected_acks
         )
+        self._track_pending(gid, "txn")
         return gid, done
 
     def send_message(
@@ -739,7 +753,12 @@ class RdmaNic:
 
     def _complete(self, greq: int, ok: bool) -> None:
         pending = self._pending.pop(greq, None)
-        if pending is None or pending.event.triggered:
+        if pending is None:
+            return
+        san = self.sim.sanitizer
+        if san is not None:
+            san.retire("greq", (self.name, greq))
+        if pending.event.triggered:
             return
         wd = pending.watchdog
         if wd is not None and wd.is_alive:

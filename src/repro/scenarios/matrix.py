@@ -17,7 +17,7 @@ byte-identical CSVs (the property ``scripts/ci.sh`` pins).
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+from typing import Generator, Optional
 
 from .spec import ScenarioSpec
 
@@ -39,12 +39,16 @@ def run_scenario(
     engine: str = "aggregated",
     params_base=None,
     timings: Optional[dict] = None,
+    sanitize: bool = False,
 ) -> dict:
     """Run one scenario end to end and return its row.
 
     ``timings``, when given, receives deterministic simulator-side cost
     figures (``events`` dispatched) that don't belong in the row — the
-    perf harness wants them, CSV determinism doesn't."""
+    perf harness wants them, CSV determinism doesn't.  With
+    ``sanitize=True`` the run executes under :mod:`repro.simsan` (same
+    row, byte-identical schedule) and ``timings["sanitizer"]`` receives
+    the quiesce-swept :class:`~repro.simsan.Report`."""
     from ..dfs.layout import ReplicationSpec
     from ..experiments.common import installer_for
     from ..params import MiB, SimParams
@@ -74,6 +78,7 @@ def run_scenario(
         params=p,
         telemetry=spec.telemetry,
         placement=spec.topology.placement,
+        sanitize=sanitize,
     )
     installer = installer_for(spec.protocol)
     if installer is not None:
@@ -83,7 +88,7 @@ def run_scenario(
         victim = tb.metadata.nodes[spec.faults.kill_node_index]
         t_kill = tb.sim.now + spec.faults.kill_at_ns
 
-        def killer():
+        def killer() -> Generator:
             yield tb.sim.timeout(t_kill - tb.sim.now)
             tb.node(victim).fail()
 
@@ -132,6 +137,13 @@ def run_scenario(
 
     if timings is not None:
         timings["events"] = tb.sim.events_dispatched
+    if sanitize:
+        # leak sweeps are defined at quiesce; a run that never drained
+        # (e.g. a killed node with ops the workload gave up on) reports
+        # only schedule findings and orphans
+        report = tb.sanitize_report(quiesce=res.quiesced)
+        if timings is not None:
+            timings["sanitizer"] = report
 
     lat = res.latency
     row = {

@@ -32,7 +32,12 @@ from .diagnostics import Diagnostic, Severity
 from .registry import RULES, LintContext, Rule, all_rules
 from .suppress import SuppressionIndex
 
+#: bumped whenever a rule is added or a message/severity changes, so
+#: archived --format json output is diffable across tool versions
+__version__ = "0.2.0"
+
 __all__ = [
+    "__version__",
     "Diagnostic",
     "Severity",
     "Rule",

@@ -10,7 +10,7 @@ import json
 import sys
 from typing import List, Optional
 
-from . import RULES, all_rules, lint_paths
+from . import RULES, __version__, all_rules, lint_paths
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -68,7 +68,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     rule_ids = None
-    if args.rules:
+    if args.rules is not None:
         rule_ids = [r.strip() for r in args.rules.split(",") if r.strip()]
         unknown = [r for r in rule_ids if r not in RULES]
         if unknown:
@@ -76,11 +76,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"unknown rule id(s): {', '.join(unknown)} "
                 f"(try --list-rules)"
             )
+        if not rule_ids:
+            # "--rules ," and "--rules ''" used to lint with ZERO rules
+            # and report a clean tree; that silence is a usage error
+            ap.error("--rules resolved to an empty rule set (try --list-rules)")
 
     result = lint_paths(args.paths, rule_ids=rule_ids)
 
     if args.format == "json":
         doc = {
+            "simlint_version": __version__,
+            "rules": sorted(rule_ids) if rule_ids is not None else sorted(RULES),
             "files_checked": result.files_checked,
             "findings": [d.to_dict() for d in result.findings],
             "suppressed": [d.to_dict() for d in result.suppressed]

@@ -1,0 +1,178 @@
+"""Lightweight per-function control-flow graphs for flow-sensitive rules.
+
+The per-node rules (SIM1xx–SIM4xx) ask "does this expression appear?";
+the SIM5xx family asks "is there a *path* to return on which X never
+happens?" — child process spawned but never joined, telemetry span
+opened but not closed on an early return.  That needs a CFG, but only a
+small one: nodes are whole statements (``ast.stmt`` objects), edges are
+successor lists, and one :data:`EXIT` sentinel marks function return.
+
+Deliberate approximations, all conservative for may-reach queries:
+
+* **statement granularity** — a statement that merely *mentions* the
+  tracked name can be treated as handling it; rules choose their own
+  kill predicate, and the coarsest one ("any reference") already
+  removes every false positive we care about;
+* **exceptions** — every statement in a ``try`` body may jump to every
+  handler's entry (we do not model which exceptions each statement can
+  raise);
+* **finally** — fall-through control routes through ``finalbody``;
+  ``return``/``raise`` also enter the innermost ``finalbody`` chain,
+  whose last statement therefore carries both successors (after-try
+  and EXIT).  This adds a spurious "fall through straight to EXIT"
+  path when a try contains an early return — acceptable, since it can
+  only create extra paths, never hide one.
+
+Nested function definitions are opaque single statements (their bodies
+are separate scopes, consistent with :mod:`repro.simlint.context`).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, Iterable, List, Optional, Set, Union
+
+from .context import FunctionNode
+
+__all__ = ["EXIT", "CFG", "build_cfg", "reaches_exit_avoiding"]
+
+
+class _Exit:
+    """Unique sentinel for the function's single exit node."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<EXIT>"
+
+
+EXIT = _Exit()
+
+Node = Union[ast.stmt, _Exit]
+
+
+class CFG:
+    """Successor-map CFG over one function's own statements."""
+
+    def __init__(self, func: FunctionNode):
+        self.func = func
+        self.succ: Dict[Node, List[Node]] = {}
+        self._loop_stack: List[tuple] = []  # (head_for_continue, after_for_break)
+        self._finally_stack: List[List[ast.stmt]] = []
+        self.entry: Node = self._seq(func.body, EXIT)
+
+    # ------------------------------------------------------------ build
+    def _seq(self, stmts: List[ast.stmt], after: Node) -> Node:
+        """Wire ``stmts`` in order, flowing into ``after``; return entry."""
+        entry: Node = after
+        for s in reversed(stmts):
+            entry = self._stmt(s, entry)
+        return entry
+
+    def _edges(self, s: ast.stmt, *succs: Node) -> ast.stmt:
+        out = self.succ.setdefault(s, [])
+        for n in succs:
+            if n not in out:
+                out.append(n)
+        return s
+
+    def _exit_through_finally(self) -> Node:
+        """Where ``return``/``raise`` really goes: the pending
+        ``finally`` bodies innermost-first, then EXIT."""
+        target: Node = EXIT
+        for body in self._finally_stack:  # outermost..innermost
+            target = self._seq(body, target)
+        return target
+
+    def _stmt(self, s: ast.stmt, after: Node) -> Node:
+        if isinstance(s, (ast.Return, ast.Raise)):
+            return self._edges(s, self._exit_through_finally())
+        if isinstance(s, ast.Break):
+            if self._loop_stack:
+                return self._edges(s, self._loop_stack[-1][1])
+            return self._edges(s, after)  # malformed code; stay total
+        if isinstance(s, ast.Continue):
+            if self._loop_stack:
+                return self._edges(s, self._loop_stack[-1][0])
+            return self._edges(s, after)
+        if isinstance(s, ast.If):
+            body = self._seq(s.body, after)
+            orelse = self._seq(s.orelse, after) if s.orelse else after
+            return self._edges(s, body, orelse)
+        if isinstance(s, (ast.While, ast.For, ast.AsyncFor)):
+            # the loop header is the node; body loops back to it, the
+            # else-clause (or fall-through) leaves the loop
+            leave = self._seq(s.orelse, after) if s.orelse else after
+            self._loop_stack.append((s, after))
+            body = self._seq(s.body, s)
+            self._loop_stack.pop()
+            return self._edges(s, body, leave)
+        if isinstance(s, (ast.With, ast.AsyncWith)):
+            return self._edges(s, self._seq(s.body, after))
+        if isinstance(s, ast.Try):
+            join = self._seq(s.finalbody, after) if s.finalbody else after
+            if s.finalbody:
+                self._finally_stack.append(s.finalbody)
+            handlers = [self._seq(h.body, join) for h in s.handlers]
+            orelse = self._seq(s.orelse, join) if s.orelse else join
+            body = self._seq(s.body, orelse)
+            # any try-body statement may transfer to any handler
+            for stmt in s.body:
+                for node in _own_statements(stmt):
+                    self._edges(node, *handlers)
+            if s.finalbody:
+                self._finally_stack.pop()
+            return self._edges(s, body)
+        # plain statement (incl. nested FunctionDef/ClassDef, opaque)
+        return self._edges(s, after)
+
+
+def _own_statements(stmt: ast.stmt) -> Iterable[ast.stmt]:
+    """``stmt`` plus nested statements, not descending into defs."""
+    yield stmt
+    for child in ast.iter_child_nodes(stmt):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(child, ast.stmt):
+            yield from _own_statements(child)
+        elif isinstance(child, (ast.ExceptHandler,)):
+            for s in child.body:
+                yield from _own_statements(s)
+
+
+def build_cfg(func: FunctionNode) -> CFG:
+    return CFG(func)
+
+
+def reaches_exit_avoiding(
+    cfg: CFG,
+    start: ast.stmt,
+    kills: Callable[[ast.stmt], bool],
+) -> Optional[List[ast.stmt]]:
+    """Is there a path from ``start``'s successors to EXIT on which no
+    statement satisfies ``kills``?  Returns the witness path (the
+    statements traversed, possibly empty for a straight fall-off) or
+    None when every path is killed.  ``start`` itself is exempt, so a
+    rule can pass the statement that *creates* the obligation."""
+    path: List[ast.stmt] = []
+    seen: Set[int] = set()
+
+    def walk(node: Node) -> bool:
+        if node is EXIT:
+            return True
+        if id(node) in seen:
+            return False
+        seen.add(id(node))
+        if kills(node):  # type: ignore[arg-type]
+            return False
+        path.append(node)  # type: ignore[arg-type]
+        for nxt in cfg.succ.get(node, [EXIT]):
+            if walk(nxt):
+                return True
+        path.pop()
+        return False
+
+    for nxt in cfg.succ.get(start, [EXIT]):
+        if walk(nxt):
+            return path
+    return None

@@ -9,10 +9,14 @@ Rule id map (one module per bug family):
   SIM203 abandoned-claim
 * ``resource_hygiene``   — SIM301 leak-on-interrupt
 * ``telemetry_hygiene``  — SIM401 uncached-metric-handle
+* ``flow_rules``         — SIM501 unjoined-child-process,
+  SIM502 set-order-emission, SIM503 span-close-on-all-paths
+  (CFG-based; see :mod:`repro.simlint.flow`)
 """
 
 from . import (  # noqa: F401  (imported for their registration side effect)
     coroutine,
+    flow_rules,
     ordering,
     randomness,
     resource_hygiene,

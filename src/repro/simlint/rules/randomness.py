@@ -36,6 +36,8 @@ class UnseededRandomRule(Rule):
     def check(self, tree: ast.Module, ctx: LintContext) -> Iterable[Diagnostic]:
         random_modules: Set[str] = set()
         np_random_modules: Set[str] = set()
+        os_modules: Set[str] = set()
+        random_ctors: Set[str] = set()  # local names bound to random.Random
         for node in ast.walk(tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
@@ -43,21 +45,62 @@ class UnseededRandomRule(Rule):
                         random_modules.add(alias.asname or "random")
                     elif alias.name == "numpy.random":
                         np_random_modules.add(alias.asname or "numpy.random")
+                    elif alias.name == "os":
+                        os_modules.add(alias.asname or "os")
             elif isinstance(node, ast.ImportFrom) and node.module == "random":
                 for alias in node.names:
-                    if alias.name not in _ALLOWED:
+                    if alias.name == "Random":
+                        random_ctors.add(alias.asname or "Random")
+                    elif alias.name not in _ALLOWED:
                         yield ctx.diagnostic(
                             self, node,
                             f"'from random import {alias.name}' binds the hidden "
                             f"global stream; use random.Random(seed) instead",
                         )
+            elif isinstance(node, ast.ImportFrom) and node.module == "os":
+                for alias in node.names:
+                    if alias.name == "urandom":
+                        yield ctx.diagnostic(
+                            self, node,
+                            "'from os import urandom' reads kernel entropy, "
+                            "which can never be replayed; derive bytes from "
+                            "a seeded random.Random instead",
+                        )
 
         for node in ast.walk(tree):
+            # Random() with no seed argument captures OS entropy at
+            # construction: a named stream, but a different one per run.
+            if isinstance(node, ast.Call) and not node.args and not node.keywords:
+                f = node.func
+                if (isinstance(f, ast.Name) and f.id in random_ctors) or (
+                    isinstance(f, ast.Attribute)
+                    and f.attr == "Random"
+                    and isinstance(f.value, ast.Name)
+                    and f.value.id in random_modules
+                ):
+                    yield ctx.diagnostic(
+                        self, node,
+                        "random.Random() without a seed snapshots OS "
+                        "entropy, so every run gets a different stream; "
+                        "pass an explicit per-component seed",
+                    )
+                    continue
             if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
                 continue
             recv = node.func.value
             attr = node.func.attr
             if (
+                isinstance(recv, ast.Name)
+                and recv.id in os_modules
+                and attr == "urandom"
+            ):
+                yield ctx.diagnostic(
+                    self, node,
+                    "os.urandom() reads kernel entropy, which can never "
+                    "be replayed; derive bytes from a seeded "
+                    "random.Random instead",
+                )
+            elif (
                 isinstance(recv, ast.Name)
                 and recv.id in random_modules
                 and attr not in _ALLOWED

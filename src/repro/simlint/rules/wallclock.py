@@ -68,7 +68,41 @@ class WallClockRule(Rule):
                         if alias.name in _TIME_FUNCS:
                             clock_names[alias.asname or alias.name] = alias.name
 
+        # A *bare* reference (``timer = time.monotonic``, or passing the
+        # function as a tick source) smuggles the host clock just as
+        # surely as calling it — flag those too, but not the ``func`` of
+        # a Call we already report.
+        call_funcs = {
+            id(node.func) for node in ast.walk(tree) if isinstance(node, ast.Call)
+        }
         for node in ast.walk(tree):
+            if isinstance(node, ast.Attribute) and id(node) not in call_funcs:
+                d = dotted_name(node)
+                parts = d.split(".") if d else []
+                if (
+                    len(parts) == 2
+                    and parts[0] in time_modules
+                    and parts[1] in _TIME_FUNCS
+                ):
+                    yield ctx.diagnostic(
+                        self, node,
+                        f"bare reference to {d} hands out the host clock; "
+                        f"pass a sim.now-based tick source instead",
+                    )
+                continue
+            if (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and id(node) not in call_funcs
+                and node.id in clock_names
+            ):
+                yield ctx.diagnostic(
+                    self, node,
+                    f"bare reference to time.{clock_names[node.id]} hands "
+                    f"out the host clock; pass a sim.now-based tick "
+                    f"source instead",
+                )
+                continue
             if not isinstance(node, ast.Call):
                 continue
             func = node.func

@@ -356,7 +356,7 @@ class AnyOf(_Condition):
 class Simulator:
     """The event loop.  Time unit: nanoseconds."""
 
-    def __init__(self) -> None:
+    def __init__(self, sanitize: bool = False) -> None:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, object]] = []
         self._seq = 0
@@ -364,6 +364,15 @@ class Simulator:
         #: per-simulation observability sink (disabled by default; flip
         #: ``sim.telemetry.enabled`` to start recording spans/metrics)
         self.telemetry = Telemetry(enabled=False)
+        #: runtime sanitizer (see repro.simsan); None = off, zero cost.
+        #: When set, run()/run_window()/run_until_event() delegate to the
+        #: sanitizer's instrumented loops and the resource primitives
+        #: record acquisition backtraces.
+        self.sanitizer = None
+        if sanitize:
+            from ..simsan import Sanitizer
+
+            self.sanitizer = Sanitizer(self)
         #: fault oracle (see repro.faults.install_faults); None = no faults
         self.faults = None
         #: packet-train coalescing switch (see repro.simnet.link): ports
@@ -468,6 +477,8 @@ class Simulator:
         servers, sweepers) can keep the heap non-empty forever — use
         :meth:`run_until_event` to wait for a specific outcome.
         """
+        if self.sanitizer is not None:
+            return self.sanitizer.run(until)
         if self._running:
             raise SimulationError("run() called re-entrantly")
         self._running = True
@@ -530,6 +541,8 @@ class Simulator:
         does) would put later boundary injections in this partition's
         past.  Events at or beyond the bound stay queued untouched.
         """
+        if self.sanitizer is not None:
+            return self.sanitizer.run_window(horizon, inclusive)
         if self._running:
             raise SimulationError("run() called re-entrantly")
         self._running = True
@@ -580,6 +593,8 @@ class Simulator:
         ``limit`` bounds simulated time; exceeding it raises
         :class:`SimulationError`, as does a drained heap (deadlock).
         """
+        if self.sanitizer is not None:
+            return self.sanitizer.run_until_event(ev, limit)
         if self._running:
             raise SimulationError("run() called re-entrantly")
         self._running = True

@@ -77,6 +77,9 @@ class Port:
         # Metric handles are resolved once per registry, not per packet
         # (the old per-packet f"link.{name}.queue_depth" formatting plus
         # dict lookup dominated the enabled-telemetry egress cost).
+        san = sim.sanitizer
+        if san is not None:
+            san.adopt("port", self)
         name = owner_name
         self._handles = HandleCache(
             lambda m: (

@@ -285,9 +285,15 @@ class ParallelSimulator:
     (:meth:`sim_for`).
     """
 
-    def __init__(self, spec: PartitionSpec, mode: str = "inline"):
+    def __init__(self, spec: PartitionSpec, mode: str = "inline",
+                 sanitize: bool = False):
         if mode not in ("inline", "process"):
             raise ValueError(f"unknown parallel mode {mode!r}")
+        if sanitize and mode == "process":
+            raise SimulationError(
+                "sanitize=True needs inline partitions: worker-process "
+                "findings would be lost at the pipe (use mode='inline')"
+            )
         if spec.lookahead_ns <= 0:
             raise SimulationError(
                 f"conservative windows need positive lookahead, "
@@ -297,7 +303,13 @@ class ParallelSimulator:
         self.k = spec.k
         self.mode = mode
         self.lookahead_ns = spec.lookahead_ns
-        self.sims = [Simulator() for _ in range(self.k)]
+        self.sims = [Simulator(sanitize=sanitize) for _ in range(self.k)]
+        #: cross-partition determinism auditor (sanitize runs only)
+        self.audit = None
+        if sanitize:
+            from ..simsan import BoundaryAudit
+
+            self.audit = BoundaryAudit()
         for rank, sim in enumerate(self.sims):
             # collision-free span/trace ids across partitions -> telemetry
             # merge is pure concatenation (see repro.telemetry.merge)
@@ -365,6 +377,12 @@ class ParallelSimulator:
     # Compatibility shims so code that passes the facade itself into
     # Event/Store constructors keeps working: Event.succeed touches
     # sim._seq/_heap directly.  They resolve to the driver partition.
+    @property
+    def sanitizer(self):
+        """Driver partition's sanitizer (None when sanitize is off); use
+        :func:`repro.simsan.report_for` to aggregate all partitions."""
+        return self.driver_sim.sanitizer
+
     @property
     def _heap(self) -> list:
         return self.driver_sim._heap
@@ -481,7 +499,10 @@ class ParallelSimulator:
         # replay the exact push the serial switch makes: out.send(pkt)
         # at the absolute fire time, in (fire_t, src_rank, src_seq) order
         ports = self._net.switches[rank]._out_ports
+        san = sim.sanitizer
         for m in msgs:
+            if san is not None and m[_FIRE_T] < sim.now - 1e-9:
+                san.record_stale_injection(m[_FIRE_T], m[_DST], sim.now)
             sim._call_at1(ports[m[_DST]].send, m[_PKT], m[_FIRE_T])
 
     def _window_inline(self, rank: int, horizon: float, inclusive: bool) -> None:
@@ -535,6 +556,8 @@ class ParallelSimulator:
                     self._window_inline(rank, horizon, inclusive)
                 for rt in self._runtimes:
                     msgs.extend(rt.take())
+            if self.audit is not None:
+                self.audit.record(self.rounds, msgs)
             self._route(msgs)
         finally:
             self._driver_ids.install()

@@ -61,18 +61,26 @@ class Resource:
         self._busy_time = 0.0
         self._last_change = 0.0
         self._peak_queue = 0
+        san = sim.sanitizer
+        if san is not None:
+            san.adopt("resource", self)
 
     # -- API -------------------------------------------------------------
     def request(self) -> Request:
         req = Request(self)
+        san = self.sim.sanitizer
         if len(self.users) < self.capacity:
             self._account()
             self.users.append(req)
+            if san is not None:
+                san.claim("resource-slot", id(req), self.name)
             req.succeed(req)
         else:
             self.queue.append(req)
             req._abandon = lambda: self.cancel(req)
             self._peak_queue = max(self._peak_queue, len(self.queue))
+            if san is not None:
+                san.claim("resource-wait", id(req), self.name)
         return req
 
     def release(self, req: Request) -> None:
@@ -80,9 +88,15 @@ class Resource:
             raise SimulationError(f"release of request not holding {self.name!r}")
         self._account()
         self.users.remove(req)
+        san = self.sim.sanitizer
+        if san is not None:
+            san.retire("resource-slot", id(req))
         if self.queue:
             nxt = self.queue.popleft()
             self.users.append(nxt)
+            if san is not None:
+                san.retire("resource-wait", id(nxt))
+                san.claim("resource-slot", id(nxt), self.name)
             nxt.succeed(nxt)
 
     def cancel(self, req: Request) -> None:
@@ -90,7 +104,10 @@ class Resource:
         try:
             self.queue.remove(req)
         except ValueError:
-            pass
+            return
+        san = self.sim.sanitizer
+        if san is not None:
+            san.retire("resource-wait", id(req))
 
     # -- stats -------------------------------------------------------------
     def _account(self) -> None:
@@ -138,11 +155,17 @@ class Store:
         self._getters: Deque[Event] = deque()
         self._putters: Deque[tuple[Event, Any]] = deque()
         self._peak = 0
+        san = sim.sanitizer
+        if san is not None:
+            san.adopt("store", self)
 
     def put(self, item: Any) -> Event:
         ev = Event(self.sim, name=self._put_name)
+        san = self.sim.sanitizer
         if self._getters:
             getter = self._getters.popleft()
+            if san is not None:
+                san.retire("store-wait", id(getter))
             getter.succeed(item)
             ev.succeed(None)
         elif self.capacity is None or len(self.items) < self.capacity:
@@ -152,12 +175,18 @@ class Store:
         else:
             self._putters.append((ev, item))
             ev._abandon = lambda: self.cancel(ev)
+            if san is not None:
+                san.claim("store-wait", id(ev), self.name)
         return ev
 
     def try_put(self, item: Any) -> bool:
         """Non-blocking put; returns False when the store is full."""
         if self._getters:
-            self._getters.popleft().succeed(item)
+            getter = self._getters.popleft()
+            san = self.sim.sanitizer
+            if san is not None:
+                san.retire("store-wait", id(getter))
+            getter.succeed(item)
             return True
         if self.capacity is not None and len(self.items) >= self.capacity:
             return False
@@ -174,25 +203,34 @@ class Store:
         else:
             self._getters.append(ev)
             ev._abandon = lambda: self.cancel(ev)
+            san = self.sim.sanitizer
+            if san is not None:
+                san.claim("store-wait", id(ev), self.name)
         return ev
 
     def cancel(self, ev: Event) -> None:
         """Withdraw a still-queued getter or putter (no-op otherwise)."""
         try:
             self._getters.remove(ev)
-            return
         except ValueError:
-            pass
-        for pair in self._putters:
-            if pair[0] is ev:
-                self._putters.remove(pair)
+            for pair in self._putters:
+                if pair[0] is ev:
+                    self._putters.remove(pair)
+                    break
+            else:
                 return
+        san = self.sim.sanitizer
+        if san is not None:
+            san.retire("store-wait", id(ev))
 
     def _admit_putter(self) -> None:
         if self._putters:
             pev, pitem = self._putters.popleft()
             self.items.append(pitem)
             self._peak = max(self._peak, len(self.items))
+            san = self.sim.sanitizer
+            if san is not None:
+                san.retire("store-wait", id(pev))
             pev.succeed(None)
 
     def __len__(self) -> int:
@@ -224,6 +262,9 @@ class Container:
         self._get_name = f"get({name})"  # formatted once (hot path)
         self._getters: Deque[tuple[Event, float]] = deque()
         self._min_level = self.level
+        san = sim.sanitizer
+        if san is not None:
+            san.adopt("container", self)
 
     def get(self, amount: float) -> Event:
         """Take ``amount`` units, blocking until available (FIFO order)."""
@@ -234,13 +275,18 @@ class Container:
                 f"get({amount}) exceeds container capacity {self.capacity}"
             )
         ev = Event(self.sim, name=self._get_name)
+        san = self.sim.sanitizer
         if not self._getters and amount <= self.level:
             self.level -= amount
             self._min_level = min(self._min_level, self.level)
+            if san is not None:
+                san.container_grant(self, amount)
             ev.succeed(amount)
         else:
             self._getters.append((ev, amount))
             ev._abandon = lambda: self.cancel(ev)
+            if san is not None:
+                san.claim("container-wait", id(ev), self.name)
         return ev
 
     def cancel(self, ev: Event) -> None:
@@ -248,6 +294,9 @@ class Container:
         for pair in self._getters:
             if pair[0] is ev:
                 self._getters.remove(pair)
+                san = self.sim.sanitizer
+                if san is not None:
+                    san.retire("container-wait", id(ev))
                 return
 
     def try_get(self, amount: float) -> bool:
@@ -256,6 +305,9 @@ class Container:
             return False
         self.level -= amount
         self._min_level = min(self._min_level, self.level)
+        san = self.sim.sanitizer
+        if san is not None:
+            san.container_grant(self, amount)
         return True
 
     def put(self, amount: float) -> None:
@@ -269,10 +321,16 @@ class Container:
                 f"level {self.level} + put({amount}) exceeds capacity {self.capacity}"
             )
         self.level += amount
+        san = self.sim.sanitizer
+        if san is not None:
+            san.container_put(self, amount)
         while self._getters and self._getters[0][1] <= self.level:
             ev, amt = self._getters.popleft()
             self.level -= amt
             self._min_level = min(self._min_level, self.level)
+            if san is not None:
+                san.retire("container-wait", id(ev))
+                san.container_grant(self, amt)
             ev.succeed(amt)
 
     @property

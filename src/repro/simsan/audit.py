@@ -1,0 +1,81 @@
+"""Cross-partition determinism auditor.
+
+The partitioned engine's CI gate proves determinism by `cmp`-ing whole
+CSVs — useful as a tripwire, useless for debugging: "bytes differ" says
+nothing about *where* two runs diverged.  Under ``sanitize=True`` the
+coordinator records, for every conservative window, one digest per
+source rank over the boundary messages that rank emitted (fire time,
+source sequence, destination, and packet identity).  Two audits of the
+same workload can then be compared message-digest by message-digest:
+:func:`first_divergence` pinpoints the first (window, rank) whose
+boundary traffic differs, which is the window to replay.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Optional
+
+__all__ = ["BoundaryAudit", "first_divergence"]
+
+# boundary-message tuple layout (mirrors repro.simnet.parallel)
+_FIRE_T, _SRC_RANK, _SRC_SEQ, _DST_RANK, _DST, _PKT = range(6)
+
+
+def _pkt_key(pkt: Any) -> str:
+    """Deterministic identity of a boundary packet (no object ids)."""
+    return "/".join(
+        str(getattr(pkt, f, "")) for f in ("src", "dst", "op", "msg_id", "seq")
+    )
+
+
+class BoundaryAudit:
+    """Per-(window, src_rank) digests of cross-partition traffic."""
+
+    def __init__(self) -> None:
+        #: (window, src_rank) -> hexdigest; windows with no traffic from a
+        #: rank have no entry (absence is part of the comparison)
+        self.digests: dict[tuple[int, int], str] = {}
+        self.messages = 0
+
+    def record(self, window: int, msgs: list) -> None:
+        """Digest one round's boundary messages, grouped by source rank."""
+        if not msgs:
+            return
+        self.messages += len(msgs)
+        by_rank: dict[int, list] = {}
+        for m in msgs:
+            by_rank.setdefault(m[_SRC_RANK], []).append(m)
+        for rank, group in by_rank.items():
+            h = hashlib.sha256()
+            for m in sorted(group, key=lambda m: (m[_FIRE_T], m[_SRC_SEQ])):
+                h.update(
+                    f"{m[_FIRE_T]!r}|{m[_SRC_SEQ]}|{m[_DST_RANK]}|"
+                    f"{m[_DST]}|{_pkt_key(m[_PKT])};".encode()
+                )
+            key = (window, rank)
+            if key in self.digests:
+                # same (window, rank) can route twice when a round is
+                # split; fold into one running digest
+                h2 = hashlib.sha256()
+                h2.update((self.digests[key] + h.hexdigest()).encode())
+                self.digests[key] = h2.hexdigest()
+            else:
+                self.digests[key] = h.hexdigest()
+
+
+def first_divergence(
+    a: BoundaryAudit, b: BoundaryAudit
+) -> Optional[tuple[int, int, str, str]]:
+    """First (window, rank) where two audits disagree, or None.
+
+    Returns ``(window, rank, digest_a, digest_b)``; a digest is ``""``
+    when that run produced no boundary traffic for the slot.
+    """
+    keys = sorted(set(a.digests) | set(b.digests))
+    for key in keys:
+        da = a.digests.get(key, "")
+        db = b.digests.get(key, "")
+        if da != db:
+            return (key[0], key[1], da, db)
+    return None

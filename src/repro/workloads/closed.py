@@ -23,7 +23,7 @@ completions, aggregated over huge client populations — lives in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Generator, Iterable, List, Optional
 
 import numpy as np
 
@@ -288,7 +288,7 @@ def run_closed_loop(
     stats = [ClientLoadStats(client_id=c) for c in range(spec.n_clients)]
     next_op: List[int] = [0] * spec.n_clients
 
-    def _worker(cid: int, slot: int):
+    def _worker(cid: int, slot: int) -> Generator:
         st = stats[cid]
         rng = np.random.default_rng([spec.seed, cid, slot])
         # Stagger slot start-up so the client population does not issue

@@ -56,7 +56,7 @@ import struct
 from bisect import bisect_right
 from dataclasses import dataclass, field
 from heapq import heapify, heappop, heappush
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from ..simnet.engine import Event
 from .streams import (
@@ -214,7 +214,7 @@ class ZipfSampler:
     mass keeps the per-request cost at ~O(log n) python-free work.
     """
 
-    def __init__(self, n_objects: int, alpha: float):
+    def __init__(self, n_objects: int, alpha: float) -> None:
         self.n_objects = n_objects
         self.alpha = alpha
         weights = [(i + 1) ** (-alpha) for i in range(n_objects)]
@@ -246,7 +246,9 @@ def sample_size(u: float, s: SizeSpec) -> int:
 
 
 # ------------------------------------------------------- arrival steppers
-def _make_stepper(a: ArrivalSpec, seed: int, horizon_ns: float):
+def _make_stepper(
+    a: ArrivalSpec, seed: int, horizon_ns: float
+) -> Tuple[Any, Callable[..., Tuple[float, Any]]]:
     """Build ``(init_state, step)`` for one arrival class.
 
     ``step(cid, t_prev, st) -> (t_next, st')`` is a pure function of its
@@ -256,7 +258,7 @@ def _make_stepper(a: ArrivalSpec, seed: int, horizon_ns: float):
     """
     rate = a.rate_hz
     if a.kind == "poisson":
-        def step(cid: int, t_prev: float, k: int):
+        def step(cid: int, t_prev: float, k: int) -> Tuple[float, int]:
             return t_prev + exp_gap(u01(seed, cid, k, TAG_GAP), rate), k + 1
 
         return 0, step
@@ -266,7 +268,9 @@ def _make_stepper(a: ArrivalSpec, seed: int, horizon_ns: float):
         off_alpha, off_min = a.off_alpha, a.off_min_ns
 
         # state: (k, on_end); on_end < 0 means "currently OFF"
-        def step(cid: int, t_prev: float, st: Tuple[int, float]):
+        def step(
+            cid: int, t_prev: float, st: Tuple[int, float]
+        ) -> Tuple[float, Tuple[int, float]]:
             k, on_end = st
             t = t_prev
             while True:
@@ -291,7 +295,7 @@ def _make_stepper(a: ArrivalSpec, seed: int, horizon_ns: float):
     period, jitter, join = a.burst_period_ns, a.burst_jitter_ns, a.burst_join
     last_burst = int(horizon_ns / period) + 1
 
-    def step(cid: int, t_prev: float, b: int):
+    def step(cid: int, t_prev: float, b: int) -> Tuple[float, int]:
         while b <= last_burst:
             if u01(seed, cid, b, TAG_GAP) < join:
                 t = b * period + u01(seed, cid, b, TAG_STATE) * jitter
@@ -302,7 +306,9 @@ def _make_stepper(a: ArrivalSpec, seed: int, horizon_ns: float):
     return 0, step
 
 
-def _class_tables(spec: OpenLoopSpec):
+def _class_tables(
+    spec: OpenLoopSpec,
+) -> Tuple[List[str], List[float], List[ArrivalSpec], List[SizeSpec]]:
     """Resolve the class list: ``(names, fractions_cum, arrivals, sizes)``.
     A spec without classes is one implicit class covering everyone."""
     if not spec.classes:
@@ -379,8 +385,8 @@ class _Run:
     """Shared per-run machinery of both engines: request stamping,
     completion accounting, drain, and the result assembly."""
 
-    def __init__(self, testbed, issue: Callable[[int, int, int, int], Event],
-                 spec: OpenLoopSpec, record: bool):
+    def __init__(self, testbed: Any, issue: Callable[[int, int, int, int], Event],
+                 spec: OpenLoopSpec, record: bool) -> None:
         spec.validate()
         self.testbed = testbed
         self.issue = issue
@@ -547,7 +553,7 @@ def run_open_loop(
             states[cid] = st
             heaps.setdefault((cid % k_buckets, cls), []).append((t, cid))
 
-    def _generator(heap: List[Tuple[float, int]]):
+    def _generator(heap: List[Tuple[float, int]]) -> Generator:
         heapify(heap)
         while heap:
             t, cid = heappop(heap)
@@ -585,7 +591,7 @@ def run_open_loop_reference(
     horizon = spec.horizon_ns
     t0 = run.t0
 
-    def _client(cid: int):
+    def _client(cid: int) -> Generator:
         cls = _class_of(spec.seed, cid, run.class_cum)
         init, step = run.steppers[cls]
         t, st = step(cid, 0.0, init)

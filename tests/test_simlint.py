@@ -34,10 +34,11 @@ def lint(source, rule_ids=None):
 
 # --------------------------------------------------------------- registry
 class TestRegistry:
-    def test_all_nine_rules_registered(self):
+    def test_all_twelve_rules_registered(self):
         assert sorted(RULES) == [
             "SIM101", "SIM102", "SIM103", "SIM104",
             "SIM201", "SIM202", "SIM203", "SIM301", "SIM401",
+            "SIM501", "SIM502", "SIM503",
         ]
 
     def test_every_rule_has_metadata(self):
@@ -89,6 +90,28 @@ class TestWallClock:
                 return t.time()
         """) == []
 
+    def test_bare_clock_reference_flagged(self):
+        # handing the function itself out smuggles the host clock
+        assert "SIM101" in rules_found("""
+            import time
+            def f(engine):
+                engine.tick_source = time.monotonic
+        """)
+
+    def test_bare_from_import_reference_flagged(self):
+        assert "SIM101" in rules_found("""
+            from time import monotonic
+            def f(engine):
+                engine.tick_source = monotonic
+        """)
+
+    def test_call_not_double_counted_as_bare_ref(self):
+        assert rules_found("""
+            import time
+            def f():
+                return time.monotonic()
+        """).count("SIM101") == 1
+
 
 # ------------------------------------------------------- SIM102 randomness
 class TestUnseededRandom:
@@ -116,6 +139,46 @@ class TestUnseededRandom:
             import numpy as np
             def f(seed):
                 return np.random.default_rng(seed)
+        """) == []
+
+    def test_os_urandom_flagged(self):
+        assert "SIM102" in rules_found("""
+            import os
+            def f():
+                return os.urandom(16)
+        """)
+
+    def test_from_os_import_urandom_flagged(self):
+        assert "SIM102" in rules_found("""
+            from os import urandom
+        """)
+
+    def test_unseeded_random_ctor_flagged(self):
+        assert "SIM102" in rules_found("""
+            import random
+            def f():
+                return random.Random()
+        """)
+
+    def test_unseeded_imported_ctor_flagged(self):
+        assert "SIM102" in rules_found("""
+            from random import Random
+            def f():
+                return Random()
+        """)
+
+    def test_seeded_imported_ctor_not_flagged(self):
+        assert rules_found("""
+            from random import Random
+            def f(seed):
+                return Random(seed)
+        """) == []
+
+    def test_os_path_not_flagged(self):
+        assert rules_found("""
+            import os
+            def f(p):
+                return os.path.basename(p)
         """) == []
 
 
@@ -403,6 +466,165 @@ class TestUncachedMetricHandle:
         """) == []
 
 
+# ------------------------------------- SIM501 unjoined child process (flow)
+class TestUnjoinedChildProcess:
+    def test_spawn_dropped_on_early_return_flagged(self):
+        assert "SIM501" in rules_found("""
+            def proc(sim):
+                child = sim.process(worker(sim))
+                yield sim.timeout(5)
+                if sim.now > 100:
+                    return
+                yield child
+        """)
+
+    def test_spawn_never_referenced_flagged(self):
+        assert "SIM501" in rules_found("""
+            def proc(sim):
+                child = sim.process(worker(sim))
+                yield sim.timeout(5)
+        """)
+
+    def test_yielded_child_not_flagged(self):
+        assert rules_found("""
+            def proc(sim):
+                child = sim.process(worker(sim))
+                yield child
+        """) == []
+
+    def test_interrupt_in_finally_not_flagged(self):
+        assert rules_found("""
+            def proc(sim):
+                child = sim.process(worker(sim))
+                try:
+                    yield sim.timeout(5)
+                finally:
+                    child.interrupt()
+        """) == []
+
+    def test_stored_handle_not_flagged(self):
+        # handing the child off to the owner is a join we can't follow
+        assert rules_found("""
+            def proc(self, sim):
+                child = sim.process(worker(sim))
+                self._children.append(child)
+                yield sim.timeout(5)
+        """) == []
+
+    def test_plain_generator_exempt(self):
+        # no waitable yields -> a data generator, not a sim process
+        assert rules_found("""
+            def rows(db):
+                h = db.process(1)
+                yield h + 1
+        """) == []
+
+
+# ---------------------------------------- SIM502 set-order emission (flow)
+class TestSetOrderEmission:
+    def test_dict_from_set_loop_then_iterated_flagged(self):
+        assert "SIM502" in rules_found("""
+            def f(names, emit):
+                offsets = {}
+                for n in set(names):
+                    offsets[n] = place(n)
+                for n, off in offsets.items():
+                    emit(n, off)
+        """, rule_ids=["SIM502"])
+
+    def test_dict_comprehension_over_set_flagged(self):
+        assert "SIM502" in rules_found("""
+            def f(names, emit):
+                live = {n for n in names}
+                offsets = {n: place(n) for n in live}
+                for n in offsets:
+                    emit(n)
+        """, rule_ids=["SIM502"])
+
+    def test_sorted_emission_not_flagged(self):
+        assert rules_found("""
+            def f(names, emit):
+                offsets = {}
+                for n in set(names):
+                    offsets[n] = place(n)
+                for n in sorted(offsets):
+                    emit(n)
+        """, rule_ids=["SIM502"]) == []
+
+    def test_sorted_population_not_flagged(self):
+        assert rules_found("""
+            def f(names, emit):
+                offsets = {}
+                for n in sorted(set(names)):
+                    offsets[n] = place(n)
+                for n in offsets:
+                    emit(n)
+        """, rule_ids=["SIM502"]) == []
+
+    def test_unrelated_dict_not_flagged(self):
+        assert rules_found("""
+            def f(rows, emit):
+                d = {}
+                for r in rows:
+                    d[r.key] = r
+                for k in d:
+                    emit(k)
+        """, rule_ids=["SIM502"]) == []
+
+
+# ------------------------------------ SIM503 span close on all paths (flow)
+class TestSpanCloseAllPaths:
+    def test_early_return_skips_close_flagged(self):
+        assert "SIM503" in rules_found("""
+            def handle(tel, sim, req):
+                s = tel.begin("req", pid="c0", tid="w", t0=sim.now)
+                if req.denied:
+                    return None
+                tel.end(s, sim.now)
+                return req
+        """)
+
+    def test_close_on_every_path_not_flagged(self):
+        assert rules_found("""
+            def handle(tel, sim, req):
+                s = tel.begin("req", pid="c0", tid="w", t0=sim.now)
+                if req.denied:
+                    tel.end(s, sim.now)
+                    return None
+                tel.end(s, sim.now)
+                return req
+        """) == []
+
+    def test_close_in_finally_not_flagged(self):
+        assert rules_found("""
+            def handle(tel, sim, req):
+                s = tel.begin("req", pid="c0", tid="w", t0=sim.now)
+                try:
+                    if req.denied:
+                        return None
+                    return req
+                finally:
+                    tel.end(s, sim.now)
+        """) == []
+
+    def test_handoff_to_callback_not_flagged(self):
+        # closure capture keeps the span reachable: completion closes it
+        assert rules_found("""
+            def handle(tel, sim, ev):
+                s = tel.begin("commit", pid="h", tid="c", t0=sim.now)
+                ev.add_callback(lambda _e, sp=s: tel.end(sp, sim.now))
+                return ev
+        """) == []
+
+    def test_span_stored_on_request_not_flagged(self):
+        assert rules_found("""
+            def handle(tel, sim, req):
+                s = tel.begin("req", pid="c0", tid="w", t0=sim.now)
+                req.span = s
+                return req
+        """) == []
+
+
 # ----------------------------------------------------------- suppressions
 class TestSuppressions:
     HAZARD = """
@@ -497,6 +719,29 @@ class TestCli:
         assert exc.value.code == 2
         capsys.readouterr()
 
+    def test_empty_rule_set_is_a_usage_error(self, tmp_path, capsys):
+        # "--rules ," used to lint with zero rules and exit 0
+        for spec in (",", "", " , "):
+            with pytest.raises(SystemExit) as exc:
+                lint_main([str(tmp_path), "--rules", spec])
+            assert exc.value.code == 2
+        capsys.readouterr()
+
+    def test_json_output_names_version_and_rule_set(self, tmp_path, capsys):
+        from repro.simlint import __version__
+
+        good = tmp_path / "good.py"
+        good.write_text("def f(sim):\n    return sim.now\n")
+        assert lint_main([str(good), "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["simlint_version"] == __version__
+        assert doc["rules"] == sorted(RULES)
+        assert lint_main(
+            [str(good), "--format", "json", "--rules", "SIM102,SIM101"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["rules"] == ["SIM101", "SIM102"]
+
     def test_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
@@ -533,7 +778,7 @@ class TestTreeGate:
         assert set(by_rule) == {"SIM101", "SIM401"}
         assert by_rule["SIM101"] == {
             "engine.py", "parallel.py", "runner.py", "perfsnap.py",
-            "__main__.py",
+            "__main__.py", "runtime.py",
         }
         assert by_rule["SIM401"] == {"accelerator.py"}
 
